@@ -1,0 +1,68 @@
+//! Criterion ablation of the allocation strategies (experiment E6): windowed
+//! best fit (the default, matching the paper's cost structure), exhaustive
+//! best fit, first fit and the random-window variant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sime_core::allocation::{allocate_all, AllocationConfig, AllocationStrategy};
+use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_core::profile::ProfileReport;
+use sime_core::selection::{select, SelectionScheme};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
+use vlsi_place::cost::Objectives;
+
+fn allocation_ablation(c: &mut Criterion) {
+    let circuit = PaperCircuit::S1238;
+    let netlist = Arc::new(paper_circuit(circuit));
+    let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+    let engine = SimEEngine::new(Arc::clone(&netlist), config);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let placement = engine.initial_placement(&mut rng);
+    let mut profile = ProfileReport::new();
+    let (_lengths, goodness) = engine.evaluate(&placement, &mut profile);
+
+    let strategies = [
+        ("windowed_best_fit", AllocationStrategy::WindowedBestFit),
+        ("exhaustive_best_fit", AllocationStrategy::SortedBestFit),
+        ("first_fit", AllocationStrategy::FirstFit),
+        ("random_window", AllocationStrategy::RandomWindow),
+    ];
+
+    let mut group = c.benchmark_group("allocation_strategies_s1238");
+    group.measurement_time(Duration::from_secs(3)).sample_size(15);
+    for (name, strategy) in strategies {
+        let alloc_config = AllocationConfig {
+            strategy,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut r = ChaCha8Rng::seed_from_u64(11);
+                    let selected = select(&goodness, SelectionScheme::Biasless, &mut r, &[]);
+                    (placement.clone(), selected, r)
+                },
+                |(mut p, mut selected, mut r)| {
+                    black_box(allocate_all(
+                        engine.evaluator(),
+                        &mut p,
+                        &mut selected,
+                        &goodness,
+                        &alloc_config,
+                        &[],
+                        &mut r,
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allocation_ablation);
+criterion_main!(benches);

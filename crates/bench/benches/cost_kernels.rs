@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the cost-model kernels: the per-net
+//! wirelength estimators, full-placement evaluation and per-cell goodness.
+//! These are the kernels whose relative costs drive the Section 4 profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
+use vlsi_place::cost::{CostEvaluator, Objectives};
+use vlsi_place::goodness::GoodnessEvaluator;
+use vlsi_place::layout::Placement;
+use vlsi_place::wirelength::{hpwl, single_trunk_steiner};
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pins: Vec<(f64, f64)> = (0..8)
+        .map(|_| {
+            (
+                rand::Rng::gen_range(&mut rng, 0.0..500.0),
+                rand::Rng::gen_range(&mut rng, 0.0..120.0),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("wirelength_estimators");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    group.bench_function("single_trunk_steiner_8pin", |b| {
+        b.iter(|| black_box(single_trunk_steiner(black_box(&pins))))
+    });
+    group.bench_function("hpwl_8pin", |b| {
+        b.iter(|| black_box(hpwl(black_box(&pins))))
+    });
+    group.finish();
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let netlist = Arc::new(paper_circuit(PaperCircuit::S1196));
+    let mut group = c.benchmark_group("full_evaluation_s1196");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for objectives in [
+        Objectives::WirelengthPower,
+        Objectives::WirelengthPowerDelay,
+    ] {
+        let evaluator = CostEvaluator::new(Arc::clone(&netlist), objectives);
+        let placement = Placement::round_robin(&netlist, PaperCircuit::S1196.num_rows());
+        group.bench_function(objectives.label(), |b| {
+            b.iter(|| black_box(evaluator.evaluate(black_box(&placement))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_goodness(c: &mut Criterion) {
+    let netlist = Arc::new(paper_circuit(PaperCircuit::S1196));
+    let evaluator = CostEvaluator::new(Arc::clone(&netlist), Objectives::WirelengthPowerDelay);
+    let goodness = GoodnessEvaluator::new(evaluator.clone());
+    let placement = Placement::round_robin(&netlist, PaperCircuit::S1196.num_rows());
+    let mut group = c.benchmark_group("goodness_s1196");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group.bench_function("all_cells", |b| {
+        b.iter_batched(
+            || evaluator.net_lengths(&placement),
+            |lengths| black_box(goodness.all_goodness_from_lengths(&lengths)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_full_evaluation, bench_goodness);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the three SimE operators on a paper-sized circuit
+//! (experiment E0 in wall-clock form): evaluation, selection and allocation of
+//! one iteration. Allocation is expected to dominate by one to two orders of
+//! magnitude, mirroring the Section 4 gprof profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sime_core::allocation::{allocate_all, AllocationConfig};
+use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_core::profile::ProfileReport;
+use sime_core::selection::{select, SelectionScheme};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
+use vlsi_place::cost::Objectives;
+
+fn operators(c: &mut Criterion) {
+    let circuit = PaperCircuit::S1196;
+    let netlist = Arc::new(paper_circuit(circuit));
+    let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+    let engine = SimEEngine::new(Arc::clone(&netlist), config);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let placement = engine.initial_placement(&mut rng);
+    let mut profile = ProfileReport::new();
+    let (net_lengths, goodness) = engine.evaluate(&placement, &mut profile);
+
+    let mut group = c.benchmark_group("sime_operators_s1196");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+
+    group.bench_function("evaluation", |b| {
+        b.iter(|| {
+            let mut p = ProfileReport::new();
+            black_box(engine.evaluate(black_box(&placement), &mut p))
+        })
+    });
+
+    group.bench_function("selection", |b| {
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(7),
+            |mut r| black_box(select(&goodness, SelectionScheme::Biasless, &mut r, &[])),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("allocation", |b| {
+        b.iter_batched(
+            || {
+                let mut r = ChaCha8Rng::seed_from_u64(7);
+                let selected = select(&goodness, SelectionScheme::Biasless, &mut r, &[]);
+                (placement.clone(), selected, r)
+            },
+            |(mut p, mut selected, mut r)| {
+                black_box(allocate_all(
+                    engine.evaluator(),
+                    &mut p,
+                    &mut selected,
+                    &goodness,
+                    &AllocationConfig::default(),
+                    &[],
+                    &mut r,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_iteration", |b| {
+        b.iter_batched(
+            || (placement.clone(), ChaCha8Rng::seed_from_u64(9)),
+            |(mut p, mut r)| {
+                let mut prof = ProfileReport::new();
+                black_box(engine.iterate(&mut p, &mut r, &mut prof, &[], &[]))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+    let _ = net_lengths;
+}
+
+criterion_group!(benches, operators);
+criterion_main!(benches);

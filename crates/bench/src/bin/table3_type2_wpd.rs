@@ -1,0 +1,72 @@
+//! Experiment E3 — reproduces Table 3: Type II (domain decomposition) for the
+//! wirelength + power + delay objectives, fixed vs random row patterns.
+//!
+//! The serial baseline runs the paper's 5000 iterations; the parallel runs
+//! add 1000 iterations per additional processor. Entries that fail to reach
+//! the serial quality show the achieved percentage in brackets.
+//!
+//! Usage: `cargo run --release -p bench --bin table3_type2_wpd [--full]`
+
+use bench::{
+    fmt_parallel_entry, fmt_seconds, iteration_scale, paper_engine, print_header,
+    scaled_iterations,
+};
+use cluster_sim::timeline::ClusterConfig;
+use sime_parallel::report::run_serial_baseline;
+use sime_parallel::type2::{run_type2, RowPattern, Type2Config};
+use vlsi_netlist::bench_suite::PaperCircuit;
+use vlsi_place::cost::Objectives;
+
+fn main() {
+    let scale = iteration_scale();
+    print_header(
+        "Table 3 — Type II parallel SimE, wirelength + power + delay, fixed vs random row pattern",
+        scale,
+    );
+
+    println!(
+        "\n{:<8} {:>7} {:>8} | {:>26} | {:>26}",
+        "Ckt", "mu(s)", "Seq.", "fixed p=2..5", "random p=2..5"
+    );
+    for circuit in PaperCircuit::ALL {
+        let serial_iterations = scaled_iterations(5000, scale);
+        let engine = paper_engine(circuit, Objectives::WirelengthPowerDelay, serial_iterations);
+        let compute = ClusterConfig::paper_cluster(2).compute;
+        let baseline = run_serial_baseline(&engine, &compute);
+        let serial_mu = baseline.best_mu();
+
+        let mut row = format!(
+            "{:<8} {:>7.3} {:>8}",
+            circuit.name(),
+            serial_mu,
+            fmt_seconds(baseline.modeled_seconds)
+        );
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            row.push_str(" |");
+            for ranks in 2..=5usize {
+                let iterations = scaled_iterations(5000 + 1000 * (ranks - 1), scale);
+                let outcome = run_type2(
+                    &engine,
+                    ClusterConfig::paper_cluster(ranks),
+                    Type2Config {
+                        ranks,
+                        iterations,
+                        pattern,
+                    },
+                );
+                row.push_str(&format!(
+                    " {:>8}",
+                    fmt_parallel_entry(
+                        outcome.modeled_seconds,
+                        outcome.quality_fraction_of(serial_mu)
+                    )
+                ));
+            }
+        }
+        println!("{row}");
+    }
+    println!("\nexpected shape: as Table 2, with larger absolute runtimes (the delay objective");
+    println!("adds path evaluation work) and somewhat lower quality fractions — the delay");
+    println!("objective is the hardest to recover under restricted cell mobility.");
+    println!("paper reference (s3330): seq 13007 s; fixed 4676(90)...1336(80); random 3171...1031(86)");
+}

@@ -1,0 +1,131 @@
+//! Network (interconnect) cost models.
+//!
+//! A point-to-point message of `b` bytes costs `latency + b / bandwidth`
+//! seconds — the classical Hockney model, which is accurate enough for the
+//! medium-sized, latency-dominated messages the SimE strategies exchange
+//! (goodness vectors, placement rows, whole placements). Collectives are
+//! priced the way MPICH 1.2.5 implemented them on a shared 100 Mbit/s
+//! Ethernet segment: linear algorithms in which the root sends to (or
+//! receives from) every peer in turn.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point network cost model (Hockney: `latency + bytes / bandwidth`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds (includes the MPI software stack).
+    pub latency: f64,
+    /// Sustained point-to-point bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// 100 Mbit/s switched Ethernet as used in the paper's cluster: ~70 µs
+    /// MPICH latency, ~11 MB/s sustained bandwidth.
+    pub fn fast_ethernet() -> Self {
+        NetworkModel {
+            latency: 70e-6,
+            bandwidth: 11.0e6,
+        }
+    }
+
+    /// Gigabit Ethernet (for the "what if the interconnect were better"
+    /// ablation): ~30 µs latency, ~110 MB/s.
+    pub fn gigabit_ethernet() -> Self {
+        NetworkModel {
+            latency: 30e-6,
+            bandwidth: 110.0e6,
+        }
+    }
+
+    /// An idealised zero-cost interconnect; with it the modeled runtimes show
+    /// pure workload-division effects.
+    pub fn infinite() -> Self {
+        NetworkModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Time for one point-to-point message of `bytes` bytes.
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 && self.latency == 0.0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time for a linear broadcast of `bytes` from one root to `ranks − 1`
+    /// peers (the root's cost; each peer finishes after its own message).
+    pub fn linear_broadcast_time(&self, bytes: u64, ranks: usize) -> f64 {
+        self.message_time(bytes) * ranks.saturating_sub(1) as f64
+    }
+
+    /// Time for a linear gather of `bytes` from each of `ranks − 1` peers
+    /// into the root.
+    pub fn linear_gather_time(&self, bytes: u64, ranks: usize) -> f64 {
+        self.linear_broadcast_time(bytes, ranks)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::fast_ethernet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_latency_plus_transfer() {
+        let net = NetworkModel {
+            latency: 1e-4,
+            bandwidth: 1e6,
+        };
+        let t = net.message_time(10_000);
+        assert!((t - (1e-4 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_byte_message_still_pays_latency() {
+        let net = NetworkModel::fast_ethernet();
+        assert!(net.message_time(0) > 0.0);
+        assert_eq!(NetworkModel::infinite().message_time(0), 0.0);
+    }
+
+    #[test]
+    fn fast_ethernet_is_slower_than_gigabit() {
+        let fe = NetworkModel::fast_ethernet();
+        let ge = NetworkModel::gigabit_ethernet();
+        assert!(fe.message_time(100_000) > ge.message_time(100_000));
+    }
+
+    #[test]
+    fn infinite_network_is_free() {
+        let net = NetworkModel::infinite();
+        assert_eq!(net.message_time(1 << 30), 0.0);
+        assert_eq!(net.linear_broadcast_time(1 << 20, 8), 0.0);
+    }
+
+    #[test]
+    fn broadcast_scales_linearly_with_ranks() {
+        let net = NetworkModel::fast_ethernet();
+        let t4 = net.linear_broadcast_time(50_000, 4);
+        let t8 = net.linear_broadcast_time(50_000, 8);
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 1e-9);
+        assert_eq!(net.linear_broadcast_time(50_000, 1), 0.0);
+        assert_eq!(
+            net.linear_gather_time(50_000, 5),
+            net.linear_broadcast_time(50_000, 5)
+        );
+    }
+
+    #[test]
+    fn transfer_dominates_for_large_messages() {
+        let net = NetworkModel::fast_ethernet();
+        let big = net.message_time(10_000_000);
+        assert!(big > 0.5, "10 MB over fast ethernet takes ~1 s, got {big}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Virtual-time accounting of a bulk-synchronous message-passing execution.
+//!
+//! A [`ClusterTimeline`] keeps one virtual clock per rank. The parallel SimE
+//! strategies execute their per-rank work locally (so results are exact) and
+//! report every unit of computation and every message here; the timeline
+//! advances the clocks according to the configured
+//! [`ComputeModel`](crate::machine::ComputeModel) and
+//! [`NetworkModel`](crate::network::NetworkModel). At the end of the run the
+//! *makespan* (the largest clock) is the modeled runtime that the reproduced
+//! tables report.
+//!
+//! Collectives follow the linear algorithms of MPICH 1.x on a shared
+//! Ethernet segment:
+//!
+//! * `broadcast(root, bytes)` — the root sends a separate message to every
+//!   other rank, one after another; peer `k` can continue only after its own
+//!   message has arrived.
+//! * `gather(root, bytes)` — every peer sends to the root; the root processes
+//!   the messages serially and can continue only after the last one.
+//! * `barrier()` — all clocks jump to the maximum (plus one latency per rank
+//!   pair handled by the caller if desired; the simple max is enough for the
+//!   bulk-synchronous strategies here).
+
+use crate::machine::{ComputeModel, Workload};
+use crate::network::NetworkModel;
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of ranks (processes). The paper uses 2–5 on an 8-node cluster.
+    pub ranks: usize,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Per-node compute model.
+    pub compute: ComputeModel,
+}
+
+impl ClusterConfig {
+    /// The paper's setup: `ranks` Pentium-4 nodes on fast Ethernet.
+    pub fn paper_cluster(ranks: usize) -> Self {
+        ClusterConfig {
+            ranks,
+            network: NetworkModel::fast_ethernet(),
+            compute: ComputeModel::pentium4_2ghz(),
+        }
+    }
+}
+
+/// Aggregate communication statistics of a simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their constituent
+    /// messages).
+    pub messages: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Number of collective operations (broadcasts + gathers + barriers).
+    pub collectives: u64,
+}
+
+/// Per-rank virtual clocks plus communication statistics.
+#[derive(Debug, Clone)]
+pub struct ClusterTimeline {
+    config: ClusterConfig,
+    clocks: Vec<f64>,
+    stats: CommStats,
+}
+
+impl ClusterTimeline {
+    /// Creates a timeline with all clocks at zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.ranks >= 1, "a cluster needs at least one rank");
+        ClusterTimeline {
+            config,
+            clocks: vec![0.0; config.ranks],
+            stats: CommStats::default(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.config.ranks
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn time(&self, rank: usize) -> f64 {
+        self.clocks[rank]
+    }
+
+    /// Largest clock — the modeled runtime of the execution so far.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Communication statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Charges computation `workload` to `rank`.
+    pub fn charge_compute(&mut self, rank: usize, workload: &Workload) {
+        self.clocks[rank] += self.config.compute.seconds(workload);
+    }
+
+    /// Charges raw seconds to `rank` (for costs outside the work-unit model).
+    pub fn charge_seconds(&mut self, rank: usize, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot charge negative time");
+        self.clocks[rank] += seconds;
+    }
+
+    /// Point-to-point message of `bytes` from `from` to `to`. The receiver
+    /// cannot have the data earlier than the sender finished sending it.
+    pub fn send(&mut self, from: usize, to: usize, bytes: u64) {
+        if from == to {
+            return;
+        }
+        let t = self.config.network.message_time(bytes);
+        self.clocks[from] += t;
+        self.clocks[to] = self.clocks[to].max(self.clocks[from]);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+    }
+
+    /// Linear broadcast of `bytes` from `root` to every other rank.
+    pub fn broadcast(&mut self, root: usize, bytes: u64) {
+        let t = self.config.network.message_time(bytes);
+        let mut root_clock = self.clocks[root];
+        for rank in 0..self.config.ranks {
+            if rank == root {
+                continue;
+            }
+            root_clock += t;
+            self.clocks[rank] = self.clocks[rank].max(root_clock);
+            self.stats.messages += 1;
+            self.stats.bytes += bytes;
+        }
+        self.clocks[root] = root_clock;
+        self.stats.collectives += 1;
+    }
+
+    /// Binomial-tree broadcast of `bytes` from `root` to every other rank, as
+    /// implemented by `MPI_Bcast` in MPICH 1.x: the number of communication
+    /// rounds is `ceil(log2(ranks))` and every rank has the data after the
+    /// last round it participates in. For simplicity all non-root ranks are
+    /// charged the full tree depth (the difference to an exact per-rank
+    /// schedule is under one message time).
+    pub fn broadcast_tree(&mut self, root: usize, bytes: u64) {
+        let ranks = self.config.ranks;
+        if ranks <= 1 {
+            self.stats.collectives += 1;
+            return;
+        }
+        let rounds = (ranks as f64).log2().ceil() as u64;
+        let t = self.config.network.message_time(bytes) * rounds as f64;
+        let finish = self.clocks[root] + t;
+        for rank in 0..ranks {
+            self.clocks[rank] = self.clocks[rank].max(finish);
+        }
+        self.stats.messages += (ranks - 1) as u64;
+        self.stats.bytes += bytes * (ranks - 1) as u64;
+        self.stats.collectives += 1;
+    }
+
+    /// Linear gather into `root`; `bytes_per_rank[r]` is the payload sent by
+    /// rank `r` (the root's own entry is ignored).
+    pub fn gather(&mut self, root: usize, bytes_per_rank: &[u64]) {
+        assert_eq!(bytes_per_rank.len(), self.config.ranks);
+        let mut root_clock = self.clocks[root];
+        for rank in 0..self.config.ranks {
+            if rank == root {
+                continue;
+            }
+            let t = self.config.network.message_time(bytes_per_rank[rank]);
+            // The root can start receiving this peer's data only once both
+            // the peer has reached its send point and the root has finished
+            // with the previous peer.
+            root_clock = root_clock.max(self.clocks[rank]) + t;
+            self.stats.messages += 1;
+            self.stats.bytes += bytes_per_rank[rank];
+        }
+        self.clocks[root] = root_clock;
+        self.stats.collectives += 1;
+    }
+
+    /// Synchronises every rank at the current maximum clock.
+    pub fn barrier(&mut self) {
+        let max = self.makespan();
+        for c in &mut self.clocks {
+            *c = max;
+        }
+        self.stats.collectives += 1;
+    }
+
+    /// Speed-up of this modeled run versus a reference serial time.
+    pub fn speedup_versus(&self, serial_seconds: f64) -> f64 {
+        if self.makespan() <= 0.0 {
+            return 0.0;
+        }
+        serial_seconds / self.makespan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(ranks: usize) -> ClusterTimeline {
+        ClusterTimeline::new(ClusterConfig {
+            ranks,
+            network: NetworkModel {
+                latency: 1e-3,
+                bandwidth: 1e6,
+            },
+            compute: ComputeModel {
+                seconds_per_net_evaluation: 1e-6,
+                seconds_per_misc_operation: 1e-7,
+            },
+        })
+    }
+
+    #[test]
+    fn compute_charges_advance_only_that_rank() {
+        let mut t = cluster(3);
+        t.charge_compute(1, &Workload::net_evals(1000));
+        assert_eq!(t.time(0), 0.0);
+        assert!((t.time(1) - 1e-3).abs() < 1e-12);
+        assert_eq!(t.time(2), 0.0);
+        assert!((t.makespan() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_orders_receiver_after_sender() {
+        let mut t = cluster(2);
+        t.charge_seconds(0, 5.0);
+        t.send(0, 1, 1000);
+        // message time = 1e-3 + 1000/1e6 = 2e-3
+        assert!((t.time(0) - 5.002).abs() < 1e-9);
+        assert!((t.time(1) - 5.002).abs() < 1e-9);
+        let stats = t.stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.bytes, 1000);
+    }
+
+    #[test]
+    fn send_to_self_is_free() {
+        let mut t = cluster(2);
+        t.send(0, 0, 1_000_000);
+        assert_eq!(t.time(0), 0.0);
+        assert_eq!(t.stats().messages, 0);
+    }
+
+    #[test]
+    fn receiver_already_ahead_is_not_pulled_back() {
+        let mut t = cluster(2);
+        t.charge_seconds(1, 100.0);
+        t.send(0, 1, 1000);
+        assert!((t.time(1) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_linear_in_ranks() {
+        let mut t4 = cluster(4);
+        t4.broadcast(0, 1000);
+        // root pays 3 message times, last peer receives at the root's final time
+        assert!((t4.time(0) - 3.0 * 0.002).abs() < 1e-9);
+        assert!((t4.time(3) - 3.0 * 0.002).abs() < 1e-9);
+        assert!((t4.time(1) - 0.002).abs() < 1e-9);
+        assert_eq!(t4.stats().messages, 3);
+        assert_eq!(t4.stats().collectives, 1);
+    }
+
+    #[test]
+    fn tree_broadcast_costs_log_rounds() {
+        let mut t2 = cluster(2);
+        t2.broadcast_tree(0, 1000);
+        assert!((t2.makespan() - 0.002).abs() < 1e-9);
+        let mut t8 = cluster(8);
+        t8.broadcast_tree(0, 1000);
+        assert!((t8.makespan() - 3.0 * 0.002).abs() < 1e-9);
+        assert_eq!(t8.stats().messages, 7);
+        // tree broadcast is never slower than the linear one
+        let mut lin = cluster(8);
+        lin.broadcast(0, 1000);
+        assert!(t8.makespan() <= lin.makespan() + 1e-12);
+        // single-rank broadcast is free
+        let mut t1 = cluster(1);
+        t1.broadcast_tree(0, 1000);
+        assert_eq!(t1.makespan(), 0.0);
+    }
+
+    #[test]
+    fn gather_waits_for_the_slowest_peer() {
+        let mut t = cluster(3);
+        t.charge_seconds(2, 10.0);
+        t.gather(0, &[0, 500, 500]);
+        // root receives rank 1 first (finishes at 0 + 1.5e-3), then must wait
+        // for rank 2 at 10.0 and pays another 1.5e-3.
+        assert!((t.time(0) - (10.0 + 0.0015)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let mut t = cluster(4);
+        t.charge_seconds(2, 7.0);
+        t.barrier();
+        for r in 0..4 {
+            assert!((t.time(r) - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_to_serial_time() {
+        let mut t = cluster(2);
+        t.charge_seconds(0, 25.0);
+        assert!((t.speedup_versus(100.0) - 4.0).abs() < 1e-12);
+        let empty = cluster(2);
+        assert_eq!(empty.speedup_versus(100.0), 0.0);
+    }
+
+    #[test]
+    fn a_bsp_iteration_with_communication_is_slower_than_without() {
+        // Emulates one Type-I-style iteration: broadcast placement, each rank
+        // computes a partition of the goodness work, gather results. With a
+        // slow network the makespan exceeds the serial compute time of the
+        // same total work, reproducing the paper's negative Type I result.
+        let total_work = 200_000u64; // net evals for the whole evaluation step
+        let placement_bytes = 8 * 600u64;
+        let goodness_bytes = 8 * 600u64;
+
+        let mut serial = cluster(1);
+        serial.charge_compute(0, &Workload::net_evals(total_work));
+        let serial_time = serial.makespan();
+
+        let ranks = 4;
+        let mut par = cluster(ranks);
+        par.broadcast(0, placement_bytes);
+        for r in 0..ranks {
+            par.charge_compute(r, &Workload::net_evals(total_work / ranks as u64));
+        }
+        let per_rank = vec![goodness_bytes; ranks];
+        par.gather(0, &per_rank);
+
+        // With this deliberately slow network (1 ms latency) communication
+        // dominates the 50 ms of distributed work.
+        assert!(par.makespan() > serial_time / ranks as f64);
+        assert!(par.stats().messages as usize == 2 * (ranks - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_cluster_is_rejected() {
+        let _ = ClusterTimeline::new(ClusterConfig {
+            ranks: 0,
+            network: NetworkModel::fast_ethernet(),
+            compute: ComputeModel::default(),
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared move set and result type for the baseline heuristics.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vlsi_netlist::CellId;
+use vlsi_place::cost::CostBreakdown;
+use vlsi_place::layout::{Placement, Slot};
+
+/// The two classical standard-cell placement moves used by SA, GA mutation
+/// and TS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MoveKind {
+    /// Swap the slots of two cells.
+    Swap(CellId, CellId),
+    /// Move one cell to a new slot.
+    Relocate(CellId, Slot),
+}
+
+/// Draws a random neighbourhood move for `placement`.
+pub fn neighbour_move<R: Rng + ?Sized>(placement: &Placement, rng: &mut R) -> MoveKind {
+    let n = placement.num_cells();
+    let a = CellId::from(rng.gen_range(0..n));
+    if rng.gen_bool(0.5) {
+        let mut b = CellId::from(rng.gen_range(0..n));
+        while b == a && n > 1 {
+            b = CellId::from(rng.gen_range(0..n));
+        }
+        MoveKind::Swap(a, b)
+    } else {
+        let row = rng.gen_range(0..placement.num_rows());
+        let index = rng.gen_range(0..placement.slots_in_row(row));
+        MoveKind::Relocate(a, Slot { row, index })
+    }
+}
+
+/// Applies `mv` to `placement`, returning an undo move that restores the
+/// previous state when applied.
+pub fn apply_move(placement: &mut Placement, mv: MoveKind) -> MoveKind {
+    match mv {
+        MoveKind::Swap(a, b) => {
+            placement.swap_cells(a, b);
+            MoveKind::Swap(a, b)
+        }
+        MoveKind::Relocate(cell, slot) => {
+            let undo = MoveKind::Relocate(cell, placement.slot_of(cell));
+            placement.move_cell(cell, slot);
+            undo
+        }
+    }
+}
+
+/// Result of running one of the baseline heuristics.
+#[derive(Debug, Clone)]
+pub struct HeuristicResult {
+    /// The best placement found.
+    pub best_placement: Placement,
+    /// Cost breakdown of the best placement.
+    pub best_cost: CostBreakdown,
+    /// Number of cost evaluations performed (the classical effort measure
+    /// for move-based heuristics).
+    pub evaluations: usize,
+    /// Best quality after every iteration / generation.
+    pub mu_history: Vec<f64>,
+}
+
+impl HeuristicResult {
+    /// Best quality reached.
+    pub fn best_mu(&self) -> f64 {
+        self.best_cost.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+
+    fn placement() -> (vlsi_netlist::Netlist, Placement) {
+        let nl = CircuitGenerator::new(GeneratorConfig::sized("mh_common", 100, 3)).generate();
+        let p = Placement::round_robin(&nl, 6);
+        (nl, p)
+    }
+
+    #[test]
+    fn moves_preserve_legality() {
+        let (nl, mut p) = placement();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let mv = neighbour_move(&p, &mut rng);
+            apply_move(&mut p, mv);
+            p.validate(&nl).unwrap();
+        }
+    }
+
+    #[test]
+    fn relocate_undo_restores_the_slot() {
+        let (nl, mut p) = placement();
+        let cell = CellId(5);
+        let before = p.slot_of(cell);
+        let undo = apply_move(&mut p, MoveKind::Relocate(cell, Slot { row: 3, index: 0 }));
+        assert_eq!(p.row_of(cell), 3);
+        apply_move(&mut p, undo);
+        p.validate(&nl).unwrap();
+        assert_eq!(p.slot_of(cell).row, before.row);
+    }
+
+    #[test]
+    fn swap_undo_is_the_same_swap() {
+        let (nl, mut p) = placement();
+        let (a, b) = (CellId(1), CellId(60));
+        let rows_before = (p.row_of(a), p.row_of(b));
+        let undo = apply_move(&mut p, MoveKind::Swap(a, b));
+        apply_move(&mut p, undo);
+        p.validate(&nl).unwrap();
+        assert_eq!((p.row_of(a), p.row_of(b)), rows_before);
+    }
+
+    #[test]
+    fn random_moves_cover_both_kinds() {
+        let (_nl, p) = placement();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut swaps = 0;
+        let mut relocs = 0;
+        for _ in 0..300 {
+            match neighbour_move(&p, &mut rng) {
+                MoveKind::Swap(..) => swaps += 1,
+                MoveKind::Relocate(..) => relocs += 1,
+            }
+        }
+        assert!(swaps > 50 && relocs > 50);
+    }
+}

@@ -1,0 +1,38 @@
+//! # metaheuristics
+//!
+//! Baseline stochastic placers over the same multiobjective cost model as the
+//! SimE engine: Simulated Annealing, a Genetic Algorithm and Tabu Search.
+//!
+//! Section 7 of the paper compares the parallelization behaviour of SimE with
+//! the authors' parallel SA [11], GA [8] and TS [6] implementations for the
+//! same placement problem, observing that cooperative parallel searches suit
+//! SA and GA while a Type I (move-evaluation) parallelization suits TS. This
+//! crate provides serial implementations of those baselines so that the
+//! workspace can (a) sanity-check the SimE quality against well-understood
+//! heuristics and (b) reproduce the qualitative comparison in experiment E5
+//! of `DESIGN.md`.
+//!
+//! All three heuristics share the move set of [`common::neighbour_move`]
+//! (swap two cells or move one cell to another slot) and report the same
+//! fuzzy quality `µ(s)` as the SimE engine, so results are directly
+//! comparable.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod ga;
+pub mod sa;
+pub mod tabu;
+
+pub use common::{HeuristicResult, MoveKind};
+pub use ga::{GaConfig, GeneticPlacer};
+pub use sa::{SaConfig, SimulatedAnnealingPlacer};
+pub use tabu::{TabuConfig, TabuSearchPlacer};
+
+/// Convenience prelude bringing the baseline placers into scope.
+pub mod prelude {
+    pub use crate::common::HeuristicResult;
+    pub use crate::ga::{GaConfig, GeneticPlacer};
+    pub use crate::sa::{SaConfig, SimulatedAnnealingPlacer};
+    pub use crate::tabu::{TabuConfig, TabuSearchPlacer};
+}

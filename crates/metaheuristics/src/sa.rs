@@ -1,0 +1,168 @@
+//! Simulated Annealing baseline placer.
+//!
+//! A classical geometric-cooling SA over the swap/relocate move set, accepting
+//! uphill moves with probability `exp(−Δ/T)` where the energy is `1 − µ(s)`
+//! (so maximising the fuzzy quality). This mirrors the authors' serial SA
+//! implementation lineage [11] closely enough for the qualitative comparison
+//! of experiment E5.
+
+use crate::common::{apply_move, neighbour_move, HeuristicResult};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use vlsi_place::cost::CostEvaluator;
+use vlsi_place::layout::Placement;
+
+/// Simulated Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Initial temperature (in units of the energy `1 − µ`).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per temperature step, in (0, 1).
+    pub cooling: f64,
+    /// Moves attempted at each temperature.
+    pub moves_per_temperature: usize,
+    /// Number of temperature steps.
+    pub temperature_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temperature: 0.05,
+            cooling: 0.95,
+            moves_per_temperature: 200,
+            temperature_steps: 60,
+            seed: 1,
+        }
+    }
+}
+
+impl SaConfig {
+    /// A small configuration for tests.
+    pub fn fast(seed: u64) -> Self {
+        SaConfig {
+            moves_per_temperature: 40,
+            temperature_steps: 15,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Simulated Annealing placer over a shared [`CostEvaluator`].
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealingPlacer {
+    evaluator: CostEvaluator,
+    config: SaConfig,
+}
+
+impl SimulatedAnnealingPlacer {
+    /// Creates a placer.
+    pub fn new(evaluator: CostEvaluator, config: SaConfig) -> Self {
+        SimulatedAnnealingPlacer { evaluator, config }
+    }
+
+    /// Runs SA from the given initial placement.
+    pub fn run(&self, initial: Placement) -> HeuristicResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut placement = initial;
+        let mut current = self.evaluator.evaluate(&placement);
+        let mut best = current;
+        let mut best_placement = placement.clone();
+        let mut evaluations = 1usize;
+        let mut mu_history = Vec::with_capacity(self.config.temperature_steps);
+
+        let mut temperature = self.config.initial_temperature;
+        for _ in 0..self.config.temperature_steps {
+            for _ in 0..self.config.moves_per_temperature {
+                let mv = neighbour_move(&placement, &mut rng);
+                let undo = apply_move(&mut placement, mv);
+                let candidate = self.evaluator.evaluate(&placement);
+                evaluations += 1;
+                let delta = (1.0 - candidate.mu) - (1.0 - current.mu);
+                let accept = delta <= 0.0
+                    || rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp();
+                if accept {
+                    current = candidate;
+                    if current.mu > best.mu {
+                        best = current;
+                        best_placement = placement.clone();
+                    }
+                } else {
+                    apply_move(&mut placement, undo);
+                }
+            }
+            mu_history.push(best.mu);
+            temperature *= self.config.cooling;
+        }
+
+        HeuristicResult {
+            best_placement,
+            best_cost: best,
+            evaluations,
+            mu_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+    use vlsi_place::cost::Objectives;
+
+    fn setup() -> (CostEvaluator, Placement) {
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("sa_test", 110, 5)).generate(),
+        );
+        let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
+        let p = Placement::round_robin(&nl, 6);
+        (eval, p)
+    }
+
+    #[test]
+    fn sa_improves_or_preserves_quality() {
+        let (eval, p) = setup();
+        let initial_mu = eval.mu(&p);
+        let placer = SimulatedAnnealingPlacer::new(eval.clone(), SaConfig::fast(3));
+        let result = placer.run(p);
+        assert!(result.best_mu() + 1e-12 >= initial_mu);
+        result
+            .best_placement
+            .validate(eval.netlist())
+            .unwrap();
+    }
+
+    #[test]
+    fn sa_is_deterministic_per_seed() {
+        let (eval, p) = setup();
+        let a = SimulatedAnnealingPlacer::new(eval.clone(), SaConfig::fast(7)).run(p.clone());
+        let b = SimulatedAnnealingPlacer::new(eval, SaConfig::fast(7)).run(p);
+        assert_eq!(a.best_cost.mu, b.best_cost.mu);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn best_mu_history_is_monotone() {
+        let (eval, p) = setup();
+        let result = SimulatedAnnealingPlacer::new(eval, SaConfig::fast(9)).run(p);
+        let mut last = 0.0;
+        for &mu in &result.mu_history {
+            assert!(mu + 1e-12 >= last);
+            last = mu;
+        }
+        assert_eq!(result.mu_history.len(), SaConfig::fast(9).temperature_steps);
+    }
+
+    #[test]
+    fn reported_best_cost_matches_best_placement() {
+        let (eval, p) = setup();
+        let result = SimulatedAnnealingPlacer::new(eval.clone(), SaConfig::fast(11)).run(p);
+        let re = eval.evaluate(&result.best_placement);
+        assert!((re.mu - result.best_cost.mu).abs() < 1e-12);
+    }
+}

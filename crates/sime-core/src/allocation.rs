@@ -1,0 +1,551 @@
+//! The SimE Allocation operator.
+//!
+//! Allocation takes the selection set `S` and the partial solution `Φp`
+//! (the placement with the selected cells ripped up) and re-inserts each
+//! selected cell, trying to improve the solution without being too greedy
+//! (Section 3). The paper uses the *sorted individual best fit* method:
+//! the selected cells are sorted and each is placed, one at a time, at the
+//! trial slot with the lowest cost over its incident nets.
+//!
+//! Profiling in Section 4 of the paper attributes ~98 % of the serial runtime
+//! to this operator, because every cell examines every insertion slot of the
+//! layout (each of which requires re-estimating the lengths of the cell's
+//! nets). That observation drives all three parallelization strategies, so
+//! this module reports detailed work counts ([`AllocationStats`]) that the
+//! cluster simulation uses to charge virtual compute time.
+//!
+//! Besides best fit, a first-fit and a random-window variant are provided for
+//! the ablation study (experiment E6 in `DESIGN.md`) and as building blocks
+//! for the search-diversification ideas discussed in Section 7 of the paper.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vlsi_netlist::CellId;
+use vlsi_place::cost::CostEvaluator;
+use vlsi_place::layout::{Placement, Slot};
+
+/// Which allocation method re-inserts the selected cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationStrategy {
+    /// The paper's method, as used for the reproduced experiments: compute
+    /// the cell's *optimal* position (median of its connected cells), then
+    /// examine a bounded window of candidate slots around it and take the
+    /// best. The window keeps the per-cell allocation cost independent of the
+    /// layout size, which is what makes the paper's Type II per-iteration
+    /// speed-up roughly proportional to the processor count.
+    WindowedBestFit,
+    /// Exhaustive best fit: examine every candidate slot in every allowed row
+    /// and take the best (the most greedy and most expensive variant; kept
+    /// for the allocation ablation).
+    SortedBestFit,
+    /// Take the first slot that improves on the cell's previous cost; fall
+    /// back to the best seen if none improves.
+    FirstFit,
+    /// Examine a bounded random sample of slots and take the best of those.
+    RandomWindow,
+}
+
+impl Default for AllocationStrategy {
+    fn default() -> Self {
+        AllocationStrategy::WindowedBestFit
+    }
+}
+
+/// Configuration of the allocation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationConfig {
+    /// Allocation method.
+    pub strategy: AllocationStrategy,
+    /// Examine only every `trial_stride`-th insertion index within a row
+    /// (1 = every slot). Applies to the exhaustive strategies; larger strides
+    /// trade fidelity for speed and are used by the fast test configurations.
+    pub trial_stride: usize,
+    /// Number of random slots examined by [`AllocationStrategy::RandomWindow`].
+    pub random_window: usize,
+    /// Maximum number of candidate slots examined by
+    /// [`AllocationStrategy::WindowedBestFit`] (spread over the rows nearest
+    /// the cell's optimal row).
+    pub best_fit_window: usize,
+    /// Number of rows (centred on the optimal row) considered by
+    /// [`AllocationStrategy::WindowedBestFit`].
+    pub best_fit_rows: usize,
+}
+
+impl Default for AllocationConfig {
+    fn default() -> Self {
+        AllocationConfig {
+            strategy: AllocationStrategy::WindowedBestFit,
+            trial_stride: 1,
+            random_window: 32,
+            best_fit_window: 48,
+            best_fit_rows: 3,
+        }
+    }
+}
+
+impl AllocationConfig {
+    /// The exhaustive best-fit configuration (every slot of every allowed
+    /// row), used by the allocation ablation.
+    pub fn exhaustive() -> Self {
+        AllocationConfig {
+            strategy: AllocationStrategy::SortedBestFit,
+            ..Default::default()
+        }
+    }
+}
+
+/// Work performed by one allocation call; the cluster simulation charges
+/// virtual compute time proportional to `net_evaluations`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationStats {
+    /// Number of cells re-inserted.
+    pub cells_allocated: usize,
+    /// Number of candidate slots examined.
+    pub trial_positions: usize,
+    /// Number of per-net length estimations performed while scoring slots.
+    pub net_evaluations: usize,
+}
+
+impl AllocationStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &AllocationStats) {
+        self.cells_allocated += other.cells_allocated;
+        self.trial_positions += other.trial_positions;
+        self.net_evaluations += other.net_evaluations;
+    }
+}
+
+/// Sorts the selection set for allocation: cells with the lowest goodness
+/// (i.e. the worst placed) are allocated first, ties broken by cell id for
+/// determinism. This is the "sorted" part of sorted individual best fit.
+pub fn sort_selection(selected: &mut [CellId], goodness: &[f64]) {
+    selected.sort_by(|&a, &b| {
+        goodness[a.index()]
+            .partial_cmp(&goodness[b.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// Re-inserts the already-removed cell `cell` into `placement` at the slot
+/// chosen by the configured strategy, restricted to `allowed_rows` (all rows
+/// when empty). Returns the number of slots examined and net evaluations
+/// performed.
+///
+/// The caller is responsible for having removed `cell` from the placement
+/// (allocation operates on the partial solution `Φp`).
+pub fn allocate_cell<R: Rng + ?Sized>(
+    evaluator: &CostEvaluator,
+    placement: &mut Placement,
+    cell: CellId,
+    config: &AllocationConfig,
+    allowed_rows: &[usize],
+    rng: &mut R,
+) -> AllocationStats {
+    let nets_of_cell = evaluator.netlist().nets_of_cell(cell).count();
+    let stride = config.trial_stride.max(1);
+
+    let rows: Vec<usize> = if allowed_rows.is_empty() {
+        (0..placement.num_rows()).collect()
+    } else {
+        allowed_rows.to_vec()
+    };
+
+    // Enumerate candidate slots according to the strategy.
+    let mut candidates: Vec<Slot> = Vec::new();
+    if config.strategy == AllocationStrategy::WindowedBestFit {
+        candidates = windowed_candidates(evaluator, placement, cell, config, &rows);
+    } else {
+        for &row in &rows {
+            let slots = placement.slots_in_row(row);
+            let mut index = 0;
+            while index < slots {
+                candidates.push(Slot { row, index });
+                index += stride;
+            }
+            // Always consider appending at the end of the row.
+            if (slots - 1) % stride != 0 {
+                candidates.push(Slot {
+                    row,
+                    index: slots - 1,
+                });
+            }
+        }
+        if config.strategy == AllocationStrategy::RandomWindow
+            && candidates.len() > config.random_window
+        {
+            candidates.shuffle(rng);
+            candidates.truncate(config.random_window.max(1));
+        }
+    }
+
+    let mut stats = AllocationStats {
+        cells_allocated: 1,
+        trial_positions: 0,
+        net_evaluations: 0,
+    };
+
+    let mut best_slot = None;
+    let mut best_score = f64::INFINITY;
+    for slot in candidates {
+        let pos = placement.trial_position(cell, slot);
+        let cost = evaluator.cell_cost_at(placement, cell, pos);
+        let score = evaluator.allocation_score(&cost);
+        stats.trial_positions += 1;
+        stats.net_evaluations += nets_of_cell;
+        let better = score < best_score;
+        if better {
+            best_score = score;
+            best_slot = Some(slot);
+        }
+        if config.strategy == AllocationStrategy::FirstFit && better && stats.trial_positions > 1 {
+            // First fit: stop at the first slot that beats the initial one.
+            break;
+        }
+    }
+
+    let slot = best_slot.unwrap_or(Slot {
+        row: rows[0],
+        index: 0,
+    });
+    placement.insert_cell(cell, slot);
+    stats
+}
+
+/// Candidate slots for [`AllocationStrategy::WindowedBestFit`]: the cell's
+/// optimal position is the median of the positions of the other cells it
+/// connects to; candidates are the insertion indices closest to that x
+/// coordinate in the allowed rows closest to the optimal row, capped at
+/// `config.best_fit_window` slots in total.
+fn windowed_candidates(
+    evaluator: &CostEvaluator,
+    placement: &Placement,
+    cell: CellId,
+    config: &AllocationConfig,
+    rows: &[usize],
+) -> Vec<Slot> {
+    let netlist = evaluator.netlist();
+
+    // Optimal position: median of connected-cell coordinates.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for net in netlist.nets_of_cell(cell) {
+        for &other in evaluator.net_cells(net) {
+            if other == cell {
+                continue;
+            }
+            let (x, y) = placement.position(other);
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    let (opt_x, opt_y) = if xs.is_empty() {
+        placement.position(cell)
+    } else {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (xs[xs.len() / 2], ys[ys.len() / 2])
+    };
+
+    // Rows nearest the optimal y, limited to `best_fit_rows`.
+    let mut rows_by_distance: Vec<usize> = rows.to_vec();
+    rows_by_distance.sort_by(|&a, &b| {
+        let da = ((a as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
+        let db = ((b as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
+        da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
+    });
+    rows_by_distance.truncate(config.best_fit_rows.max(1));
+
+    let per_row = (config.best_fit_window.max(1) / rows_by_distance.len()).max(1);
+    let mut candidates = Vec::with_capacity(config.best_fit_window + rows_by_distance.len());
+    for &row in &rows_by_distance {
+        let cells_in_row = placement.row(row);
+        // Find the insertion index whose left edge is closest to opt_x by a
+        // linear scan over the row's cached coordinates (cheap: no net
+        // evaluations are involved).
+        let mut best_index = cells_in_row.len();
+        let mut best_dist = f64::INFINITY;
+        let mut x = 0.0;
+        for (i, &c) in cells_in_row.iter().enumerate() {
+            let d = (x - opt_x).abs();
+            if d < best_dist {
+                best_dist = d;
+                best_index = i;
+            }
+            x += netlist.cell(c).width as f64;
+        }
+        if (x - opt_x).abs() < best_dist {
+            best_index = cells_in_row.len();
+        }
+        // Take indices around the best one.
+        let half = per_row / 2;
+        let lo = best_index.saturating_sub(half);
+        let hi = (best_index + half.max(1)).min(cells_in_row.len());
+        for index in lo..=hi {
+            candidates.push(Slot { row, index });
+        }
+    }
+    candidates.truncate(config.best_fit_window.max(1));
+    candidates
+}
+
+/// Row height re-exported for the windowed candidate search (kept here so the
+/// allocation module does not depend on layout internals beyond the public
+/// constant).
+#[inline]
+pub(crate) fn row_height() -> f64 {
+    vlsi_place::layout::ROW_HEIGHT
+}
+
+/// Runs the full allocation step: sorts `selected`, removes every selected
+/// cell from the placement, and re-inserts them one at a time with
+/// [`allocate_cell`]. `allowed_rows` restricts the target rows (used by the
+/// Type II row decomposition); pass an empty slice to allow every row.
+pub fn allocate_all<R: Rng + ?Sized>(
+    evaluator: &CostEvaluator,
+    placement: &mut Placement,
+    selected: &mut Vec<CellId>,
+    goodness: &[f64],
+    config: &AllocationConfig,
+    allowed_rows: &[usize],
+    rng: &mut R,
+) -> AllocationStats {
+    sort_selection(selected, goodness);
+    // Rip up all selected cells first: allocation operates on the partial
+    // solution, exactly as in Figure 1 of the paper.
+    for &cell in selected.iter() {
+        placement.remove_cell(cell);
+    }
+    let mut stats = AllocationStats::default();
+    for &cell in selected.iter() {
+        let s = allocate_cell(evaluator, placement, cell, config, allowed_rows, rng);
+        stats.merge(&s);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+    use vlsi_place::cost::Objectives;
+    use vlsi_place::goodness::GoodnessEvaluator;
+
+    fn setup() -> (CostEvaluator, GoodnessEvaluator, Placement) {
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("alloc_test", 140, 17)).generate(),
+        );
+        let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
+        let placement = Placement::round_robin(&nl, 8);
+        (eval.clone(), GoodnessEvaluator::new(eval), placement)
+    }
+
+    #[test]
+    fn sort_selection_puts_worst_cells_first() {
+        let goodness = vec![0.9, 0.1, 0.5, 0.1];
+        let mut selected = vec![CellId(0), CellId(2), CellId(3), CellId(1)];
+        sort_selection(&mut selected, &goodness);
+        assert_eq!(selected, vec![CellId(1), CellId(3), CellId(2), CellId(0)]);
+    }
+
+    #[test]
+    fn allocation_preserves_placement_legality() {
+        let (eval, ge, mut placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let mut selected: Vec<CellId> = nl.cell_ids().take(30).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        allocate_all(
+            &eval,
+            &mut placement,
+            &mut selected,
+            &goodness,
+            &AllocationConfig::default(),
+            &[],
+            &mut rng,
+        );
+        placement.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn best_fit_does_not_worsen_a_single_cell_much() {
+        // Re-allocating a single cell with best fit keeps the cost of its
+        // incident nets within a small tolerance of its previous cost: its
+        // previous slot is among the candidates, and the trial estimate can
+        // differ from the realised cost only by the row shift caused by the
+        // cell's own width (other cells in the target row slide by at most
+        // the cell width when it is inserted).
+        let (eval, _, mut placement) = setup();
+        let nl = eval.netlist().clone();
+        let cell = nl
+            .cell_ids()
+            .find(|&c| nl.nets_of_cell(c).count() >= 2)
+            .unwrap();
+        let before = eval.allocation_score(&eval.cell_cost(&placement, cell));
+        let slack = nl.cell(cell).width as f64 * 2.0 * nl.nets_of_cell(cell).count() as f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        placement.remove_cell(cell);
+        allocate_cell(
+            &eval,
+            &mut placement,
+            cell,
+            &AllocationConfig::exhaustive(),
+            &[],
+            &mut rng,
+        );
+        let after = eval.allocation_score(&eval.cell_cost(&placement, cell));
+        assert!(
+            after <= before + slack,
+            "best fit must not noticeably worsen the cell: before {before}, after {after}"
+        );
+        placement.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn allocation_respects_allowed_rows() {
+        let (eval, ge, mut placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let mut selected: Vec<CellId> = nl.cell_ids().take(40).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let allowed = vec![2usize, 3];
+        allocate_all(
+            &eval,
+            &mut placement,
+            &mut selected,
+            &goodness,
+            &AllocationConfig::default(),
+            &allowed,
+            &mut rng,
+        );
+        placement.validate(&nl).unwrap();
+        for cell in nl.cell_ids().take(40) {
+            assert!(
+                allowed.contains(&placement.row_of(cell)),
+                "cell {cell} ended in row {}",
+                placement.row_of(cell)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (eval, ge, mut placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let mut selected: Vec<CellId> = nl.cell_ids().take(10).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let stats = allocate_all(
+            &eval,
+            &mut placement,
+            &mut selected,
+            &goodness,
+            &AllocationConfig::default(),
+            &[],
+            &mut rng,
+        );
+        assert_eq!(stats.cells_allocated, 10);
+        assert!(stats.trial_positions >= 10 * placement.num_rows());
+        assert!(stats.net_evaluations >= stats.trial_positions);
+    }
+
+    #[test]
+    fn stride_reduces_trial_positions() {
+        let (eval, ge, placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let run = |stride: usize| {
+            let mut p = placement.clone();
+            let mut selected: Vec<CellId> = nl.cell_ids().take(20).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            allocate_all(
+                &eval,
+                &mut p,
+                &mut selected,
+                &goodness,
+                &AllocationConfig {
+                    strategy: AllocationStrategy::SortedBestFit,
+                    trial_stride: stride,
+                    ..Default::default()
+                },
+                &[],
+                &mut rng,
+            )
+        };
+        let full = run(1);
+        let strided = run(4);
+        assert!(strided.trial_positions < full.trial_positions / 2);
+    }
+
+    #[test]
+    fn random_window_bounds_work() {
+        let (eval, ge, mut placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let mut selected: Vec<CellId> = nl.cell_ids().take(15).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let stats = allocate_all(
+            &eval,
+            &mut placement,
+            &mut selected,
+            &goodness,
+            &AllocationConfig {
+                strategy: AllocationStrategy::RandomWindow,
+                random_window: 8,
+                ..Default::default()
+            },
+            &[],
+            &mut rng,
+        );
+        assert!(stats.trial_positions <= 15 * 8);
+        placement.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn first_fit_examines_no_more_slots_than_best_fit() {
+        let (eval, ge, placement) = setup();
+        let nl = eval.netlist().clone();
+        let goodness = ge.all_goodness(&placement);
+        let run = |strategy: AllocationStrategy| {
+            let mut p = placement.clone();
+            let mut selected: Vec<CellId> = nl.cell_ids().take(25).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            allocate_all(
+                &eval,
+                &mut p,
+                &mut selected,
+                &goodness,
+                &AllocationConfig {
+                    strategy,
+                    ..Default::default()
+                },
+                &[],
+                &mut rng,
+            )
+        };
+        let best = run(AllocationStrategy::SortedBestFit);
+        let first = run(AllocationStrategy::FirstFit);
+        assert!(first.trial_positions <= best.trial_positions);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AllocationStats {
+            cells_allocated: 1,
+            trial_positions: 10,
+            net_evaluations: 30,
+        };
+        a.merge(&AllocationStats {
+            cells_allocated: 2,
+            trial_positions: 5,
+            net_evaluations: 15,
+        });
+        assert_eq!(a.cells_allocated, 3);
+        assert_eq!(a.trial_positions, 15);
+        assert_eq!(a.net_evaluations, 45);
+    }
+}

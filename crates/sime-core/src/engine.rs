@@ -1,0 +1,489 @@
+//! The SimE main loop (Figure 1 of the paper).
+
+use crate::allocation::{allocate_all, AllocationConfig, AllocationStats};
+use crate::profile::{Phase, ProfileReport};
+use crate::selection::{select, SelectionScheme};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+use vlsi_netlist::{CellId, Netlist};
+use vlsi_place::cost::{CostBreakdown, CostEvaluator, Objectives};
+use vlsi_place::goodness::GoodnessEvaluator;
+use vlsi_place::layout::Placement;
+
+/// When the SimE loop stops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoppingCriteria {
+    /// Hard iteration limit.
+    pub max_iterations: usize,
+    /// Stop early when the best quality has not improved for this many
+    /// consecutive iterations (`None` disables the check).
+    pub stall_iterations: Option<usize>,
+    /// Stop early when the average goodness reaches this value (`None`
+    /// disables the check).
+    pub target_avg_goodness: Option<f64>,
+}
+
+impl StoppingCriteria {
+    /// Run for exactly `n` iterations (the schedule the paper uses for its
+    /// tables, which fixes the iteration count per configuration).
+    pub fn fixed(n: usize) -> Self {
+        StoppingCriteria {
+            max_iterations: n,
+            stall_iterations: None,
+            target_avg_goodness: None,
+        }
+    }
+}
+
+impl Default for StoppingCriteria {
+    fn default() -> Self {
+        StoppingCriteria {
+            max_iterations: 1000,
+            stall_iterations: Some(200),
+            target_avg_goodness: None,
+        }
+    }
+}
+
+/// Configuration of a serial SimE run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimEConfig {
+    /// Objectives of the cost function.
+    pub objectives: Objectives,
+    /// Number of placement rows.
+    pub num_rows: usize,
+    /// Selection scheme (biasless by default, as in the paper).
+    pub selection: SelectionScheme,
+    /// Allocation configuration (sorted individual best fit by default).
+    pub allocation: AllocationConfig,
+    /// Stopping criteria.
+    pub stopping: StoppingCriteria,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl SimEConfig {
+    /// A configuration with the paper's defaults for the given objectives,
+    /// row count and iteration budget.
+    pub fn paper_defaults(objectives: Objectives, num_rows: usize, iterations: usize) -> Self {
+        SimEConfig {
+            objectives,
+            num_rows,
+            selection: SelectionScheme::Biasless,
+            allocation: AllocationConfig::default(),
+            stopping: StoppingCriteria::fixed(iterations),
+            seed: 1,
+        }
+    }
+
+    /// A small/fast configuration for tests: strided allocation and few
+    /// iterations.
+    pub fn fast(objectives: Objectives, num_rows: usize, iterations: usize) -> Self {
+        SimEConfig {
+            objectives,
+            num_rows,
+            selection: SelectionScheme::Biasless,
+            allocation: AllocationConfig {
+                trial_stride: 4,
+                ..Default::default()
+            },
+            stopping: StoppingCriteria::fixed(iterations),
+            seed: 1,
+        }
+    }
+}
+
+/// Statistics of one SimE iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Quality `µ(s)` of the solution after the iteration.
+    pub mu: f64,
+    /// Best quality seen so far in the run.
+    pub best_mu: f64,
+    /// Average combined goodness before the iteration's allocation.
+    pub avg_goodness: f64,
+    /// Size of the selection set.
+    pub selected: usize,
+    /// Cost breakdown after the iteration.
+    pub cost: CostBreakdown,
+    /// Allocation work performed in the iteration.
+    pub allocation: AllocationStats,
+}
+
+/// Result of a SimE run.
+#[derive(Debug, Clone)]
+pub struct SimEResult {
+    /// The best placement found.
+    pub best_placement: Placement,
+    /// Cost breakdown of the best placement.
+    pub best_cost: CostBreakdown,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Per-iteration statistics.
+    pub history: Vec<IterationStats>,
+    /// Operator-level profile of the run.
+    pub profile: ProfileReport,
+}
+
+impl SimEResult {
+    /// Quality `µ(s)` of the best placement.
+    pub fn best_mu(&self) -> f64 {
+        self.best_cost.mu
+    }
+}
+
+/// Serial Simulated Evolution engine.
+///
+/// The engine is deliberately stateless across iterations (the placement is
+/// the only evolving state), so the parallel strategies can reuse
+/// [`SimEEngine::evaluate`], [`SimEEngine::iterate`] and the operators
+/// directly on their own placements.
+#[derive(Debug, Clone)]
+pub struct SimEEngine {
+    evaluator: CostEvaluator,
+    goodness: GoodnessEvaluator,
+    config: SimEConfig,
+    /// Total pin count, used as the goodness-evaluation work estimate.
+    pins: u64,
+}
+
+impl SimEEngine {
+    /// Builds an engine (and its cost/goodness evaluators) for a netlist.
+    pub fn new(netlist: Arc<Netlist>, config: SimEConfig) -> Self {
+        let evaluator = CostEvaluator::new(netlist, config.objectives);
+        Self::from_evaluator(evaluator, config)
+    }
+
+    /// Builds an engine on top of an existing cost evaluator (so several
+    /// engines can share the extracted paths and bounds).
+    pub fn from_evaluator(evaluator: CostEvaluator, config: SimEConfig) -> Self {
+        let pins = evaluator.netlist().stats().pins as u64;
+        let goodness = GoodnessEvaluator::new(evaluator.clone());
+        SimEEngine {
+            evaluator,
+            goodness,
+            config,
+            pins,
+        }
+    }
+
+    /// The cost evaluator.
+    pub fn evaluator(&self) -> &CostEvaluator {
+        &self.evaluator
+    }
+
+    /// The goodness evaluator.
+    pub fn goodness(&self) -> &GoodnessEvaluator {
+        &self.goodness
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SimEConfig {
+        &self.config
+    }
+
+    /// Generates the random initial placement `Φ_initial`.
+    pub fn initial_placement<R: Rng + ?Sized>(&self, rng: &mut R) -> Placement {
+        Placement::random(self.evaluator.netlist(), self.config.num_rows, rng)
+    }
+
+    /// The Evaluation step: per-net lengths and per-cell goodness.
+    ///
+    /// Returns `(net_lengths, goodness)` and charges the cost-calculation and
+    /// goodness-evaluation phases of `profile`.
+    pub fn evaluate(
+        &self,
+        placement: &Placement,
+        profile: &mut ProfileReport,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let t0 = Instant::now();
+        let net_lengths = self.evaluator.net_lengths(placement);
+        profile.add_time(Phase::CostCalculation, t0.elapsed());
+        profile.add_net_evals(Phase::CostCalculation, net_lengths.len() as u64);
+
+        let t1 = Instant::now();
+        let goodness = self.goodness.all_goodness_from_lengths(&net_lengths);
+        profile.add_time(Phase::GoodnessEvaluation, t1.elapsed());
+        profile.add_net_evals(Phase::GoodnessEvaluation, self.pins);
+
+        if self.config.objectives.includes_delay() {
+            let t2 = Instant::now();
+            let _ = self.evaluator.delay_from_lengths(&net_lengths);
+            let path_nets: u64 = self
+                .evaluator
+                .paths()
+                .iter()
+                .map(|p| p.nets.len() as u64)
+                .sum();
+            profile.add_time(Phase::DelayCalculation, t2.elapsed());
+            profile.add_net_evals(Phase::DelayCalculation, path_nets);
+        }
+
+        (net_lengths, goodness)
+    }
+
+    /// Runs one full SimE iteration (Evaluation → Selection → Allocation) on
+    /// `placement`.
+    ///
+    /// `frozen` marks cells that must not be selected and `allowed_rows`
+    /// restricts allocation targets; both are empty for the serial algorithm
+    /// and are used by the Type II row decomposition.
+    pub fn iterate<R: Rng + ?Sized>(
+        &self,
+        placement: &mut Placement,
+        rng: &mut R,
+        profile: &mut ProfileReport,
+        frozen: &[bool],
+        allowed_rows: &[usize],
+    ) -> (f64, usize, AllocationStats) {
+        let (_net_lengths, goodness) = self.evaluate(placement, profile);
+        let avg_goodness =
+            goodness.iter().sum::<f64>() / goodness.len().max(1) as f64;
+
+        let t0 = Instant::now();
+        let mut selected = select(&goodness, self.config.selection, rng, frozen);
+        profile.add_time(Phase::Selection, t0.elapsed());
+
+        let t1 = Instant::now();
+        let alloc_stats = allocate_all(
+            &self.evaluator,
+            placement,
+            &mut selected,
+            &goodness,
+            &self.config.allocation,
+            allowed_rows,
+            rng,
+        );
+        profile.add_time(Phase::Allocation, t1.elapsed());
+        profile.add_net_evals(Phase::Allocation, alloc_stats.net_evaluations as u64);
+        profile.trial_positions += alloc_stats.trial_positions as u64;
+        profile.iterations += 1;
+
+        (avg_goodness, selected.len(), alloc_stats)
+    }
+
+    /// Runs the full SimE loop from a fresh random initial placement.
+    pub fn run(&self) -> SimEResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let initial = self.initial_placement(&mut rng);
+        self.run_from(initial, &mut rng)
+    }
+
+    /// Runs the full SimE loop from the given initial placement, drawing
+    /// randomness from `rng`.
+    pub fn run_from<R: Rng + ?Sized>(&self, initial: Placement, rng: &mut R) -> SimEResult {
+        let mut placement = initial;
+        let mut profile = ProfileReport::new();
+        let mut history = Vec::new();
+
+        let mut best_placement = placement.clone();
+        let mut best_cost = self.evaluator.evaluate(&placement);
+        let mut stall = 0usize;
+
+        let mut iterations = 0usize;
+        for iteration in 0..self.config.stopping.max_iterations {
+            let (avg_goodness, selected, alloc_stats) =
+                self.iterate(&mut placement, rng, &mut profile, &[], &[]);
+
+            let cost = self.evaluator.evaluate(&placement);
+            if cost.mu > best_cost.mu {
+                best_cost = cost;
+                best_placement = placement.clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            iterations = iteration + 1;
+
+            history.push(IterationStats {
+                iteration,
+                mu: cost.mu,
+                best_mu: best_cost.mu,
+                avg_goodness,
+                selected,
+                cost,
+                allocation: alloc_stats,
+            });
+
+            if let Some(limit) = self.config.stopping.stall_iterations {
+                if stall >= limit {
+                    break;
+                }
+            }
+            if let Some(target) = self.config.stopping.target_avg_goodness {
+                if avg_goodness >= target {
+                    break;
+                }
+            }
+        }
+
+        SimEResult {
+            best_placement,
+            best_cost,
+            iterations,
+            history,
+            profile,
+        }
+    }
+
+    /// Convenience: the frozen-cell mask for "only these cells are mine",
+    /// used by the Type II decomposition.
+    pub fn frozen_mask_from_owned(&self, owned: &[CellId]) -> Vec<bool> {
+        let mut frozen = vec![true; self.evaluator.netlist().num_cells()];
+        for &c in owned {
+            frozen[c.index()] = false;
+        }
+        frozen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+
+    fn netlist(cells: usize, seed: u64) -> Arc<Netlist> {
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("engine_test", cells, seed)).generate())
+    }
+
+    #[test]
+    fn run_improves_quality() {
+        let nl = netlist(150, 5);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 8, 30);
+        let engine = SimEEngine::new(nl, config);
+        let result = engine.run();
+        assert!(!result.history.is_empty());
+        let initial_mu = result.history[0].mu;
+        assert!(
+            result.best_mu() >= initial_mu,
+            "best mu {} must be >= first-iteration mu {}",
+            result.best_mu(),
+            initial_mu
+        );
+        // wirelength of the best-quality placement should not be meaningfully
+        // above the first-iteration wirelength (the objectives are strongly
+        // correlated, so a small tolerance covers trade-offs against power)
+        let first_wl = result.history[0].cost.wirelength;
+        assert!(result.best_cost.wirelength <= first_wl * 1.05);
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let nl = netlist(120, 6);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 6, 10);
+        let a = SimEEngine::new(Arc::clone(&nl), config).run();
+        let b = SimEEngine::new(nl, config).run();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.best_cost.wirelength, b.best_cost.wirelength);
+        assert_eq!(a.best_cost.mu, b.best_cost.mu);
+    }
+
+    #[test]
+    fn best_placement_is_legal_and_matches_reported_cost() {
+        let nl = netlist(130, 7);
+        let config = SimEConfig::fast(Objectives::WirelengthPowerDelay, 7, 15);
+        let engine = SimEEngine::new(Arc::clone(&nl), config);
+        let result = engine.run();
+        result.best_placement.validate(&nl).unwrap();
+        let re = engine.evaluator().evaluate(&result.best_placement);
+        assert!((re.mu - result.best_cost.mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_iteration_schedule_runs_exactly_n_iterations() {
+        let nl = netlist(100, 8);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 6, 12);
+        let result = SimEEngine::new(nl, config).run();
+        assert_eq!(result.iterations, 12);
+        assert_eq!(result.history.len(), 12);
+        assert_eq!(result.profile.iterations, 12);
+    }
+
+    #[test]
+    fn stall_criterion_stops_early() {
+        let nl = netlist(100, 9);
+        let mut config = SimEConfig::fast(Objectives::WirelengthPower, 6, 500);
+        config.stopping.stall_iterations = Some(3);
+        let result = SimEEngine::new(nl, config).run();
+        assert!(result.iterations < 500);
+    }
+
+    #[test]
+    fn allocation_dominates_the_work_profile() {
+        // Reproduces the Section 4 observation in terms of work counts, which
+        // are deterministic (wall-clock fractions depend on the machine).
+        let nl = netlist(200, 10);
+        let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, 8, 5);
+        let result = SimEEngine::new(nl, config).run();
+        let alloc = result.profile.work_fraction(Phase::Allocation);
+        assert!(
+            alloc > 0.85,
+            "allocation should dominate the work profile, got {alloc}"
+        );
+    }
+
+    #[test]
+    fn history_best_mu_is_monotone() {
+        let nl = netlist(120, 11);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 6, 25);
+        let result = SimEEngine::new(nl, config).run();
+        let mut last = 0.0;
+        for h in &result.history {
+            assert!(h.best_mu + 1e-12 >= last);
+            last = h.best_mu;
+        }
+    }
+
+    #[test]
+    fn target_goodness_stops_early() {
+        let nl = netlist(100, 12);
+        let mut config = SimEConfig::fast(Objectives::WirelengthPower, 6, 500);
+        config.stopping.target_avg_goodness = Some(0.0); // trivially satisfied
+        let result = SimEEngine::new(nl, config).run();
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn frozen_mask_marks_everything_but_owned() {
+        let nl = netlist(80, 13);
+        let engine = SimEEngine::new(nl, SimEConfig::fast(Objectives::WirelengthPower, 5, 1));
+        let owned = vec![CellId(0), CellId(5)];
+        let mask = engine.frozen_mask_from_owned(&owned);
+        assert!(!mask[0] && !mask[5]);
+        assert!(mask[1] && mask[79]);
+    }
+
+    #[test]
+    fn iterate_respects_frozen_and_allowed_rows() {
+        let nl = netlist(100, 14);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 6, 1);
+        let engine = SimEEngine::new(Arc::clone(&nl), config);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut placement = engine.initial_placement(&mut rng);
+        let before_rows: Vec<usize> = nl.cell_ids().map(|c| placement.row_of(c)).collect();
+
+        // Freeze every cell except those currently in row 0; allocation may
+        // only target rows 0 and 1.
+        let owned: Vec<CellId> = nl.cell_ids().filter(|&c| placement.row_of(c) == 0).collect();
+        let frozen = engine.frozen_mask_from_owned(&owned);
+        let mut profile = ProfileReport::new();
+        engine.iterate(&mut placement, &mut rng, &mut profile, &frozen, &[0, 1]);
+        placement.validate(&nl).unwrap();
+        for c in nl.cell_ids() {
+            if frozen[c.index()] {
+                assert_eq!(
+                    placement.row_of(c),
+                    before_rows[c.index()],
+                    "frozen cell {c} moved"
+                );
+            } else {
+                assert!(placement.row_of(c) <= 1, "owned cell {c} left allowed rows");
+            }
+        }
+    }
+}

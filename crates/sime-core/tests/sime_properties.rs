@@ -1,0 +1,157 @@
+//! Property-based tests for the SimE operators and engine.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sime_core::allocation::{allocate_all, AllocationConfig, AllocationStrategy};
+use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_core::profile::ProfileReport;
+use sime_core::selection::{select, SelectionScheme};
+use std::collections::HashSet;
+use std::sync::Arc;
+use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+use vlsi_netlist::{CellId, Netlist};
+use vlsi_place::cost::{CostEvaluator, Objectives};
+use vlsi_place::goodness::GoodnessEvaluator;
+use vlsi_place::layout::Placement;
+
+fn arb_netlist() -> impl Strategy<Value = Arc<Netlist>> {
+    (70usize..220, any::<u64>()).prop_map(|(cells, seed)| {
+        Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized(format!("sime_prop_{seed}"), cells, seed))
+                .generate(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Selection always returns a subset of the cells, never selects frozen
+    /// cells, and together with the complement forms a partition (every cell
+    /// is either selected or not — no duplicates).
+    #[test]
+    fn selection_partitions_the_solution(
+        goodness in prop::collection::vec(0.0f64..1.0, 10..400),
+        scheme_fixed in proptest::bool::ANY,
+        bias in -0.3f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let scheme = if scheme_fixed {
+            SelectionScheme::FixedBias(bias)
+        } else {
+            SelectionScheme::Biasless
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let frozen: Vec<bool> = (0..goodness.len()).map(|i| i % 3 == 0).collect();
+        let selected = select(&goodness, scheme, &mut rng, &frozen);
+        let unique: HashSet<_> = selected.iter().collect();
+        prop_assert_eq!(unique.len(), selected.len(), "no duplicates in S");
+        for c in &selected {
+            prop_assert!(c.index() < goodness.len());
+            prop_assert!(!frozen[c.index()], "frozen cell selected");
+        }
+    }
+
+    /// Allocation, with any strategy, always returns a legal placement that
+    /// still contains every cell exactly once, and never moves unselected
+    /// cells to another row.
+    #[test]
+    fn allocation_preserves_legality_and_unselected_rows(
+        netlist in arb_netlist(),
+        rows in 4usize..10,
+        strategy_pick in 0u8..3,
+        stride in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let strategy = match strategy_pick {
+            0 => AllocationStrategy::SortedBestFit,
+            1 => AllocationStrategy::FirstFit,
+            _ => AllocationStrategy::RandomWindow,
+        };
+        let evaluator = CostEvaluator::new(Arc::clone(&netlist), Objectives::WirelengthPower);
+        let ge = GoodnessEvaluator::new(evaluator.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut placement = Placement::random(&netlist, rows, &mut rng);
+        let goodness = ge.all_goodness(&placement);
+
+        let mut selected: Vec<CellId> = netlist
+            .cell_ids()
+            .filter(|c| c.index() % 4 == 0)
+            .collect();
+        let selected_set: HashSet<CellId> = selected.iter().copied().collect();
+        let rows_before: Vec<usize> = netlist.cell_ids().map(|c| placement.row_of(c)).collect();
+
+        allocate_all(
+            &evaluator,
+            &mut placement,
+            &mut selected,
+            &goodness,
+            &AllocationConfig {
+                strategy,
+                trial_stride: stride,
+                random_window: 16,
+                ..Default::default()
+            },
+            &[],
+            &mut rng,
+        );
+        placement.validate(&netlist).unwrap();
+        for c in netlist.cell_ids() {
+            if !selected_set.contains(&c) {
+                prop_assert_eq!(placement.row_of(c), rows_before[c.index()]);
+            }
+        }
+    }
+
+    /// A SimE run never returns a best quality below the quality of its first
+    /// iteration, the best placement is legal, and the reported best cost is
+    /// reproducible from the returned placement.
+    #[test]
+    fn engine_run_invariants(netlist in arb_netlist(), seed in any::<u64>()) {
+        let mut config = SimEConfig::fast(Objectives::WirelengthPower, 6, 8);
+        config.seed = seed;
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        let result = engine.run();
+        prop_assert!(!result.history.is_empty());
+        prop_assert!(result.best_mu() + 1e-12 >= result.history[0].mu);
+        result.best_placement.validate(&netlist).unwrap();
+        let re = engine.evaluator().evaluate(&result.best_placement);
+        prop_assert!((re.mu - result.best_cost.mu).abs() < 1e-9);
+        // Work profile is dominated by allocation (Section 4 of the paper).
+        prop_assert!(result.profile.work_fraction(sime_core::Phase::Allocation) > 0.5);
+    }
+
+    /// Running the same configuration twice gives identical results
+    /// (determinism is what makes the table harnesses reproducible).
+    #[test]
+    fn engine_is_deterministic(netlist in arb_netlist(), seed in any::<u64>()) {
+        let mut config = SimEConfig::fast(Objectives::WirelengthPower, 5, 5);
+        config.seed = seed;
+        let a = SimEEngine::new(Arc::clone(&netlist), config).run();
+        let b = SimEEngine::new(Arc::clone(&netlist), config).run();
+        prop_assert_eq!(a.best_cost.wirelength, b.best_cost.wirelength);
+        prop_assert_eq!(a.best_cost.mu, b.best_cost.mu);
+        prop_assert_eq!(a.history.len(), b.history.len());
+    }
+
+    /// Iterating with a frozen mask never moves frozen cells between rows.
+    #[test]
+    fn frozen_cells_never_change_rows(netlist in arb_netlist(), seed in any::<u64>()) {
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 6, 1);
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut placement = engine.initial_placement(&mut rng);
+        let owned: Vec<CellId> = netlist.cell_ids().filter(|c| c.index() % 2 == 0).collect();
+        let frozen = engine.frozen_mask_from_owned(&owned);
+        let rows_before: Vec<usize> = netlist.cell_ids().map(|c| placement.row_of(c)).collect();
+        let mut profile = ProfileReport::new();
+        engine.iterate(&mut placement, &mut rng, &mut profile, &frozen, &[]);
+        placement.validate(&netlist).unwrap();
+        for c in netlist.cell_ids() {
+            if frozen[c.index()] {
+                prop_assert_eq!(placement.row_of(c), rows_before[c.index()]);
+            }
+        }
+    }
+}

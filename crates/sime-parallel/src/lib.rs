@@ -1,0 +1,54 @@
+//! # sime-parallel
+//!
+//! The three classes of parallel Simulated Evolution evaluated by the paper
+//! (Section 6), implemented over the serial engine of [`sime_core`] and the
+//! simulated cluster of [`cluster_sim`]:
+//!
+//! * **Type I — low-level parallelization** ([`type1`]): the cost and
+//!   goodness evaluation is distributed over the slaves while the master
+//!   performs selection and allocation. The search trajectory is identical to
+//!   the serial algorithm; only the runtime changes. The paper (and this
+//!   reproduction) finds *no benefit*: allocation, which is not distributed,
+//!   dominates the runtime, and the per-iteration broadcast/gather on fast
+//!   Ethernet adds overhead that grows with the processor count.
+//!
+//! * **Type II — domain decomposition** ([`type2`]): the placement rows are
+//!   partitioned among the processors and every processor runs the full SimE
+//!   iteration (evaluation, selection, allocation) restricted to its own rows;
+//!   the master merges the partial placements and re-partitions every
+//!   iteration. Two row-allocation patterns are provided: the *fixed* pattern
+//!   of Kling & Banerjee (alternating contiguous slices and strided rows) and
+//!   the *random* pattern of the authors' earlier work. This is the strategy
+//!   that produces real speed-ups, at the price of a restricted cell mobility
+//!   that can cost some solution quality.
+//!
+//! * **Type III — parallel searches** ([`type3`]): several independent SimE
+//!   searches with different random seeds cooperate through a central
+//!   best-solution store, in the style of asynchronous multiple-Markov-chain
+//!   parallel SA. There is no workload division, so the runtime stays at the
+//!   serial level; the benefit (if any) is solution quality.
+//!
+//! Every strategy returns a [`report::StrategyOutcome`] containing the best
+//! placement found, the *modeled* runtime on the simulated cluster, and the
+//! communication statistics. The table-reproduction binaries in the `bench`
+//! crate print these in the layout of the paper's Tables 1–4.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod type1;
+pub mod type2;
+pub mod type3;
+
+pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
+pub use type1::{run_type1, Type1Config};
+pub use type2::{run_type2, RowPattern, Type2Config};
+pub use type3::{run_type3, Type3Config};
+
+/// Convenience prelude bringing the parallel-strategy API into scope.
+pub mod prelude {
+    pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
+    pub use crate::type1::{run_type1, Type1Config};
+    pub use crate::type2::{run_type2, RowPattern, Type2Config};
+    pub use crate::type3::{run_type3, Type3Config};
+}

@@ -1,0 +1,393 @@
+//! Type II — domain decomposition by placement rows.
+//!
+//! Following Figures 4 and 5 of the paper, the placement rows are partitioned
+//! among the processors; every processor runs the full SimE iteration
+//! (evaluation, selection, allocation) restricted to the cells in — and the
+//! slots of — its own rows, and the master merges the partial placements and
+//! re-partitions at the end of every iteration. All SimE operators, including
+//! allocation, are thereby parallelised, which is why this is the only
+//! strategy that yields real speed-ups; the price is the restricted freedom
+//! of cell movement (a cell can only move within its current partition's rows
+//! in a given iteration), which slows convergence and can cost final quality.
+//!
+//! Two row-allocation patterns are implemented:
+//!
+//! * [`RowPattern::Fixed`] — the pattern of Kling & Banerjee's ESP paper:
+//!   in even iterations each processor receives a contiguous slice of
+//!   `K / m` rows, in odd iterations processor `j` receives rows
+//!   `j, j + m, j + 2m, …`, so any cell can reach any row position in at most
+//!   two iterations.
+//! * [`RowPattern::Random`] — the authors' variation: rows are shuffled and
+//!   dealt to the processors anew every iteration.
+
+use crate::report::{StrategyOutcome, BYTES_PER_CELL};
+use cluster_sim::machine::Workload;
+use cluster_sim::timeline::{ClusterConfig, ClusterTimeline};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use sime_core::engine::SimEEngine;
+use sime_core::profile::ProfileReport;
+use vlsi_netlist::CellId;
+use vlsi_place::layout::Placement;
+
+/// How rows are assigned to processors each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowPattern {
+    /// Alternating contiguous-slice / strided assignment (Kling & Banerjee).
+    Fixed,
+    /// Fresh random assignment every iteration (Sait, Ali & Zaidi, ISCAS'05).
+    Random,
+}
+
+impl RowPattern {
+    /// Short label used by the benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RowPattern::Fixed => "fixed",
+            RowPattern::Random => "random",
+        }
+    }
+}
+
+/// Configuration of a Type II run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Type2Config {
+    /// Number of processors, 2–5 in the paper.
+    pub ranks: usize,
+    /// Number of SimE iterations (the paper adds iterations as processors are
+    /// added: 4000 + 500·(p−2) for two objectives, 5000 + 1000·(p−2)+1000 for
+    /// three).
+    pub iterations: usize,
+    /// Row-allocation pattern.
+    pub pattern: RowPattern,
+}
+
+/// Computes the row assignment for one iteration: `assignment[r]` is the list
+/// of row indices owned by processor `r`.
+pub fn row_assignment<RNG: rand::Rng + ?Sized>(
+    pattern: RowPattern,
+    num_rows: usize,
+    ranks: usize,
+    iteration: usize,
+    rng: &mut RNG,
+) -> Vec<Vec<usize>> {
+    let mut assignment = vec![Vec::new(); ranks];
+    match pattern {
+        RowPattern::Fixed => {
+            if iteration % 2 == 0 {
+                // balanced contiguous slices of ~K/m rows
+                for row in 0..num_rows {
+                    assignment[row * ranks / num_rows].push(row);
+                }
+            } else {
+                // strided: processor j gets rows j, j+m, j+2m, ...
+                for row in 0..num_rows {
+                    assignment[row % ranks].push(row);
+                }
+            }
+        }
+        RowPattern::Random => {
+            let mut rows: Vec<usize> = (0..num_rows).collect();
+            rows.shuffle(rng);
+            for (i, row) in rows.into_iter().enumerate() {
+                assignment[i % ranks].push(row);
+            }
+            for part in assignment.iter_mut() {
+                part.sort_unstable();
+            }
+        }
+    }
+    assignment
+}
+
+/// Runs the Type II parallel SimE strategy.
+pub fn run_type2(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type2Config,
+) -> StrategyOutcome {
+    assert!(config.ranks >= 2, "Type II needs at least two processors");
+    assert_eq!(
+        cluster.ranks, config.ranks,
+        "cluster configuration and strategy configuration disagree on the rank count"
+    );
+    let num_rows = engine.config().num_rows;
+    assert!(
+        num_rows >= config.ranks,
+        "each processor needs at least one row"
+    );
+
+    let netlist = engine.evaluator().netlist().clone();
+    let num_cells = netlist.num_cells();
+    let placement_bytes = BYTES_PER_CELL * num_cells as u64 + 8 * num_rows as u64;
+
+    let mut timeline = ClusterTimeline::new(cluster);
+    let mut master_rng = ChaCha8Rng::seed_from_u64(engine.config().seed);
+    let mut placement = engine.initial_placement(&mut master_rng);
+    let mut rank_rngs: Vec<ChaCha8Rng> = (0..config.ranks)
+        .map(|r| ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((r as u64 + 1) << 32)))
+        .collect();
+
+    let mut best_placement = placement.clone();
+    let mut best_cost = engine.evaluator().evaluate(&placement);
+    let mut mu_history = Vec::with_capacity(config.iterations);
+
+    for iteration in 0..config.iterations {
+        // Master: generate the row assignment and broadcast placement + rows.
+        let assignment = row_assignment(
+            config.pattern,
+            num_rows,
+            config.ranks,
+            iteration,
+            &mut master_rng,
+        );
+        timeline.broadcast_tree(0, placement_bytes);
+
+        // Every processor runs a full SimE iteration on its rows. The
+        // computation is executed locally (sequentially) and charged to the
+        // processor's virtual clock.
+        let mut merged_rows: Vec<Vec<CellId>> =
+            (0..num_rows).map(|r| placement.row(r).to_vec()).collect();
+        let mut bytes_per_rank = vec![0u64; config.ranks];
+
+        for (rank, rows) in assignment.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let owned: Vec<CellId> = netlist
+                .cell_ids()
+                .filter(|&c| rows.contains(&placement.row_of(c)))
+                .collect();
+            let frozen = engine.frozen_mask_from_owned(&owned);
+
+            let mut local = placement.clone();
+            let mut profile = ProfileReport::new();
+            let (_avg, _selected, alloc_stats) = engine.iterate(
+                &mut local,
+                &mut rank_rngs[rank],
+                &mut profile,
+                &frozen,
+                rows,
+            );
+
+            // Charge the partition's evaluation plus its allocation work.
+            let eval = crate::report::partition_evaluation_workload(engine, &owned);
+            timeline.charge_compute(rank, &eval);
+            timeline.charge_compute(
+                rank,
+                &Workload {
+                    net_evaluations: alloc_stats.net_evaluations as u64,
+                    misc_operations: owned.len() as u64 * 8,
+                },
+            );
+
+            // Extract the partial placement rows this processor owns.
+            for &row in rows {
+                merged_rows[row] = local.row(row).to_vec();
+            }
+            bytes_per_rank[rank] = owned.len() as u64 * BYTES_PER_CELL;
+        }
+
+        // Slaves send their partial rows back; the master reconstructs the
+        // complete solution.
+        timeline.gather(0, &bytes_per_rank);
+        placement = Placement::from_rows(&netlist, merged_rows);
+        timeline.charge_compute(0, &Workload::misc(num_cells as u64));
+
+        let cost = engine.evaluator().evaluate(&placement);
+        mu_history.push(cost.mu);
+        if cost.mu > best_cost.mu {
+            best_cost = cost;
+            best_placement = placement.clone();
+        }
+    }
+
+    StrategyOutcome {
+        best_placement,
+        best_cost,
+        modeled_seconds: timeline.makespan(),
+        comm: timeline.stats(),
+        iterations: config.iterations,
+        mu_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::run_serial_baseline;
+    use sime_core::engine::SimEConfig;
+    use std::sync::Arc;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+    use vlsi_place::cost::Objectives;
+
+    fn engine(iterations: usize) -> SimEEngine {
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("type2_test", 160, 11)).generate(),
+        );
+        SimEEngine::new(
+            nl,
+            SimEConfig::paper_defaults(Objectives::WirelengthPower, 10, iterations),
+        )
+    }
+
+    #[test]
+    fn fixed_pattern_alternates_slice_and_stride() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let even = row_assignment(RowPattern::Fixed, 10, 5, 0, &mut rng);
+        assert_eq!(even[0], vec![0, 1]);
+        assert_eq!(even[4], vec![8, 9]);
+        let odd = row_assignment(RowPattern::Fixed, 10, 5, 1, &mut rng);
+        assert_eq!(odd[0], vec![0, 5]);
+        assert_eq!(odd[3], vec![3, 8]);
+    }
+
+    #[test]
+    fn row_assignments_partition_the_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            for iteration in 0..4 {
+                for ranks in 2..=5 {
+                    let a = row_assignment(pattern, 11, ranks, iteration, &mut rng);
+                    assert_eq!(a.len(), ranks);
+                    let mut all: Vec<usize> = a.iter().flatten().copied().collect();
+                    all.sort_unstable();
+                    assert_eq!(all, (0..11).collect::<Vec<_>>(), "{pattern:?} it={iteration} p={ranks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_pattern_changes_between_iterations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = row_assignment(RowPattern::Random, 12, 4, 0, &mut rng);
+        let b = row_assignment(RowPattern::Random, 12, 4, 1, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn type2_produces_a_legal_placement_and_reasonable_quality() {
+        let engine = engine(8);
+        let outcome = run_type2(
+            &engine,
+            ClusterConfig::paper_cluster(3),
+            Type2Config {
+                ranks: 3,
+                iterations: 8,
+                pattern: RowPattern::Random,
+            },
+        );
+        outcome
+            .best_placement
+            .validate(engine.evaluator().netlist())
+            .unwrap();
+        assert!(outcome.best_mu() > 0.0 && outcome.best_mu() <= 1.0);
+        assert_eq!(outcome.mu_history.len(), 8);
+    }
+
+    #[test]
+    fn type2_is_faster_than_serial_per_iteration() {
+        // The paper's central Table 2/3 finding: domain decomposition divides
+        // the allocation workload, so the modeled parallel runtime for the
+        // same iteration count is well below the serial runtime.
+        let engine = engine(6);
+        let baseline = run_serial_baseline(&engine, &ClusterConfig::paper_cluster(2).compute);
+        let outcome = run_type2(
+            &engine,
+            ClusterConfig::paper_cluster(4),
+            Type2Config {
+                ranks: 4,
+                iterations: 6,
+                pattern: RowPattern::Random,
+            },
+        );
+        assert!(
+            outcome.modeled_seconds < baseline.modeled_seconds,
+            "Type II at p=4 should beat serial: {} vs {}",
+            outcome.modeled_seconds,
+            baseline.modeled_seconds
+        );
+    }
+
+    #[test]
+    fn type2_speedup_grows_with_processors() {
+        let engine = engine(5);
+        let t2 = run_type2(
+            &engine,
+            ClusterConfig::paper_cluster(2),
+            Type2Config {
+                ranks: 2,
+                iterations: 5,
+                pattern: RowPattern::Random,
+            },
+        )
+        .modeled_seconds;
+        let t5 = run_type2(
+            &engine,
+            ClusterConfig::paper_cluster(5),
+            Type2Config {
+                ranks: 5,
+                iterations: 5,
+                pattern: RowPattern::Random,
+            },
+        )
+        .modeled_seconds;
+        assert!(
+            t5 < t2,
+            "five processors should be faster than two: {t5} vs {t2}"
+        );
+    }
+
+    #[test]
+    fn both_patterns_produce_legal_placements() {
+        let engine = engine(4);
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            let outcome = run_type2(
+                &engine,
+                ClusterConfig::paper_cluster(2),
+                Type2Config {
+                    ranks: 2,
+                    iterations: 4,
+                    pattern,
+                },
+            );
+            outcome
+                .best_placement
+                .validate(engine.evaluator().netlist())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn type2_run_is_deterministic() {
+        let engine = engine(4);
+        let cfg = Type2Config {
+            ranks: 3,
+            iterations: 4,
+            pattern: RowPattern::Random,
+        };
+        let a = run_type2(&engine, ClusterConfig::paper_cluster(3), cfg);
+        let b = run_type2(&engine, ClusterConfig::paper_cluster(3), cfg);
+        assert_eq!(a.best_cost.wirelength, b.best_cost.wirelength);
+        assert_eq!(a.modeled_seconds, b.modeled_seconds);
+        assert_eq!(a.comm.messages, b.comm.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two processors")]
+    fn rejects_single_rank() {
+        let engine = engine(1);
+        run_type2(
+            &engine,
+            ClusterConfig::paper_cluster(1),
+            Type2Config {
+                ranks: 1,
+                iterations: 1,
+                pattern: RowPattern::Fixed,
+            },
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's benchmark circuits, regenerated synthetically.
+//!
+//! The paper reports results on five ISCAS-89 circuits. The table below lists
+//! the published cell counts (Table 1 of the paper) and the I/O / flip-flop
+//! counts of the original ISCAS-89 netlists, which the synthetic stand-ins
+//! reproduce:
+//!
+//! | Circuit | Cells (paper) | Inputs | Outputs | Flip-flops |
+//! |---------|---------------|--------|---------|------------|
+//! | s1196   | 561           | 14     | 14      | 18         |
+//! | s1238   | 540           | 14     | 14      | 18         |
+//! | s1488   | 667           | 8      | 19      | 6          |
+//! | s1494   | 661           | 8      | 19      | 6          |
+//! | s3330   | 1561          | 40     | 73      | 132        |
+//!
+//! Because the real netlists cannot be redistributed, [`paper_circuit`]
+//! generates a deterministic synthetic circuit with these exact counts and
+//! ISCAS-like connectivity statistics (see [`crate::generator`]). The seed is
+//! derived from the circuit name, so the whole workspace always sees the same
+//! five circuits.
+
+use crate::generator::{CircuitGenerator, GeneratorConfig};
+use crate::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the five circuits used in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperCircuit {
+    /// ISCAS-89 s1196 — 561 cells.
+    S1196,
+    /// ISCAS-89 s1238 — 540 cells.
+    S1238,
+    /// ISCAS-89 s1488 — 667 cells.
+    S1488,
+    /// ISCAS-89 s1494 — 661 cells.
+    S1494,
+    /// ISCAS-89 s3330 — 1561 cells.
+    S3330,
+}
+
+impl PaperCircuit {
+    /// All five circuits, in the order they appear in Table 1.
+    pub const ALL: [PaperCircuit; 5] = [
+        PaperCircuit::S1196,
+        PaperCircuit::S1488,
+        PaperCircuit::S1494,
+        PaperCircuit::S1238,
+        PaperCircuit::S3330,
+    ];
+
+    /// Circuit name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperCircuit::S1196 => "s1196",
+            PaperCircuit::S1238 => "s1238",
+            PaperCircuit::S1488 => "s1488",
+            PaperCircuit::S1494 => "s1494",
+            PaperCircuit::S3330 => "s3330",
+        }
+    }
+
+    /// Cell count published in Table 1 of the paper.
+    pub fn cell_count(self) -> usize {
+        match self {
+            PaperCircuit::S1196 => 561,
+            PaperCircuit::S1238 => 540,
+            PaperCircuit::S1488 => 667,
+            PaperCircuit::S1494 => 661,
+            PaperCircuit::S3330 => 1561,
+        }
+    }
+
+    /// Number of placement rows used for this circuit throughout the
+    /// workspace. The paper does not publish row counts; we use the usual
+    /// near-square aspect-ratio rule for standard-cell layouts, which also
+    /// leaves enough rows for the Type II row decomposition at up to five
+    /// processors.
+    pub fn num_rows(self) -> usize {
+        match self {
+            PaperCircuit::S1196 | PaperCircuit::S1238 => 10,
+            PaperCircuit::S1488 | PaperCircuit::S1494 => 11,
+            PaperCircuit::S3330 => 16,
+        }
+    }
+
+    /// (inputs, outputs, flip-flops) of the original ISCAS-89 circuit.
+    pub fn io_counts(self) -> (usize, usize, usize) {
+        match self {
+            PaperCircuit::S1196 => (14, 14, 18),
+            PaperCircuit::S1238 => (14, 14, 18),
+            PaperCircuit::S1488 => (8, 19, 6),
+            PaperCircuit::S1494 => (8, 19, 6),
+            PaperCircuit::S3330 => (40, 73, 132),
+        }
+    }
+
+    /// Parses a paper circuit from its table name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Generator configuration used for the synthetic stand-in.
+    pub fn generator_config(self) -> GeneratorConfig {
+        let (inputs, outputs, ffs) = self.io_counts();
+        // Seed derived from the name so every build sees identical circuits.
+        let seed = self
+            .name()
+            .bytes()
+            .fold(0xC0FFEE_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        GeneratorConfig {
+            name: self.name().to_string(),
+            num_cells: self.cell_count(),
+            num_inputs: inputs,
+            num_outputs: outputs,
+            num_flip_flops: ffs,
+            logic_depth: if self == PaperCircuit::S3330 { 16 } else { 12 },
+            avg_fanin: 2.3,
+            seed,
+        }
+    }
+}
+
+impl std::fmt::Display for PaperCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the synthetic stand-in for one of the paper's circuits.
+pub fn paper_circuit(circuit: PaperCircuit) -> Netlist {
+    CircuitGenerator::new(circuit.generator_config()).generate()
+}
+
+/// Generates the full five-circuit suite in Table-1 order.
+pub fn paper_suite() -> Vec<(PaperCircuit, Netlist)> {
+    PaperCircuit::ALL
+        .iter()
+        .map(|&c| (c, paper_circuit(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_counts_match_the_paper() {
+        for c in PaperCircuit::ALL {
+            let nl = paper_circuit(c);
+            assert_eq!(nl.num_cells(), c.cell_count(), "circuit {c}");
+            assert_eq!(nl.name(), c.name());
+        }
+    }
+
+    #[test]
+    fn io_counts_match_iscas89() {
+        for c in PaperCircuit::ALL {
+            let nl = paper_circuit(c);
+            let stats = nl.stats();
+            let (i, o, ff) = c.io_counts();
+            assert_eq!(stats.inputs, i, "{c} inputs");
+            assert_eq!(stats.outputs, o, "{c} outputs");
+            assert_eq!(stats.flip_flops, ff, "{c} flip-flops");
+        }
+    }
+
+    #[test]
+    fn suite_is_in_table_order() {
+        let suite = paper_suite();
+        let names: Vec<_> = suite.iter().map(|(c, _)| c.name()).collect();
+        assert_eq!(names, vec!["s1196", "s1488", "s1494", "s1238", "s3330"]);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for c in PaperCircuit::ALL {
+            assert_eq!(PaperCircuit::from_name(c.name()), Some(c));
+        }
+        assert_eq!(PaperCircuit::from_name("s9999"), None);
+    }
+
+    #[test]
+    fn regeneration_is_stable() {
+        let a = paper_circuit(PaperCircuit::S1196);
+        let b = paper_circuit(PaperCircuit::S1196);
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert_eq!(a.nets()[0], b.nets()[0]);
+    }
+
+    #[test]
+    fn rows_leave_room_for_five_partitions() {
+        for c in PaperCircuit::ALL {
+            assert!(c.num_rows() >= 10, "{c} must have at least 2 rows per processor at p=5");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Standard cells and their identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a cell inside a [`crate::Netlist`].
+///
+/// Cell ids are dense: a netlist with `n` cells uses ids `0..n`. The id is a
+/// `u32` to keep per-cell bookkeeping structures compact (the paper's largest
+/// circuit, `s3330`, has 1561 cells; real designs reach a few million).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for CellId {
+    fn from(v: u32) -> Self {
+        CellId(v)
+    }
+}
+
+impl From<usize> for CellId {
+    fn from(v: usize) -> Self {
+        CellId(v as u32)
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Functional class of a cell.
+///
+/// The placement engine only needs to distinguish movable logic from the
+/// sequential boundary (flip-flops terminate combinational paths) and from the
+/// I/O pads (path sources / sinks). All kinds are movable; the paper treats
+/// every standard cell as a movable element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Primary input pad (drives a net, no fan-in).
+    Input,
+    /// Primary output pad (terminates a net, no fan-out).
+    Output,
+    /// Combinational logic gate.
+    Logic,
+    /// Sequential element; terminates and restarts combinational paths.
+    FlipFlop,
+}
+
+impl CellKind {
+    /// `true` for cells that start a combinational path (inputs and flip-flop
+    /// outputs).
+    #[inline]
+    pub fn is_path_source(self) -> bool {
+        matches!(self, CellKind::Input | CellKind::FlipFlop)
+    }
+
+    /// `true` for cells that end a combinational path (outputs and flip-flop
+    /// inputs).
+    #[inline]
+    pub fn is_path_sink(self) -> bool {
+        matches!(self, CellKind::Output | CellKind::FlipFlop)
+    }
+
+    /// Short mnemonic used by the text netlist format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Input => "in",
+            CellKind::Output => "out",
+            CellKind::Logic => "logic",
+            CellKind::FlipFlop => "ff",
+        }
+    }
+
+    /// Parses the mnemonic produced by [`CellKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        match s {
+            "in" => Some(CellKind::Input),
+            "out" => Some(CellKind::Output),
+            "logic" => Some(CellKind::Logic),
+            "ff" => Some(CellKind::FlipFlop),
+            _ => None,
+        }
+    }
+}
+
+/// A standard cell (movable element of the placement problem).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Human-readable instance name (unique within a netlist).
+    pub name: String,
+    /// Functional class.
+    pub kind: CellKind,
+    /// Cell width in layout units. Standard cells share a common height, so
+    /// only the width matters for row packing and the width constraint.
+    pub width: u32,
+    /// Intrinsic switching delay `CD_i` of the cell (nanoseconds). Technology
+    /// dependent and independent of placement; used by the delay cost.
+    pub switching_delay: f64,
+}
+
+impl Cell {
+    /// Creates a logic cell with the given name and width and a default
+    /// switching delay of 0.1 ns.
+    pub fn logic(name: impl Into<String>, width: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Logic,
+            width,
+            switching_delay: 0.1,
+        }
+    }
+
+    /// Creates a cell of an arbitrary kind.
+    pub fn new(name: impl Into<String>, kind: CellKind, width: u32, switching_delay: f64) -> Self {
+        Cell {
+            name: name.into(),
+            kind,
+            width,
+            switching_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_id_roundtrips_through_usize() {
+        let id = CellId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(CellId::from(42u32), id);
+        assert_eq!(id.to_string(), "c42");
+    }
+
+    #[test]
+    fn kind_mnemonics_roundtrip() {
+        for kind in [
+            CellKind::Input,
+            CellKind::Output,
+            CellKind::Logic,
+            CellKind::FlipFlop,
+        ] {
+            assert_eq!(CellKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(CellKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn path_boundary_classification() {
+        assert!(CellKind::Input.is_path_source());
+        assert!(CellKind::FlipFlop.is_path_source());
+        assert!(!CellKind::Logic.is_path_source());
+        assert!(CellKind::Output.is_path_sink());
+        assert!(CellKind::FlipFlop.is_path_sink());
+        assert!(!CellKind::Input.is_path_sink());
+    }
+
+    #[test]
+    fn logic_constructor_defaults() {
+        let c = Cell::logic("u1", 4);
+        assert_eq!(c.kind, CellKind::Logic);
+        assert_eq!(c.width, 4);
+        assert!(c.switching_delay > 0.0);
+    }
+}

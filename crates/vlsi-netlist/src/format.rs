@@ -1,0 +1,275 @@
+//! Line-oriented text netlist format.
+//!
+//! The format is intentionally simple so that circuits can be dumped,
+//! inspected, diffed and reloaded without external tooling:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! circuit <name>
+//! cell <name> <kind> <width> <switching_delay>
+//! ...
+//! net <name> <driver_cell> <switching_prob> <sink_cell_1> [<sink_cell_2> ...]
+//! ...
+//! end
+//! ```
+//!
+//! Cells must be declared before the nets that reference them. `kind` is one
+//! of `in`, `out`, `logic`, `ff` (see [`CellKind::mnemonic`]).
+
+use crate::{Cell, CellKind, Net, Netlist, NetlistBuilder, NetlistError};
+use std::collections::HashMap;
+
+/// Errors produced by [`parse_netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be parsed; carries the 1-based line number and reason.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The netlist body was syntactically valid but semantically invalid.
+    Semantic(NetlistError),
+    /// Missing `circuit` header or `end` trailer.
+    Structure(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Semantic(e) => write!(f, "invalid netlist: {e}"),
+            ParseError::Structure(s) => write!(f, "malformed file: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<NetlistError> for ParseError {
+    fn from(e: NetlistError) -> Self {
+        ParseError::Semantic(e)
+    }
+}
+
+/// Serialises a netlist to the text format. The output round-trips through
+/// [`parse_netlist`].
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("circuit {}\n", netlist.name()));
+    for cell in netlist.cells() {
+        out.push_str(&format!(
+            "cell {} {} {} {}\n",
+            cell.name,
+            cell.kind.mnemonic(),
+            cell.width,
+            cell.switching_delay
+        ));
+    }
+    for net in netlist.nets() {
+        out.push_str(&format!(
+            "net {} {} {}",
+            net.name,
+            netlist.cell(net.driver).name,
+            net.switching_prob
+        ));
+        for &s in &net.sinks {
+            out.push(' ');
+            out.push_str(&netlist.cell(s).name);
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a netlist from the text format.
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseError> {
+    let mut name: Option<String> = None;
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut cell_ids: HashMap<String, crate::CellId> = HashMap::new();
+    let mut ended = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(ParseError::Structure(format!(
+                "content after `end` at line {}",
+                lineno + 1
+            )));
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().unwrap_or("");
+        let syntax = |reason: &str| ParseError::Syntax {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        match keyword {
+            "circuit" => {
+                let n = tokens.next().ok_or_else(|| syntax("missing circuit name"))?;
+                name = Some(n.to_string());
+                builder = Some(NetlistBuilder::new(n));
+            }
+            "cell" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax("`cell` before `circuit`"))?;
+                let cname = tokens.next().ok_or_else(|| syntax("missing cell name"))?;
+                let kind = tokens
+                    .next()
+                    .and_then(CellKind::from_mnemonic)
+                    .ok_or_else(|| syntax("missing or invalid cell kind"))?;
+                let width: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax("missing or invalid cell width"))?;
+                let delay: f64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax("missing or invalid switching delay"))?;
+                let id = b.add_cell(Cell::new(cname, kind, width, delay));
+                cell_ids.insert(cname.to_string(), id);
+            }
+            "net" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax("`net` before `circuit`"))?;
+                let nname = tokens.next().ok_or_else(|| syntax("missing net name"))?;
+                let driver_name = tokens.next().ok_or_else(|| syntax("missing driver cell"))?;
+                let driver = *cell_ids
+                    .get(driver_name)
+                    .ok_or_else(|| syntax(&format!("unknown driver cell `{driver_name}`")))?;
+                let sprob: f64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax("missing or invalid switching probability"))?;
+                let mut sinks = Vec::new();
+                for s in tokens {
+                    let id = *cell_ids
+                        .get(s)
+                        .ok_or_else(|| syntax(&format!("unknown sink cell `{s}`")))?;
+                    sinks.push(id);
+                }
+                if sinks.is_empty() {
+                    return Err(syntax("net has no sinks"));
+                }
+                b.add_net(Net::new(nname, driver, sinks, sprob));
+            }
+            "end" => {
+                ended = true;
+            }
+            other => {
+                return Err(syntax(&format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+
+    if name.is_none() {
+        return Err(ParseError::Structure("missing `circuit` header".into()));
+    }
+    if !ended {
+        return Err(ParseError::Structure("missing `end` trailer".into()));
+    }
+    Ok(builder.expect("builder exists when name exists").build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CircuitGenerator, GeneratorConfig};
+
+    const SAMPLE: &str = "\
+# a tiny sample circuit
+circuit sample
+cell a in 1 0.0
+cell b logic 2 0.1
+cell c out 1 0.0
+net n1 a 0.5 b
+net n2 b 0.25 c
+end
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let nl = parse_netlist(SAMPLE).unwrap();
+        assert_eq!(nl.name(), "sample");
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+        let b = nl.cell_by_name("b").unwrap();
+        assert_eq!(nl.cell(b).width, 2);
+        assert_eq!(nl.net(nl.net_by_name("n2").unwrap()).switching_prob, 0.25);
+    }
+
+    #[test]
+    fn roundtrips_generated_circuits() {
+        let cfg = GeneratorConfig::sized("roundtrip", 150, 11);
+        let original = CircuitGenerator::new(cfg).generate();
+        let text = write_netlist(&original);
+        let parsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed.num_cells(), original.num_cells());
+        assert_eq!(parsed.num_nets(), original.num_nets());
+        for (a, b) in original.cells().iter().zip(parsed.cells().iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.width, b.width);
+        }
+        for (a, b) in original.nets().iter().zip(parsed.nets().iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.driver, b.driver);
+            assert_eq!(a.sinks, b.sinks);
+        }
+    }
+
+    #[test]
+    fn reports_unknown_cell() {
+        let bad = "circuit x\ncell a in 1 0.0\nnet n a 0.5 missing\nend\n";
+        let err = parse_netlist(bad).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn reports_missing_header_and_trailer() {
+        assert!(matches!(
+            parse_netlist("cell a in 1 0.0\nend\n").unwrap_err(),
+            ParseError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse_netlist("").unwrap_err(),
+            ParseError::Structure(_)
+        ));
+        assert!(matches!(
+            parse_netlist("circuit x\n").unwrap_err(),
+            ParseError::Structure(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_content_after_end() {
+        let bad = "circuit x\ncell a in 1 0.0\nend\ncell b in 1 0.0\n";
+        assert!(matches!(
+            parse_netlist(bad).unwrap_err(),
+            ParseError::Structure(_)
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# leading comment\ncircuit c # trailing\n cell a in 1 0.0\ncell b out 1 0.0\nnet n a 0.1 b\nend\n";
+        let nl = parse_netlist(text).unwrap();
+        assert_eq!(nl.num_cells(), 2);
+    }
+
+    #[test]
+    fn semantic_errors_are_propagated() {
+        // duplicate cell names pass the parser but fail netlist validation
+        let bad = "circuit x\ncell a in 1 0.0\ncell a in 1 0.0\nend\n";
+        assert!(matches!(
+            parse_netlist(bad).unwrap_err(),
+            ParseError::Semantic(NetlistError::DuplicateCellName(_))
+        ));
+    }
+}

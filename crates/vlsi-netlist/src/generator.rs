@@ -1,0 +1,362 @@
+//! Deterministic synthetic circuit generator.
+//!
+//! The paper evaluates on ISCAS-89 sequential benchmark circuits. Those
+//! netlists cannot be shipped with this repository, so the benchmark suite
+//! regenerates stand-ins with the same *size and connectivity statistics*:
+//! the published cell count, realistic average fanout (≈ 2–3 sinks per net
+//! with a long tail of high-fanout nets), a levelised combinational structure
+//! that yields deep critical paths, and an ISCAS-like population of primary
+//! inputs, primary outputs and flip-flops.
+//!
+//! Generation is fully deterministic for a given [`GeneratorConfig`] (seeded
+//! ChaCha8 stream), so every experiment in the workspace operates on exactly
+//! the same circuits.
+
+use crate::{Cell, CellId, CellKind, Net, Netlist, NetlistBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic circuit generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Circuit name recorded in the netlist.
+    pub name: String,
+    /// Total number of cells (inputs + outputs + flip-flops + logic).
+    pub num_cells: usize,
+    /// Number of primary input pads.
+    pub num_inputs: usize,
+    /// Number of primary output pads.
+    pub num_outputs: usize,
+    /// Number of flip-flops.
+    pub num_flip_flops: usize,
+    /// Number of logic levels between path sources and sinks. Deeper circuits
+    /// produce longer critical paths.
+    pub logic_depth: usize,
+    /// Average fan-in of a logic cell (typically 2–3 for gate-level circuits).
+    pub avg_fanin: f64,
+    /// RNG seed; the same seed always produces the same circuit.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A reasonable configuration for a circuit of `num_cells` cells, with
+    /// ISCAS-like proportions of I/O and sequential elements.
+    pub fn sized(name: impl Into<String>, num_cells: usize, seed: u64) -> Self {
+        let num_inputs = (num_cells / 40).clamp(4, 64);
+        let num_outputs = (num_cells / 35).clamp(4, 80);
+        let num_flip_flops = (num_cells / 12).clamp(2, 200);
+        GeneratorConfig {
+            name: name.into(),
+            num_cells,
+            num_inputs,
+            num_outputs,
+            num_flip_flops,
+            logic_depth: 12,
+            avg_fanin: 2.2,
+            seed,
+        }
+    }
+
+    /// Number of plain logic cells implied by the configuration.
+    pub fn num_logic(&self) -> usize {
+        self.num_cells
+            .saturating_sub(self.num_inputs + self.num_outputs + self.num_flip_flops)
+    }
+}
+
+/// Synthetic circuit generator. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct CircuitGenerator {
+    config: GeneratorConfig,
+}
+
+impl CircuitGenerator {
+    /// Creates a generator for the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        CircuitGenerator { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for fewer cells than the combined
+    /// number of inputs, outputs and flip-flops, or for a zero logic depth.
+    pub fn generate(&self) -> Netlist {
+        let cfg = &self.config;
+        assert!(
+            cfg.num_cells >= cfg.num_inputs + cfg.num_outputs + cfg.num_flip_flops + cfg.logic_depth,
+            "configuration does not leave room for logic cells"
+        );
+        assert!(cfg.logic_depth >= 1, "logic depth must be at least 1");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut builder = NetlistBuilder::new(cfg.name.clone());
+
+        // ----- cells ---------------------------------------------------
+        // Level 0: inputs. Levels 1..=logic_depth: logic and flip-flops.
+        // Level logic_depth + 1: outputs.
+        let num_logic = cfg.num_logic();
+        let mut level_of: Vec<usize> = Vec::with_capacity(cfg.num_cells);
+        let mut ids_by_level: Vec<Vec<CellId>> = vec![Vec::new(); cfg.logic_depth + 2];
+
+        for i in 0..cfg.num_inputs {
+            let id = builder.add_cell(Cell::new(format!("pi{i}"), CellKind::Input, 1, 0.0));
+            level_of.push(0);
+            ids_by_level[0].push(id);
+        }
+
+        // Interleave logic and flip-flops across the internal levels.
+        let internal = num_logic + cfg.num_flip_flops;
+        let mut ff_left = cfg.num_flip_flops;
+        for i in 0..internal {
+            let level = 1 + (i * cfg.logic_depth) / internal.max(1);
+            let level = level.min(cfg.logic_depth);
+            // Spread flip-flops uniformly through the internal cells.
+            let is_ff = ff_left > 0 && rng.gen_ratio(ff_left as u32, (internal - i) as u32);
+            let (kind, name, delay) = if is_ff {
+                ff_left -= 1;
+                (CellKind::FlipFlop, format!("ff{i}"), 0.20)
+            } else {
+                (CellKind::Logic, format!("g{i}"), 0.05 + rng.gen::<f64>() * 0.15)
+            };
+            let width = rng.gen_range(2..=8u32);
+            let id = builder.add_cell(Cell::new(name, kind, width, delay));
+            level_of.push(level);
+            ids_by_level[level].push(id);
+        }
+
+        let out_level = cfg.logic_depth + 1;
+        for i in 0..cfg.num_outputs {
+            let id = builder.add_cell(Cell::new(format!("po{i}"), CellKind::Output, 1, 0.0));
+            level_of.push(out_level);
+            ids_by_level[out_level].push(id);
+        }
+
+        let total_cells = builder.num_cells();
+
+        // ----- connectivity --------------------------------------------
+        // For every non-input cell choose fan-in drivers from earlier levels
+        // (with a locality bias towards the immediately preceding levels),
+        // then bundle each driver's sinks into a single net.
+        let mut sinks_of: Vec<Vec<CellId>> = vec![Vec::new(); total_cells];
+
+        // Cumulative candidate pool per level: cells at levels < l.
+        let mut pool: Vec<CellId> = Vec::new();
+        let mut pool_start_of_level: Vec<usize> = vec![0; cfg.logic_depth + 3];
+        for l in 0..=out_level {
+            pool_start_of_level[l] = pool.len();
+            pool.extend(ids_by_level[l].iter().copied());
+        }
+        pool_start_of_level[out_level + 1] = pool.len();
+
+        for cell_idx in 0..total_cells {
+            let id = CellId::from(cell_idx);
+            let level = level_of[cell_idx];
+            if level == 0 {
+                continue; // primary inputs have no fan-in
+            }
+            let kind = builder_cell_kind(cell_idx, cfg, num_logic);
+            let fanin = if kind == CellKind::Output {
+                1
+            } else {
+                // Geometric-ish fan-in around avg_fanin, in 1..=4.
+                let r: f64 = rng.gen();
+                if r < 0.25 {
+                    1
+                } else if r < 0.25 + (cfg.avg_fanin - 1.5).clamp(0.0, 1.0) * 0.5 {
+                    3.min(4)
+                } else if r > 0.95 {
+                    4
+                } else {
+                    2
+                }
+            };
+            // Candidates: all cells at levels strictly below `level`.
+            let hi = pool_start_of_level[level];
+            if hi == 0 {
+                continue;
+            }
+            let lo = pool_start_of_level[level.saturating_sub(3)];
+            for _ in 0..fanin {
+                // 80 % local (within the previous three levels), 20 % global.
+                let pick = if lo < hi && rng.gen_bool(0.8) {
+                    rng.gen_range(lo..hi)
+                } else {
+                    rng.gen_range(0..hi)
+                };
+                let driver = pool[pick];
+                if driver == id || sinks_of[driver.index()].contains(&id) {
+                    continue;
+                }
+                sinks_of[driver.index()].push(id);
+            }
+        }
+
+        // Every driver-capable cell that ended up with no sinks feeds a random
+        // later cell so that no cell is dangling (outputs never drive).
+        for cell_idx in 0..total_cells {
+            let level = level_of[cell_idx];
+            if level == out_level {
+                continue;
+            }
+            if !sinks_of[cell_idx].is_empty() {
+                continue;
+            }
+            let lo = pool_start_of_level[level + 1];
+            let hi = pool.len();
+            if lo >= hi {
+                continue;
+            }
+            let pick = rng.gen_range(lo..hi);
+            let sink = pool[pick];
+            if sink != CellId::from(cell_idx) {
+                sinks_of[cell_idx].push(sink);
+            }
+        }
+
+        // Build the nets: one net per driving cell.
+        for cell_idx in 0..total_cells {
+            if sinks_of[cell_idx].is_empty() {
+                continue;
+            }
+            let mut sinks = std::mem::take(&mut sinks_of[cell_idx]);
+            sinks.sort_unstable();
+            sinks.dedup();
+            // Switching probability: skewed towards low activity with a few
+            // hot nets, as in real circuits.
+            let base: f64 = rng.gen();
+            let sprob = 0.02 + base * base * 0.6;
+            builder.add_net(Net::new(
+                format!("net_{cell_idx}"),
+                CellId::from(cell_idx),
+                sinks,
+                sprob,
+            ));
+        }
+
+        builder
+            .build()
+            .expect("generator must always produce a valid netlist")
+    }
+}
+
+/// Kind of the cell at `cell_idx` given the deterministic layout order used by
+/// `generate` (inputs, then internal cells, then outputs). Flip-flops are
+/// interleaved with logic, so internal cells are reported as `Logic`; the only
+/// distinction that matters for fan-in selection is `Output` vs the rest.
+fn builder_cell_kind(cell_idx: usize, cfg: &GeneratorConfig, num_logic: usize) -> CellKind {
+    if cell_idx < cfg.num_inputs {
+        CellKind::Input
+    } else if cell_idx < cfg.num_inputs + num_logic + cfg.num_flip_flops {
+        CellKind::Logic
+    } else {
+        CellKind::Output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{extract_paths, PathExtractionConfig};
+
+    fn small_cfg(seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: "gen_test".into(),
+            num_cells: 200,
+            num_inputs: 8,
+            num_outputs: 10,
+            num_flip_flops: 12,
+            logic_depth: 8,
+            avg_fanin: 2.2,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_requested_cell_count() {
+        let nl = CircuitGenerator::new(small_cfg(1)).generate();
+        assert_eq!(nl.num_cells(), 200);
+        let stats = nl.stats();
+        assert_eq!(stats.inputs, 8);
+        assert_eq!(stats.outputs, 10);
+        assert_eq!(stats.flip_flops, 12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CircuitGenerator::new(small_cfg(7)).generate();
+        let b = CircuitGenerator::new(small_cfg(7)).generate();
+        assert_eq!(a.num_nets(), b.num_nets());
+        for (na, nb) in a.nets().iter().zip(b.nets().iter()) {
+            assert_eq!(na, nb);
+        }
+        for (ca, cb) in a.cells().iter().zip(b.cells().iter()) {
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CircuitGenerator::new(small_cfg(1)).generate();
+        let b = CircuitGenerator::new(small_cfg(2)).generate();
+        let same = a
+            .nets()
+            .iter()
+            .zip(b.nets().iter())
+            .all(|(x, y)| x.sinks == y.sinks);
+        assert!(!same, "different seeds should give different connectivity");
+    }
+
+    #[test]
+    fn fanout_statistics_are_realistic() {
+        let nl = CircuitGenerator::new(small_cfg(3)).generate();
+        let stats = nl.stats();
+        assert!(
+            stats.avg_fanout > 1.2 && stats.avg_fanout < 4.0,
+            "average fanout {} outside the gate-level range",
+            stats.avg_fanout
+        );
+        assert!(stats.nets > nl.num_cells() / 2);
+    }
+
+    #[test]
+    fn circuits_have_deep_paths() {
+        let nl = CircuitGenerator::new(small_cfg(4)).generate();
+        let paths = extract_paths(&nl, &PathExtractionConfig::default());
+        assert!(!paths.is_empty());
+        assert!(
+            paths[0].len() >= 3,
+            "expected a critical path of depth >= 3, got {}",
+            paths[0].len()
+        );
+    }
+
+    #[test]
+    fn every_net_has_sinks_and_valid_probability() {
+        let nl = CircuitGenerator::new(small_cfg(5)).generate();
+        for net in nl.nets() {
+            assert!(!net.sinks.is_empty());
+            assert!((0.0..=1.0).contains(&net.switching_prob));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration does not leave room")]
+    fn rejects_impossible_configuration() {
+        let cfg = GeneratorConfig {
+            num_cells: 10,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_flip_flops: 5,
+            ..small_cfg(0)
+        };
+        CircuitGenerator::new(cfg).generate();
+    }
+}

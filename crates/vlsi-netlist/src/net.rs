@@ -1,0 +1,118 @@
+//! Nets (signal interconnections) and their identifiers.
+
+use crate::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a net inside a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NetId {
+    fn from(v: u32) -> Self {
+        NetId(v)
+    }
+}
+
+impl From<usize> for NetId {
+    fn from(v: usize) -> Self {
+        NetId(v as u32)
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A net: one driver cell and one or more sink cells.
+///
+/// The wirelength cost estimates the interconnect length of the net from the
+/// placed positions of its driver and sinks; the power cost weights that
+/// length with the net's switching probability `S_i`; the delay cost uses the
+/// net's interconnect delay on critical paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Human-readable net name (unique within a netlist).
+    pub name: String,
+    /// The cell driving this net.
+    pub driver: CellId,
+    /// Cells reading this net (fan-out). Must be non-empty for a net to
+    /// contribute to any cost.
+    pub sinks: Vec<CellId>,
+    /// Switching probability `S_i ∈ [0, 1]` used by the power cost.
+    pub switching_prob: f64,
+}
+
+impl Net {
+    /// Creates a net with the given driver, sinks and switching probability.
+    pub fn new(
+        name: impl Into<String>,
+        driver: CellId,
+        sinks: Vec<CellId>,
+        switching_prob: f64,
+    ) -> Self {
+        Net {
+            name: name.into(),
+            driver,
+            sinks,
+            switching_prob,
+        }
+    }
+
+    /// Number of pins on the net (driver + sinks).
+    #[inline]
+    pub fn pin_count(&self) -> usize {
+        1 + self.sinks.len()
+    }
+
+    /// Iterator over every cell connected to the net (driver first).
+    pub fn connected_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        std::iter::once(self.driver).chain(self.sinks.iter().copied())
+    }
+
+    /// `true` if `cell` is the driver or one of the sinks.
+    pub fn connects(&self, cell: CellId) -> bool {
+        self.driver == cell || self.sinks.contains(&cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_count_counts_driver_and_sinks() {
+        let n = Net::new("n0", CellId(0), vec![CellId(1), CellId(2)], 0.5);
+        assert_eq!(n.pin_count(), 3);
+    }
+
+    #[test]
+    fn connected_cells_yields_driver_first() {
+        let n = Net::new("n0", CellId(7), vec![CellId(1)], 0.5);
+        let cells: Vec<_> = n.connected_cells().collect();
+        assert_eq!(cells, vec![CellId(7), CellId(1)]);
+    }
+
+    #[test]
+    fn connects_checks_both_roles() {
+        let n = Net::new("n0", CellId(7), vec![CellId(1)], 0.5);
+        assert!(n.connects(CellId(7)));
+        assert!(n.connects(CellId(1)));
+        assert!(!n.connects(CellId(2)));
+    }
+
+    #[test]
+    fn net_id_display() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(NetId::from(3usize).index(), 3);
+    }
+}

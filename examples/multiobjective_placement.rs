@@ -1,0 +1,59 @@
+//! Three-objective placement (wirelength + power + delay) of one of the
+//! paper's benchmark circuits, with a convergence trace and a comparison of
+//! the two- and three-objective cost functions.
+//!
+//! Run with: `cargo run --release --example multiobjective_placement [circuit]`
+//! where `circuit` is one of s1196, s1238, s1488, s1494, s3330 (default s1238).
+
+use sime_placement::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s1238".to_string());
+    let circuit = PaperCircuit::from_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown circuit `{name}`, falling back to s1238");
+        PaperCircuit::S1238
+    });
+    let netlist = Arc::new(paper_circuit(circuit));
+    println!(
+        "circuit {}: {} cells, {} rows",
+        circuit,
+        netlist.num_cells(),
+        circuit.num_rows()
+    );
+
+    let iterations = 150;
+    for objectives in [Objectives::WirelengthPower, Objectives::WirelengthPowerDelay] {
+        println!("\n=== objectives: {} ===", objectives.label());
+        let config = SimEConfig::paper_defaults(objectives, circuit.num_rows(), iterations);
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        if objectives.includes_delay() {
+            println!(
+                "extracted {} critical paths (longest depth {})",
+                engine.evaluator().paths().len(),
+                engine.evaluator().paths().first().map_or(0, |p| p.len())
+            );
+        }
+        let result = engine.run();
+
+        println!("iteration    µ(s)   avg goodness   wirelength      delay");
+        for h in result.history.iter().step_by(iterations / 10) {
+            println!(
+                "{:>9} {:>7.3} {:>14.3} {:>12.0} {:>10.3}",
+                h.iteration, h.mu, h.avg_goodness, h.cost.wirelength, h.cost.delay
+            );
+        }
+        let best = result.best_cost;
+        println!(
+            "best: µ(s) = {:.3}, wirelength = {:.0}, power = {:.0}, delay = {:.3}, width = {:.0}",
+            best.mu, best.wirelength, best.power, best.delay, best.width
+        );
+        println!(
+            "memberships: wire {:.2}, power {:.2}, delay {:.2}, width {:.2}",
+            best.memberships.wirelength,
+            best.memberships.power,
+            best.memberships.delay,
+            best.memberships.width
+        );
+    }
+}
