@@ -4,8 +4,7 @@
 //! strategies execute their per-rank work locally (so results are exact) and
 //! report every unit of computation and every message here; the timeline
 //! advances the clocks according to the configured
-//! [`ComputeModel`](crate::machine::ComputeModel) and
-//! [`NetworkModel`](crate::network::NetworkModel). At the end of the run the
+//! [`ComputeModel`] and [`NetworkModel`]. At the end of the run the
 //! *makespan* (the largest clock) is the modeled runtime that the reproduced
 //! tables report.
 //!

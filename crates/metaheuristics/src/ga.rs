@@ -3,7 +3,7 @@
 //! A steady-state GA over placements encoded as cell permutations (dealt into
 //! rows the same way initial placements are built): tournament selection,
 //! order crossover (OX1), swap mutation and elitist replacement. Mirrors the
-//! serial level of the authors' distributed GA work [8].
+//! serial level of the authors' distributed GA work \[8\].
 
 use crate::common::HeuristicResult;
 use rand::seq::SliceRandom;

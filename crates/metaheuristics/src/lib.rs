@@ -4,7 +4,7 @@
 //! SimE engine: Simulated Annealing, a Genetic Algorithm and Tabu Search.
 //!
 //! Section 7 of the paper compares the parallelization behaviour of SimE with
-//! the authors' parallel SA [11], GA [8] and TS [6] implementations for the
+//! the authors' parallel SA \[11\], GA \[8\] and TS \[6\] implementations for the
 //! same placement problem, observing that cooperative parallel searches suit
 //! SA and GA while a Type I (move-evaluation) parallelization suits TS. This
 //! crate provides serial implementations of those baselines so that the

@@ -3,7 +3,7 @@
 //! A classical geometric-cooling SA over the swap/relocate move set, accepting
 //! uphill moves with probability `exp(−Δ/T)` where the energy is `1 − µ(s)`
 //! (so maximising the fuzzy quality). This mirrors the authors' serial SA
-//! implementation lineage [11] closely enough for the qualitative comparison
+//! implementation lineage \[11\] closely enough for the qualitative comparison
 //! of experiment E5.
 
 use crate::common::{apply_move, neighbour_move, HeuristicResult};

@@ -3,7 +3,7 @@
 //! A straightforward best-of-neighbourhood TS with a recency-based tabu list
 //! over moved cells and an aspiration criterion (a tabu move is allowed when
 //! it improves on the best solution found so far). Mirrors the structure of
-//! the authors' parallel TS work [6] at the serial level.
+//! the authors' parallel TS work \[6\] at the serial level.
 
 use crate::common::{apply_move, neighbour_move, HeuristicResult, MoveKind};
 use rand::SeedableRng;

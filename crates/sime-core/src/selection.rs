@@ -9,7 +9,7 @@
 //! non-zero chance of being selected — the source of SimE's hill-climbing
 //! ability.
 //!
-//! The paper uses the *biasless* selection function of Sait & Khan [9], which
+//! The paper uses the *biasless* selection function of Sait & Khan \[9\], which
 //! removes the problem-dependent tuning of `B` by replacing it with the
 //! negative deviation of the current average goodness from 1; both schemes
 //! are provided here.
@@ -23,7 +23,7 @@ use vlsi_netlist::CellId;
 pub enum SelectionScheme {
     /// Classical SimE selection with a fixed bias `B` (may be negative).
     FixedBias(f64),
-    /// Biasless selection [9]: the bias adapts each iteration to
+    /// Biasless selection \[9\]: the bias adapts each iteration to
     /// `B = −(1 − ḡ)` where `ḡ` is the current average goodness, so that the
     /// expected selection-set size tracks how far the solution is from
     /// convergence without manual tuning.

@@ -3,7 +3,7 @@
 //! Netlist model for the sime-placement workspace.
 //!
 //! This crate provides the circuit substrate that the placement cost model
-//! ([`vlsi-place`]) and the Simulated Evolution engine ([`sime-core`]) operate
+//! (`vlsi-place`) and the Simulated Evolution engine (`sime-core`) operate
 //! on:
 //!
 //! * [`Cell`], [`Net`] and [`Netlist`] — an immutable gate-level circuit graph
@@ -15,7 +15,7 @@
 //! * [`bench_suite`] — the five named circuits used throughout the paper
 //!   (`s1196`, `s1488`, `s1494`, `s1238`, `s3330`) regenerated with the paper's
 //!   published cell counts,
-//! * [`format`] — a simple line-oriented text netlist format with a parser and
+//! * [`mod@format`] — a simple line-oriented text netlist format with a parser and
 //!   writer, so circuits can be saved, inspected and reloaded.
 //!
 //! The original paper evaluates on ISCAS-89 benchmark circuits. Those netlists

@@ -2,7 +2,7 @@
 //!
 //! The paper optimises three objectives simultaneously and folds them into a
 //! single scalar quality `µ(s) ∈ [0, 1]` using fuzzy logic (Section 2,
-//! "Overall Fuzzy Cost Function", following reference [9]). Each objective
+//! "Overall Fuzzy Cost Function", following reference \[9\]). Each objective
 //! cost `C_j` is mapped to a membership `µ_j ∈ [0, 1]` relative to a lower
 //! bound `O_j`:
 //!
@@ -44,7 +44,7 @@ pub struct FuzzyConfig {
     /// Cost multiple of the lower bound at which the delay membership reaches
     /// zero.
     pub goal_delay: f64,
-    /// OWA weight of the `min` term in the fuzzy AND (`β` in [9]); the
+    /// OWA weight of the `min` term in the fuzzy AND (`β` in \[9\]); the
     /// remaining `1 − β` weights the arithmetic mean.
     pub beta: f64,
     /// Width-constraint ratio `α`: the layout width must not exceed
@@ -54,15 +54,19 @@ pub struct FuzzyConfig {
 
 impl Default for FuzzyConfig {
     /// Defaults calibrated so that converged placements of the synthetic
-    /// benchmark suite land in the µ ≈ 0.5–0.75 band the paper reports: the
+    /// benchmark suite land in the µ ≈ 0.4–0.7 band the paper reports: the
     /// per-net lower bounds assume every net packed contiguously in a single
-    /// row, which real (multi-row, shared) placements exceed by a factor of
-    /// roughly 2–4, so the membership must reach zero only well above that.
+    /// row, which real (multi-row, shared) placements of the paper-sized
+    /// circuits exceed by a measured factor of roughly 20–40× for wirelength
+    /// and power and 10–18× for delay, so the memberships must reach zero
+    /// only well above those ratios or µ degenerates to the width-only
+    /// floor for every placement (`(1 − β)/3` with two objectives,
+    /// `(1 − β)/4` when delay is included).
     fn default() -> Self {
         FuzzyConfig {
-            goal_wirelength: 14.0,
-            goal_power: 14.0,
-            goal_delay: 14.0,
+            goal_wirelength: 60.0,
+            goal_power: 60.0,
+            goal_delay: 30.0,
             beta: 0.7,
             alpha_width: 0.25,
         }

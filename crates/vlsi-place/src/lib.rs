@@ -16,7 +16,7 @@
 //! * [`goodness`] — the per-cell multiobjective goodness `gᵢ = Oᵢ/Cᵢ` that
 //!   drives SimE selection.
 //!
-//! The cost definitions follow Section 2 of the paper and its reference [9]
+//! The cost definitions follow Section 2 of the paper and its reference \[9\]
 //! (Sait & Khan, *Engineering Applications of AI*, 2003): wirelength is the
 //! sum of per-net Steiner estimates, power is switching-probability-weighted
 //! wirelength, delay is the maximum path delay over a set of extracted

@@ -1,0 +1,334 @@
+//! Vendored minimal benchmark harness exposing the subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) surface this workspace uses:
+//! [`Criterion::benchmark_group`], group `measurement_time` / `sample_size` /
+//! `bench_function` / `finish`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the [`criterion_group!`] and
+//! [`criterion_main!`] macros (benches are declared with `harness = false`).
+//!
+//! Statistics are intentionally simple — per-sample wall-clock timing with
+//! mean / median / min reporting — but the measurement loop structure
+//! (warm-up, then timed samples under a measurement-time budget) mirrors
+//! criterion so numbers are comparable run-to-run on one machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    /// Default measurement budget per benchmark.
+    measurement_time: Duration,
+    /// Default number of timed samples per benchmark.
+    sample_size: usize,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (only a positional substring filter is
+    /// honoured, mirroring `cargo bench -- <filter>`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measurement_time = self.measurement_time;
+        let sample_size = self.sample_size;
+        self.run_one(id, measurement_time, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, measurement_time: Duration, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement_time,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.as_ref());
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full_id, measurement_time, sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this shim always re-runs setup per batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup in real criterion.
+    SmallInput,
+    /// Large inputs: few iterations per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run a few times and estimate the per-call cost so each
+        // timed sample aggregates enough calls to be measurable.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        black_box(routine());
+        let per_call = warmup_start.elapsed() / 2;
+        let calls_per_sample = Self::calls_per_sample(per_call);
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / calls_per_sample);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(input));
+        let per_call = warmup_start.elapsed();
+        // Inputs for a whole sample are materialised up front (so setup cost
+        // stays outside the timed region); keep the batch small enough that a
+        // heavyweight setup cannot balloon memory, and honour PerIteration.
+        let calls_per_sample = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::LargeInput => Self::calls_per_sample(per_call).min(16),
+            BatchSize::SmallInput => Self::calls_per_sample(per_call).min(1024),
+        };
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..calls_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / calls_per_sample);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Aggregates calls so one timed sample lasts roughly a millisecond.
+    fn calls_per_sample(per_call: Duration) -> u32 {
+        const TARGET: Duration = Duration::from_millis(1);
+        if per_call.is_zero() {
+            return 1000;
+        }
+        (TARGET.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 100_000) as u32
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "  {id:<50} mean {:>12} median {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(median),
+            fmt_duration(min),
+            sorted.len()
+        );
+    }
+}
+
+/// Formats a duration with adaptive units the way criterion reports do.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_collect_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(50),
+            sample_size: 5,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size: 3,
+            filter: None,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size: 3,
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

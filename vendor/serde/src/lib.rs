@@ -1,0 +1,9 @@
+//! Vendored facade over the workspace's no-op serde derive shims.
+//!
+//! `use serde::{Serialize, Deserialize}` resolves to the derive macros from
+//! the sibling `serde_derive` shim (enabled through the `derive` feature,
+//! matching the real crate's feature name). The derives expand to nothing —
+//! see `vendor/serde_derive` for the rationale.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Vendored no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its config and report types so that
+//! downstream users of the real `serde` can persist them, but no code inside
+//! this repository serialises anything yet. Because the build environment has
+//! no crates.io access, these derives expand to nothing: the types still
+//! compile and behave identically, and swapping in the real `serde` later is
+//! a Cargo.toml-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
