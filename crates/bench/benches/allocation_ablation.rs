@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sime_core::allocation::{allocate_all, AllocationConfig, AllocationStrategy};
+use sime_core::allocation::{allocate_all, AllocScratch, AllocationConfig, AllocationStrategy};
 use sime_core::engine::{SimEConfig, SimEEngine};
 use sime_core::profile::ProfileReport;
 use sime_core::selection::{select, SelectionScheme};
@@ -44,11 +44,13 @@ fn allocation_ablation(c: &mut Criterion) {
                 || {
                     let mut r = ChaCha8Rng::seed_from_u64(11);
                     let selected = select(&goodness, SelectionScheme::Biasless, &mut r, &[]);
-                    (placement.clone(), selected, r)
+                    let scratch = AllocScratch::for_evaluator(engine.evaluator());
+                    (placement.clone(), selected, r, scratch)
                 },
-                |(mut p, mut selected, mut r)| {
+                |(mut p, mut selected, mut r, mut scratch)| {
                     black_box(allocate_all(
                         engine.evaluator(),
+                        &mut scratch,
                         &mut p,
                         &mut selected,
                         &goodness,

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sime_core::allocation::{allocate_all, AllocationConfig};
+use sime_core::allocation::{allocate_all, AllocScratch, AllocationConfig};
 use sime_core::engine::{SimEConfig, SimEEngine};
 use sime_core::profile::ProfileReport;
 use sime_core::selection::{select, SelectionScheme};
@@ -49,11 +49,12 @@ fn operators(c: &mut Criterion) {
             || {
                 let mut r = ChaCha8Rng::seed_from_u64(7);
                 let selected = select(&goodness, SelectionScheme::Biasless, &mut r, &[]);
-                (placement.clone(), selected, r)
+                (placement.clone(), selected, r, AllocScratch::for_evaluator(engine.evaluator()))
             },
-            |(mut p, mut selected, mut r)| {
+            |(mut p, mut selected, mut r, mut scratch)| {
                 black_box(allocate_all(
                     engine.evaluator(),
+                    &mut scratch,
                     &mut p,
                     &mut selected,
                     &goodness,
@@ -68,10 +69,10 @@ fn operators(c: &mut Criterion) {
 
     group.bench_function("full_iteration", |b| {
         b.iter_batched(
-            || (placement.clone(), ChaCha8Rng::seed_from_u64(9)),
-            |(mut p, mut r)| {
+            || (placement.clone(), ChaCha8Rng::seed_from_u64(9), engine.new_scratch()),
+            |(mut p, mut r, mut scratch)| {
                 let mut prof = ProfileReport::new();
-                black_box(engine.iterate(&mut p, &mut r, &mut prof, &[], &[]))
+                black_box(engine.iterate(&mut p, &mut scratch, &mut r, &mut prof, &[], &[]))
             },
             BatchSize::SmallInput,
         )

@@ -1,0 +1,183 @@
+//! `perf_report` — machine-readable performance snapshot of the SimE
+//! operator hot paths, written as JSON so CI can archive the perf trajectory
+//! PR over PR.
+//!
+//! Runs the operator benches at reduced scale (a handful of full SimE
+//! iterations on the paper's `s1196` circuit plus naive-vs-kernel
+//! head-to-heads) and writes `BENCH_PR2.json` with per-phase wall-clock
+//! nanoseconds, deterministic work counts and derived net-evaluations/second
+//! rates.
+//!
+//! Usage: `perf_report [--out PATH] [--iters N]`
+//! (defaults: `BENCH_PR2.json`, 10 iterations).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_core::profile::{Phase, ProfileReport};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
+use vlsi_place::cost::Objectives;
+use vlsi_place::kernel::{NetLengthCache, TrialScorer};
+use vlsi_place::layout::Slot;
+
+/// Times `f` over `reps` repetitions and returns total nanoseconds.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos()
+}
+
+fn evals_per_sec(net_evals: u64, total_ns: u128) -> f64 {
+    if total_ns == 0 {
+        0.0
+    } else {
+        net_evals as f64 / (total_ns as f64 / 1e9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_PR2.json".into());
+    let iters: usize = arg("--iters").and_then(|v| v.parse().ok()).unwrap_or(10);
+
+    let circuit = PaperCircuit::S1196;
+    let netlist = Arc::new(paper_circuit(circuit));
+    let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iters);
+    let engine = SimEEngine::new(Arc::clone(&netlist), config);
+
+    // -- Full engine run: per-phase wall times + deterministic work counts.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut placement = engine.initial_placement(&mut rng);
+    let mut scratch = engine.new_scratch();
+    let mut profile = ProfileReport::new();
+    let run_ns = time_ns(1, || {
+        for _ in 0..iters {
+            black_box(engine.iterate(
+                &mut placement,
+                &mut scratch,
+                &mut rng,
+                &mut profile,
+                &[],
+                &[],
+            ));
+        }
+    });
+
+    // -- Naive-vs-kernel trial scoring head-to-head (48 slots, highest-degree
+    //    cell), the kernel this PR introduced.
+    let evaluator = engine.evaluator().clone();
+    let cell = netlist
+        .cell_ids()
+        .max_by_key(|&c| netlist.nets_of_cell(c).len())
+        .unwrap();
+    let mut ripped = placement.clone();
+    ripped.remove_cell(cell);
+    let slots: Vec<Slot> = (0..48)
+        .map(|i| {
+            let row = i % circuit.num_rows();
+            Slot {
+                row,
+                index: (i * 7) % (ripped.row(row).len() + 1),
+            }
+        })
+        .collect();
+    const REPS: usize = 200;
+    let naive_trial_ns = time_ns(REPS, || {
+        for &slot in &slots {
+            let pos = ripped.trial_position(cell, slot);
+            black_box(evaluator.cell_cost_at(&ripped, cell, pos));
+        }
+    });
+    let mut scorer = TrialScorer::for_evaluator(&evaluator);
+    let kernel_trial_ns = time_ns(REPS, || {
+        scorer.prepare_cell(&evaluator, &ripped, cell);
+        for &slot in &slots {
+            let pos = ripped.trial_position(cell, slot);
+            black_box(scorer.prepared_cost_at(pos));
+        }
+    });
+
+    // -- Naive-vs-kernel full evaluation head-to-head (the kernel is forced
+    //    onto the full-recompute path each rep), plus the steady-state cost
+    //    of refreshing an unchanged placement (the cache-hit path the engine
+    //    loop sees between iterations).
+    let naive_eval_ns = time_ns(REPS, || {
+        black_box(evaluator.net_lengths(&placement));
+    });
+    let mut cache = NetLengthCache::new();
+    let kernel_eval_ns = time_ns(REPS, || {
+        cache.invalidate();
+        black_box(cache.refresh(&evaluator, &mut scorer, &placement).len());
+    });
+    cache.refresh(&evaluator, &mut scorer, &placement);
+    let cached_eval_ns = time_ns(REPS, || {
+        black_box(cache.refresh(&evaluator, &mut scorer, &placement).len());
+    });
+
+    // -- Assemble JSON (hand-rolled: the vendored serde is a no-op shim).
+    let mut phases = String::new();
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let ns = profile.time(*phase).as_nanos();
+        let evals = profile.net_evals(*phase);
+        if i > 0 {
+            phases.push_str(",\n");
+        }
+        phases.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"total_ns\": {}, \"net_evals\": {}, \"net_evals_per_sec\": {:.0}}}",
+            phase.label(),
+            ns,
+            evals,
+            evals_per_sec(evals, ns)
+        ));
+    }
+    let json = format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"report\": \"BENCH_PR2\",\n\
+         \x20 \"circuit\": \"s1196\",\n\
+         \x20 \"cells\": {cells},\n\
+         \x20 \"nets\": {nets},\n\
+         \x20 \"iterations\": {iters},\n\
+         \x20 \"total_run_ns\": {run_ns},\n\
+         \x20 \"total_net_evals\": {total_evals},\n\
+         \x20 \"net_evals_per_sec\": {total_rate:.0},\n\
+         \x20 \"trial_positions\": {trials},\n\
+         \x20 \"phases\": [\n{phases}\n  ],\n\
+         \x20 \"head_to_head\": {{\n\
+         \x20   \"trial_scoring_48slots\": {{\"reps\": {reps}, \"naive_ns\": {ntr}, \"kernel_ns\": {ktr}, \"speedup\": {str:.2}}},\n\
+         \x20   \"full_net_lengths\": {{\"reps\": {reps}, \"naive_ns\": {nev}, \"kernel_ns\": {kev}, \"speedup\": {sev:.2}}},\n\
+         \x20   \"refresh_unchanged\": {{\"reps\": {reps}, \"kernel_ns\": {cev}}}\n\
+         \x20 }}\n\
+         }}\n",
+        cells = netlist.num_cells(),
+        nets = netlist.num_nets(),
+        iters = iters,
+        run_ns = run_ns,
+        total_evals = profile.total_net_evals(),
+        total_rate = evals_per_sec(profile.total_net_evals(), run_ns),
+        trials = profile.trial_positions,
+        phases = phases,
+        reps = REPS,
+        ntr = naive_trial_ns,
+        ktr = kernel_trial_ns,
+        str = naive_trial_ns as f64 / kernel_trial_ns.max(1) as f64,
+        nev = naive_eval_ns,
+        kev = kernel_eval_ns,
+        sev = naive_eval_ns as f64 / kernel_eval_ns.max(1) as f64,
+        cev = cached_eval_ns,
+    );
+
+    std::fs::write(&out_path, &json).expect("write perf report");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -23,7 +23,63 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use vlsi_netlist::CellId;
 use vlsi_place::cost::CostEvaluator;
+use vlsi_place::kernel::TrialScorer;
 use vlsi_place::layout::{Placement, Slot};
+
+/// Reusable buffers for the allocation operator. Everything the former
+/// implementation allocated per cell (candidate lists, row orderings, the
+/// median buffers of the windowed search) and per *slot* (the pin buffer and
+/// Steiner sort inside trial scoring, now owned by the embedded
+/// [`TrialScorer`]) lives here, so a full allocation pass performs no heap
+/// allocation. One instance per worker thread.
+#[derive(Debug, Clone)]
+pub struct AllocScratch {
+    /// The allocation-free trial scorer (shared with the engine's evaluation
+    /// step, which uses it to refresh the net-length cache).
+    pub scorer: TrialScorer,
+    /// Deduplicated target rows for the current cell.
+    rows: Vec<usize>,
+    /// Candidate slots for the current cell.
+    candidates: Vec<Slot>,
+    /// Connected-cell x coordinates (windowed search median).
+    xs: Vec<f64>,
+    /// Connected-cell y coordinates (windowed search median).
+    ys: Vec<f64>,
+    /// Rows ordered by distance from the optimal y (windowed search).
+    rows_by_distance: Vec<usize>,
+}
+
+impl AllocScratch {
+    /// Creates scratch space matching an evaluator's wirelength model.
+    pub fn for_evaluator(evaluator: &CostEvaluator) -> Self {
+        AllocScratch {
+            scorer: TrialScorer::for_evaluator(evaluator),
+            rows: Vec::new(),
+            candidates: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            rows_by_distance: Vec::new(),
+        }
+    }
+
+    /// Fills `self.rows` with `allowed` (or every row when `allowed` is
+    /// empty), dropping duplicate entries while preserving first-occurrence
+    /// order. Duplicated allowed rows would otherwise emit the same
+    /// `(row, index)` candidate twice and double-charge the
+    /// `net_evaluations` / `trial_positions` work counts.
+    fn fill_rows(&mut self, placement: &Placement, allowed: &[usize]) {
+        self.rows.clear();
+        if allowed.is_empty() {
+            self.rows.extend(0..placement.num_rows());
+        } else {
+            for &row in allowed {
+                if !self.rows.contains(&row) {
+                    self.rows.push(row);
+                }
+            }
+        }
+    }
+}
 
 /// Which allocation method re-inserts the selected cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -137,46 +193,44 @@ pub fn sort_selection(selected: &mut [CellId], goodness: &[f64]) {
 /// (allocation operates on the partial solution `Φp`).
 pub fn allocate_cell<R: Rng + ?Sized>(
     evaluator: &CostEvaluator,
+    scratch: &mut AllocScratch,
     placement: &mut Placement,
     cell: CellId,
     config: &AllocationConfig,
     allowed_rows: &[usize],
     rng: &mut R,
 ) -> AllocationStats {
-    let nets_of_cell = evaluator.netlist().nets_of_cell(cell).count();
+    let nets_of_cell = evaluator.netlist().nets_of_cell(cell).len();
     let stride = config.trial_stride.max(1);
 
-    let rows: Vec<usize> = if allowed_rows.is_empty() {
-        (0..placement.num_rows()).collect()
-    } else {
-        allowed_rows.to_vec()
-    };
+    scratch.fill_rows(placement, allowed_rows);
 
     // Enumerate candidate slots according to the strategy.
-    let mut candidates: Vec<Slot> = Vec::new();
+    scratch.candidates.clear();
     if config.strategy == AllocationStrategy::WindowedBestFit {
-        candidates = windowed_candidates(evaluator, placement, cell, config, &rows);
+        windowed_candidates(evaluator, placement, cell, config, scratch);
     } else {
-        for &row in &rows {
+        for r in 0..scratch.rows.len() {
+            let row = scratch.rows[r];
             let slots = placement.slots_in_row(row);
             let mut index = 0;
             while index < slots {
-                candidates.push(Slot { row, index });
+                scratch.candidates.push(Slot { row, index });
                 index += stride;
             }
             // Always consider appending at the end of the row.
             if (slots - 1) % stride != 0 {
-                candidates.push(Slot {
+                scratch.candidates.push(Slot {
                     row,
                     index: slots - 1,
                 });
             }
         }
         if config.strategy == AllocationStrategy::RandomWindow
-            && candidates.len() > config.random_window
+            && scratch.candidates.len() > config.random_window
         {
-            candidates.shuffle(rng);
-            candidates.truncate(config.random_window.max(1));
+            scratch.candidates.shuffle(rng);
+            scratch.candidates.truncate(config.random_window.max(1));
         }
     }
 
@@ -188,9 +242,13 @@ pub fn allocate_cell<R: Rng + ?Sized>(
 
     let mut best_slot = None;
     let mut best_score = f64::INFINITY;
-    for slot in candidates {
+    // One pass over the cell's pins up front; every candidate slot below is
+    // then scored from the per-net summaries in O(distinct rows).
+    scratch.scorer.prepare_cell(evaluator, placement, cell);
+    for i in 0..scratch.candidates.len() {
+        let slot = scratch.candidates[i];
         let pos = placement.trial_position(cell, slot);
-        let cost = evaluator.cell_cost_at(placement, cell, pos);
+        let cost = scratch.scorer.prepared_cost_at(pos);
         let score = evaluator.allocation_score(&cost);
         stats.trial_positions += 1;
         stats.net_evaluations += nets_of_cell;
@@ -206,7 +264,7 @@ pub fn allocate_cell<R: Rng + ?Sized>(
     }
 
     let slot = best_slot.unwrap_or(Slot {
-        row: rows[0],
+        row: scratch.rows[0],
         index: 0,
     });
     placement.insert_cell(cell, slot);
@@ -223,43 +281,48 @@ fn windowed_candidates(
     placement: &Placement,
     cell: CellId,
     config: &AllocationConfig,
-    rows: &[usize],
-) -> Vec<Slot> {
+    scratch: &mut AllocScratch,
+) {
     let netlist = evaluator.netlist();
 
     // Optimal position: median of connected-cell coordinates.
-    let mut xs: Vec<f64> = Vec::new();
-    let mut ys: Vec<f64> = Vec::new();
-    for net in netlist.nets_of_cell(cell) {
+    scratch.xs.clear();
+    scratch.ys.clear();
+    for &net in netlist.nets_of_cell(cell) {
         for &other in evaluator.net_cells(net) {
             if other == cell {
                 continue;
             }
             let (x, y) = placement.position(other);
-            xs.push(x);
-            ys.push(y);
+            scratch.xs.push(x);
+            scratch.ys.push(y);
         }
     }
-    let (opt_x, opt_y) = if xs.is_empty() {
+    let (opt_x, opt_y) = if scratch.xs.is_empty() {
         placement.position(cell)
     } else {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        (xs[xs.len() / 2], ys[ys.len() / 2])
+        scratch.xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        scratch.ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (
+            scratch.xs[scratch.xs.len() / 2],
+            scratch.ys[scratch.ys.len() / 2],
+        )
     };
 
-    // Rows nearest the optimal y, limited to `best_fit_rows`.
-    let mut rows_by_distance: Vec<usize> = rows.to_vec();
-    rows_by_distance.sort_by(|&a, &b| {
+    // Rows nearest the optimal y, limited to `best_fit_rows`. `scratch.rows`
+    // is already deduplicated, so the per-row windows below cannot emit the
+    // same slot twice.
+    scratch.rows_by_distance.clear();
+    scratch.rows_by_distance.extend_from_slice(&scratch.rows);
+    scratch.rows_by_distance.sort_by(|&a, &b| {
         let da = ((a as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
         let db = ((b as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
         da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
     });
-    rows_by_distance.truncate(config.best_fit_rows.max(1));
+    scratch.rows_by_distance.truncate(config.best_fit_rows.max(1));
 
-    let per_row = (config.best_fit_window.max(1) / rows_by_distance.len()).max(1);
-    let mut candidates = Vec::with_capacity(config.best_fit_window + rows_by_distance.len());
-    for &row in &rows_by_distance {
+    let per_row = (config.best_fit_window.max(1) / scratch.rows_by_distance.len()).max(1);
+    for &row in &scratch.rows_by_distance {
         let cells_in_row = placement.row(row);
         // Find the insertion index whose left edge is closest to opt_x by a
         // linear scan over the row's cached coordinates (cheap: no net
@@ -283,11 +346,10 @@ fn windowed_candidates(
         let lo = best_index.saturating_sub(half);
         let hi = (best_index + half.max(1)).min(cells_in_row.len());
         for index in lo..=hi {
-            candidates.push(Slot { row, index });
+            scratch.candidates.push(Slot { row, index });
         }
     }
-    candidates.truncate(config.best_fit_window.max(1));
-    candidates
+    scratch.candidates.truncate(config.best_fit_window.max(1));
 }
 
 /// Row height re-exported for the windowed candidate search (kept here so the
@@ -304,6 +366,7 @@ pub(crate) fn row_height() -> f64 {
 /// Type II row decomposition); pass an empty slice to allow every row.
 pub fn allocate_all<R: Rng + ?Sized>(
     evaluator: &CostEvaluator,
+    scratch: &mut AllocScratch,
     placement: &mut Placement,
     selected: &mut Vec<CellId>,
     goodness: &[f64],
@@ -319,7 +382,7 @@ pub fn allocate_all<R: Rng + ?Sized>(
     }
     let mut stats = AllocationStats::default();
     for &cell in selected.iter() {
-        let s = allocate_cell(evaluator, placement, cell, config, allowed_rows, rng);
+        let s = allocate_cell(evaluator, scratch, placement, cell, config, allowed_rows, rng);
         stats.merge(&s);
     }
     stats
@@ -361,6 +424,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         allocate_all(
             &eval,
+            &mut AllocScratch::for_evaluator(&eval),
             &mut placement,
             &mut selected,
             &goodness,
@@ -383,14 +447,15 @@ mod tests {
         let nl = eval.netlist().clone();
         let cell = nl
             .cell_ids()
-            .find(|&c| nl.nets_of_cell(c).count() >= 2)
+            .find(|&c| nl.nets_of_cell(c).len() >= 2)
             .unwrap();
         let before = eval.allocation_score(&eval.cell_cost(&placement, cell));
-        let slack = nl.cell(cell).width as f64 * 2.0 * nl.nets_of_cell(cell).count() as f64;
+        let slack = nl.cell(cell).width as f64 * 2.0 * nl.nets_of_cell(cell).len() as f64;
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         placement.remove_cell(cell);
         allocate_cell(
             &eval,
+            &mut AllocScratch::for_evaluator(&eval),
             &mut placement,
             cell,
             &AllocationConfig::exhaustive(),
@@ -415,6 +480,7 @@ mod tests {
         let allowed = vec![2usize, 3];
         allocate_all(
             &eval,
+            &mut AllocScratch::for_evaluator(&eval),
             &mut placement,
             &mut selected,
             &goodness,
@@ -441,6 +507,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let stats = allocate_all(
             &eval,
+            &mut AllocScratch::for_evaluator(&eval),
             &mut placement,
             &mut selected,
             &goodness,
@@ -464,6 +531,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(5);
             allocate_all(
                 &eval,
+                &mut AllocScratch::for_evaluator(&eval),
                 &mut p,
                 &mut selected,
                 &goodness,
@@ -490,6 +558,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let stats = allocate_all(
             &eval,
+            &mut AllocScratch::for_evaluator(&eval),
             &mut placement,
             &mut selected,
             &goodness,
@@ -516,6 +585,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             allocate_all(
                 &eval,
+                &mut AllocScratch::for_evaluator(&eval),
                 &mut p,
                 &mut selected,
                 &goodness,
@@ -530,6 +600,47 @@ mod tests {
         let best = run(AllocationStrategy::SortedBestFit);
         let first = run(AllocationStrategy::FirstFit);
         assert!(first.trial_positions <= best.trial_positions);
+    }
+
+    #[test]
+    fn duplicate_allowed_rows_do_not_double_charge_stats() {
+        // Regression: overlapping/duplicated allowed-rows input used to emit
+        // the same (row, index) candidate several times, inflating the
+        // trial_positions / net_evaluations work counts the cluster
+        // simulation charges for. The candidate set must depend only on the
+        // *set* of allowed rows.
+        let (eval, _, placement) = setup();
+        let nl = eval.netlist().clone();
+        let cell = nl
+            .cell_ids()
+            .find(|&c| nl.nets_of_cell(c).len() >= 2)
+            .unwrap();
+        for strategy in [
+            AllocationStrategy::WindowedBestFit,
+            AllocationStrategy::SortedBestFit,
+        ] {
+            let config = AllocationConfig {
+                strategy,
+                ..Default::default()
+            };
+            let run = |allowed: &[usize]| {
+                let mut p = placement.clone();
+                let mut scratch = AllocScratch::for_evaluator(&eval);
+                let mut rng = ChaCha8Rng::seed_from_u64(8);
+                p.remove_cell(cell);
+                let stats =
+                    allocate_cell(&eval, &mut scratch, &mut p, cell, &config, allowed, &mut rng);
+                (stats, p.slot_of(cell))
+            };
+            let (clean, slot_clean) = run(&[2, 3, 4]);
+            let (dup, slot_dup) = run(&[2, 3, 2, 4, 3, 2]);
+            assert_eq!(
+                clean.trial_positions, dup.trial_positions,
+                "{strategy:?}: duplicated rows must not add trial positions"
+            );
+            assert_eq!(clean.net_evaluations, dup.net_evaluations);
+            assert_eq!(slot_clean, slot_dup, "{strategy:?}: same best slot");
+        }
     }
 
     #[test]

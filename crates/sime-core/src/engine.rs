@@ -1,6 +1,6 @@
 //! The SimE main loop (Figure 1 of the paper).
 
-use crate::allocation::{allocate_all, AllocationConfig, AllocationStats};
+use crate::allocation::{allocate_all, AllocScratch, AllocationConfig, AllocationStats};
 use crate::profile::{Phase, ProfileReport};
 use crate::selection::{select, SelectionScheme};
 use rand::{Rng, SeedableRng};
@@ -11,7 +11,40 @@ use std::time::Instant;
 use vlsi_netlist::{CellId, Netlist};
 use vlsi_place::cost::{CostBreakdown, CostEvaluator, Objectives};
 use vlsi_place::goodness::GoodnessEvaluator;
+use vlsi_place::kernel::NetLengthCache;
 use vlsi_place::layout::Placement;
+
+/// Per-worker mutable state of a SimE run: the allocation scratch buffers
+/// (including the allocation-free [`vlsi_place::kernel::TrialScorer`]) and
+/// the incremental [`NetLengthCache`].
+///
+/// The engine itself stays immutable and shareable (`&SimEEngine` is all the
+/// parallel strategies hold); every thread of execution owns one
+/// `SimEScratch` and passes it to [`SimEEngine::iterate`] /
+/// [`SimEEngine::evaluate_with`]. The scratch never influences results —
+/// every number produced through it is bitwise identical to the naive
+/// [`SimEEngine::evaluate`] oracle — it only removes per-call allocations and
+/// redundant net re-evaluations.
+#[derive(Debug, Clone)]
+pub struct SimEScratch {
+    /// Allocation buffers + trial scorer.
+    pub alloc: AllocScratch,
+    /// Incremental per-net length cache (delta evaluation across iterations).
+    pub cache: NetLengthCache,
+    /// Reused per-cell goodness buffer.
+    goodness: Vec<f64>,
+}
+
+impl SimEScratch {
+    /// Creates scratch space for an engine's evaluator.
+    pub fn for_engine(engine: &SimEEngine) -> Self {
+        SimEScratch {
+            alloc: AllocScratch::for_evaluator(engine.evaluator()),
+            cache: NetLengthCache::new(),
+            goodness: Vec::new(),
+        }
+    }
+}
 
 /// When the SimE loop stops.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,7 +225,19 @@ impl SimEEngine {
         Placement::random(self.evaluator.netlist(), self.config.num_rows, rng)
     }
 
+    /// Creates the per-worker scratch space used by [`SimEEngine::iterate`]
+    /// and [`SimEEngine::evaluate_with`].
+    pub fn new_scratch(&self) -> SimEScratch {
+        SimEScratch::for_engine(self)
+    }
+
     /// The Evaluation step: per-net lengths and per-cell goodness.
+    ///
+    /// Reference (oracle) implementation: recomputes every net length from
+    /// scratch and allocates the result vectors. The engine loop itself runs
+    /// on [`SimEEngine::evaluate_with`], which produces bitwise-identical
+    /// values through the incremental kernel; this method is kept as the
+    /// ground truth for differential tests and one-shot callers.
     ///
     /// Returns `(net_lengths, goodness)` and charges the cost-calculation and
     /// goodness-evaluation phases of `profile`.
@@ -211,9 +256,50 @@ impl SimEEngine {
         profile.add_time(Phase::GoodnessEvaluation, t1.elapsed());
         profile.add_net_evals(Phase::GoodnessEvaluation, self.pins);
 
+        self.profile_delay(&net_lengths, profile);
+
+        (net_lengths, goodness)
+    }
+
+    /// The Evaluation step on the incremental kernel: refreshes the scratch's
+    /// [`NetLengthCache`] (re-evaluating only nets dirtied since the last
+    /// refresh) and fills the scratch goodness buffer. Bitwise identical to
+    /// [`SimEEngine::evaluate`].
+    ///
+    /// The profile is charged the same *work counts* as the naive path — the
+    /// counts model the algorithm's nominal workload, which is what the
+    /// cluster simulation prices — so modeled runtimes are unaffected by the
+    /// cache; only wall-clock time shrinks.
+    pub fn evaluate_with<'s>(
+        &self,
+        placement: &Placement,
+        scratch: &'s mut SimEScratch,
+        profile: &mut ProfileReport,
+    ) -> (&'s [f64], &'s [f64]) {
+        let t0 = Instant::now();
+        scratch
+            .cache
+            .refresh(&self.evaluator, &mut scratch.alloc.scorer, placement);
+        profile.add_time(Phase::CostCalculation, t0.elapsed());
+        profile.add_net_evals(Phase::CostCalculation, scratch.cache.lengths().len() as u64);
+
+        let t1 = Instant::now();
+        self.goodness
+            .all_goodness_into(scratch.cache.lengths(), &mut scratch.goodness);
+        profile.add_time(Phase::GoodnessEvaluation, t1.elapsed());
+        profile.add_net_evals(Phase::GoodnessEvaluation, self.pins);
+
+        self.profile_delay(scratch.cache.lengths(), profile);
+
+        (scratch.cache.lengths(), &scratch.goodness)
+    }
+
+    /// Charges the delay-calculation phase (a full path sweep) when the delay
+    /// objective is active; shared by both evaluation paths.
+    fn profile_delay(&self, net_lengths: &[f64], profile: &mut ProfileReport) {
         if self.config.objectives.includes_delay() {
             let t2 = Instant::now();
-            let _ = self.evaluator.delay_from_lengths(&net_lengths);
+            let _ = self.evaluator.delay_from_lengths(net_lengths);
             let path_nets: u64 = self
                 .evaluator
                 .paths()
@@ -223,8 +309,6 @@ impl SimEEngine {
             profile.add_time(Phase::DelayCalculation, t2.elapsed());
             profile.add_net_evals(Phase::DelayCalculation, path_nets);
         }
-
-        (net_lengths, goodness)
     }
 
     /// Runs one full SimE iteration (Evaluation → Selection → Allocation) on
@@ -236,25 +320,27 @@ impl SimEEngine {
     pub fn iterate<R: Rng + ?Sized>(
         &self,
         placement: &mut Placement,
+        scratch: &mut SimEScratch,
         rng: &mut R,
         profile: &mut ProfileReport,
         frozen: &[bool],
         allowed_rows: &[usize],
     ) -> (f64, usize, AllocationStats) {
-        let (_net_lengths, goodness) = self.evaluate(placement, profile);
+        let (_net_lengths, goodness) = self.evaluate_with(placement, scratch, profile);
         let avg_goodness =
             goodness.iter().sum::<f64>() / goodness.len().max(1) as f64;
 
         let t0 = Instant::now();
-        let mut selected = select(&goodness, self.config.selection, rng, frozen);
+        let mut selected = select(&scratch.goodness, self.config.selection, rng, frozen);
         profile.add_time(Phase::Selection, t0.elapsed());
 
         let t1 = Instant::now();
         let alloc_stats = allocate_all(
             &self.evaluator,
+            &mut scratch.alloc,
             placement,
             &mut selected,
-            &goodness,
+            &scratch.goodness,
             &self.config.allocation,
             allowed_rows,
             rng,
@@ -280,6 +366,7 @@ impl SimEEngine {
         let mut placement = initial;
         let mut profile = ProfileReport::new();
         let mut history = Vec::new();
+        let mut scratch = self.new_scratch();
 
         let mut best_placement = placement.clone();
         let mut best_cost = self.evaluator.evaluate(&placement);
@@ -288,9 +375,9 @@ impl SimEEngine {
         let mut iterations = 0usize;
         for iteration in 0..self.config.stopping.max_iterations {
             let (avg_goodness, selected, alloc_stats) =
-                self.iterate(&mut placement, rng, &mut profile, &[], &[]);
+                self.iterate(&mut placement, &mut scratch, rng, &mut profile, &[], &[]);
 
-            let cost = self.evaluator.evaluate(&placement);
+            let cost = self.cost_with(&placement, &mut scratch);
             if cost.mu > best_cost.mu {
                 best_cost = cost;
                 best_placement = placement.clone();
@@ -329,6 +416,17 @@ impl SimEEngine {
             history,
             profile,
         }
+    }
+
+    /// Full cost evaluation through the incremental kernel: refreshes the
+    /// scratch's net-length cache (delta re-evaluation when the placement
+    /// object is the one the cache is synchronised with) and aggregates the
+    /// breakdown. Bitwise identical to `evaluator().evaluate(placement)`.
+    pub fn cost_with(&self, placement: &Placement, scratch: &mut SimEScratch) -> CostBreakdown {
+        let lengths = scratch
+            .cache
+            .refresh(&self.evaluator, &mut scratch.alloc.scorer, placement);
+        self.evaluator.evaluate_from_lengths(placement, lengths)
     }
 
     /// Convenience: the frozen-cell mask for "only these cells are mine",
@@ -449,6 +547,48 @@ mod tests {
     }
 
     #[test]
+    fn kernel_evaluation_matches_oracle_bitwise() {
+        // The engine loop runs on evaluate_with/cost_with; they must agree
+        // with the naive evaluate oracle to the bit across iterations.
+        let nl = netlist(140, 21);
+        let config = SimEConfig::fast(Objectives::WirelengthPowerDelay, 7, 1);
+        let engine = SimEEngine::new(nl, config);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut placement = engine.initial_placement(&mut rng);
+        let mut scratch = engine.new_scratch();
+        for _ in 0..5 {
+            let mut p1 = ProfileReport::new();
+            let (naive_lengths, naive_goodness) = engine.evaluate(&placement, &mut p1);
+            let mut p2 = ProfileReport::new();
+            let (lengths, goodness) = engine.evaluate_with(&placement, &mut scratch, &mut p2);
+            assert_eq!(naive_lengths.len(), lengths.len());
+            for (a, b) in naive_lengths.iter().zip(lengths.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in naive_goodness.iter().zip(goodness.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let naive_cost = engine.evaluator().evaluate(&placement);
+            let cost = engine.cost_with(&placement, &mut scratch);
+            assert_eq!(naive_cost.mu.to_bits(), cost.mu.to_bits());
+            assert_eq!(naive_cost.wirelength.to_bits(), cost.wirelength.to_bits());
+            // Mutate and go around again so the delta path is exercised.
+            engine.iterate(&mut placement, &mut scratch, &mut rng, &mut p2, &[], &[]);
+        }
+        assert_eq!(
+            scratch.cache.full_refreshes(),
+            1,
+            "in-place mutation must stay on the delta path"
+        );
+    }
+
+    #[test]
+    fn scratch_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimEScratch>();
+    }
+
+    #[test]
     fn frozen_mask_marks_everything_but_owned() {
         let nl = netlist(80, 13);
         let engine = SimEEngine::new(nl, SimEConfig::fast(Objectives::WirelengthPower, 5, 1));
@@ -472,7 +612,15 @@ mod tests {
         let owned: Vec<CellId> = nl.cell_ids().filter(|&c| placement.row_of(c) == 0).collect();
         let frozen = engine.frozen_mask_from_owned(&owned);
         let mut profile = ProfileReport::new();
-        engine.iterate(&mut placement, &mut rng, &mut profile, &frozen, &[0, 1]);
+        let mut scratch = engine.new_scratch();
+        engine.iterate(
+            &mut placement,
+            &mut scratch,
+            &mut rng,
+            &mut profile,
+            &frozen,
+            &[0, 1],
+        );
         placement.validate(&nl).unwrap();
         for c in nl.cell_ids() {
             if frozen[c.index()] {

@@ -33,15 +33,17 @@ pub mod engine;
 pub mod profile;
 pub mod selection;
 
-pub use allocation::{AllocationConfig, AllocationStats, AllocationStrategy};
-pub use engine::{IterationStats, SimEConfig, SimEEngine, SimEResult, StoppingCriteria};
+pub use allocation::{AllocScratch, AllocationConfig, AllocationStats, AllocationStrategy};
+pub use engine::{
+    IterationStats, SimEConfig, SimEEngine, SimEResult, SimEScratch, StoppingCriteria,
+};
 pub use profile::{Phase, ProfileReport};
 pub use selection::{select, SelectionScheme};
 
 /// Convenience prelude bringing the common SimE types into scope.
 pub mod prelude {
-    pub use crate::allocation::{AllocationConfig, AllocationStrategy};
-    pub use crate::engine::{SimEConfig, SimEEngine, SimEResult, StoppingCriteria};
+    pub use crate::allocation::{AllocScratch, AllocationConfig, AllocationStrategy};
+    pub use crate::engine::{SimEConfig, SimEEngine, SimEResult, SimEScratch, StoppingCriteria};
     pub use crate::profile::ProfileReport;
     pub use crate::selection::SelectionScheme;
 }

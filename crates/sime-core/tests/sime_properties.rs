@@ -84,6 +84,7 @@ proptest! {
 
         allocate_all(
             &evaluator,
+            &mut sime_core::allocation::AllocScratch::for_evaluator(&evaluator),
             &mut placement,
             &mut selected,
             &goodness,
@@ -146,7 +147,8 @@ proptest! {
         let frozen = engine.frozen_mask_from_owned(&owned);
         let rows_before: Vec<usize> = netlist.cell_ids().map(|c| placement.row_of(c)).collect();
         let mut profile = ProfileReport::new();
-        engine.iterate(&mut placement, &mut rng, &mut profile, &frozen, &[]);
+        let mut scratch = engine.new_scratch();
+        engine.iterate(&mut placement, &mut scratch, &mut rng, &mut profile, &frozen, &[]);
         placement.validate(&netlist).unwrap();
         for c in netlist.cell_ids() {
             if frozen[c.index()] {

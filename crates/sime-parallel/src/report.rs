@@ -111,7 +111,7 @@ pub fn partition_evaluation_workload(
     let netlist = engine.evaluator().netlist();
     let mut distinct_nets: Vec<vlsi_netlist::NetId> = cells
         .iter()
-        .flat_map(|&c| netlist.nets_of_cell(c))
+        .flat_map(|&c| netlist.nets_of_cell(c).iter().copied())
         .collect();
     distinct_nets.sort_unstable();
     distinct_nets.dedup();

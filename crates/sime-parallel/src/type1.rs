@@ -79,6 +79,9 @@ pub fn run_type1(
     let mut timeline = ClusterTimeline::new(cluster);
     let mut rng = ChaCha8Rng::seed_from_u64(engine.config().seed);
     let mut placement = engine.initial_placement(&mut rng);
+    // The master mutates one placement in place across iterations, so its
+    // scratch's net-length cache stays on the delta path.
+    let mut scratch = engine.new_scratch();
 
     let mut best_placement = placement.clone();
     let mut best_cost = engine.evaluator().evaluate(&placement);
@@ -112,7 +115,7 @@ pub fn run_type1(
         //    recalculations for non-partition cells.
         let mut profile = ProfileReport::new();
         let (_avg_goodness, selected, alloc_stats) =
-            engine.iterate(&mut placement, &mut rng, &mut profile, &[], &[]);
+            engine.iterate(&mut placement, &mut scratch, &mut rng, &mut profile, &[], &[]);
         let alloc_evals = alloc_stats.net_evaluations as f64;
         timeline.charge_compute(
             0,
@@ -122,7 +125,7 @@ pub fn run_type1(
             },
         );
 
-        let cost = engine.evaluator().evaluate(&placement);
+        let cost = engine.cost_with(&placement, &mut scratch);
         mu_history.push(cost.mu);
         if cost.mu > best_cost.mu {
             best_cost = cost;

@@ -129,6 +129,10 @@ pub fn run_type2(
     let mut rank_rngs: Vec<ChaCha8Rng> = (0..config.ranks)
         .map(|r| ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((r as u64 + 1) << 32)))
         .collect();
+    // One scratch per simulated processor (plus one for the master's merge
+    // evaluation) keeps the shared engine immutable and `Send + Sync`.
+    let mut rank_scratch: Vec<_> = (0..config.ranks).map(|_| engine.new_scratch()).collect();
+    let mut master_scratch = engine.new_scratch();
 
     let mut best_placement = placement.clone();
     let mut best_cost = engine.evaluator().evaluate(&placement);
@@ -166,6 +170,7 @@ pub fn run_type2(
             let mut profile = ProfileReport::new();
             let (_avg, _selected, alloc_stats) = engine.iterate(
                 &mut local,
+                &mut rank_scratch[rank],
                 &mut rank_rngs[rank],
                 &mut profile,
                 &frozen,
@@ -196,7 +201,7 @@ pub fn run_type2(
         placement = Placement::from_rows(&netlist, merged_rows);
         timeline.charge_compute(0, &Workload::misc(num_cells as u64));
 
-        let cost = engine.evaluator().evaluate(&placement);
+        let cost = engine.cost_with(&placement, &mut master_scratch);
         mu_history.push(cost.mu);
         if cost.mu > best_cost.mu {
             best_cost = cost;

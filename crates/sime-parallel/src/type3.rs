@@ -25,7 +25,7 @@ use cluster_sim::timeline::{ClusterConfig, ClusterTimeline};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use sime_core::engine::SimEEngine;
+use sime_core::engine::{SimEEngine, SimEScratch};
 use sime_core::profile::ProfileReport;
 use vlsi_place::cost::CostBreakdown;
 use vlsi_place::layout::Placement;
@@ -50,6 +50,11 @@ struct Worker {
     best_placement: Placement,
     rng: ChaCha8Rng,
     fail_count: usize,
+    /// Per-worker allocation scratch and net-length cache; each worker
+    /// mutates its own placement in place, so its cache stays on the delta
+    /// path between iterations (adopting the central solution clones a new
+    /// placement and naturally forces a full refresh).
+    scratch: SimEScratch,
 }
 
 /// Runs the Type III parallel SimE strategy.
@@ -89,6 +94,7 @@ pub fn run_type3(
             best_placement: initial.clone(),
             rng: ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((w as u64 + 1) << 40)),
             fail_count: 0,
+            scratch: engine.new_scratch(),
         })
         .collect();
 
@@ -104,6 +110,7 @@ pub fn run_type3(
             let mut profile = ProfileReport::new();
             let (_avg, _selected, alloc_stats) = engine.iterate(
                 &mut worker.placement,
+                &mut worker.scratch,
                 &mut worker.rng,
                 &mut profile,
                 &[],
@@ -119,7 +126,7 @@ pub fn run_type3(
                 },
             );
 
-            let cost = engine.evaluator().evaluate(&worker.placement);
+            let cost = engine.cost_with(&worker.placement, &mut worker.scratch);
             worker.current_cost = cost;
             if cost.mu > worker.best_cost.mu {
                 worker.best_cost = cost;

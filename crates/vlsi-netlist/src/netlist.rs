@@ -84,10 +84,20 @@ pub struct Netlist {
     name: String,
     cells: Vec<Cell>,
     nets: Vec<Net>,
-    /// For each cell, the nets it drives.
-    cell_out_nets: Vec<Vec<NetId>>,
-    /// For each cell, the nets it is a sink of.
-    cell_in_nets: Vec<Vec<NetId>>,
+    /// CSR cell→nets adjacency: the nets of cell `c` occupy
+    /// `cell_net_arena[cell_net_offsets[c] .. cell_net_offsets[c + 1]]`,
+    /// fan-in nets first, then driven nets; `cell_net_split[c]` is the arena
+    /// index where the driven nets start. One flat arena keeps the hot
+    /// traversals of the placement cost kernels cache-friendly and
+    /// allocation-free.
+    cell_net_offsets: Vec<u32>,
+    cell_net_split: Vec<u32>,
+    cell_net_arena: Vec<NetId>,
+    /// CSR net→cells adjacency: the distinct cells connected to net `n`
+    /// (sorted by id, duplicates removed) occupy
+    /// `net_cell_arena[net_cell_offsets[n] .. net_cell_offsets[n + 1]]`.
+    net_cell_offsets: Vec<u32>,
+    net_cell_arena: Vec<CellId>,
 }
 
 impl Netlist {
@@ -145,21 +155,37 @@ impl Netlist {
     /// Nets driven by `cell`.
     #[inline]
     pub fn nets_driven_by(&self, cell: CellId) -> &[NetId] {
-        &self.cell_out_nets[cell.index()]
+        let i = cell.index();
+        &self.cell_net_arena
+            [self.cell_net_split[i] as usize..self.cell_net_offsets[i + 1] as usize]
     }
 
     /// Nets for which `cell` is a sink (the cell's fan-in nets).
     #[inline]
     pub fn nets_feeding(&self, cell: CellId) -> &[NetId] {
-        &self.cell_in_nets[cell.index()]
+        let i = cell.index();
+        &self.cell_net_arena
+            [self.cell_net_offsets[i] as usize..self.cell_net_split[i] as usize]
     }
 
-    /// All nets touching `cell` in either role (fan-in first, then driven).
-    pub fn nets_of_cell(&self, cell: CellId) -> impl Iterator<Item = NetId> + '_ {
-        self.cell_in_nets[cell.index()]
-            .iter()
-            .chain(self.cell_out_nets[cell.index()].iter())
-            .copied()
+    /// All nets touching `cell` in either role (fan-in first, then driven),
+    /// as one contiguous slice of the flat adjacency arena.
+    #[inline]
+    pub fn nets_of_cell(&self, cell: CellId) -> &[NetId] {
+        let i = cell.index();
+        &self.cell_net_arena
+            [self.cell_net_offsets[i] as usize..self.cell_net_offsets[i + 1] as usize]
+    }
+
+    /// The distinct cells connected to `net`, sorted by cell id. This is the
+    /// canonical pin order used by every cost kernel (naive and scratch-space
+    /// alike), so the two evaluation paths sum pin contributions in the same
+    /// order and stay bitwise identical.
+    #[inline]
+    pub fn net_cells(&self, net: NetId) -> &[CellId] {
+        let i = net.index();
+        &self.net_cell_arena
+            [self.net_cell_offsets[i] as usize..self.net_cell_offsets[i + 1] as usize]
     }
 
     /// Cells that drive the fan-in nets of `cell` (its logical predecessors).
@@ -330,12 +356,44 @@ impl NetlistBuilder {
             }
         }
 
+        // Flatten the per-cell net lists into one CSR arena (fan-in nets
+        // first, then driven nets, preserving net-id order within each role).
+        let mut cell_net_offsets = Vec::with_capacity(cells.len() + 1);
+        let mut cell_net_split = Vec::with_capacity(cells.len());
+        let mut cell_net_arena =
+            Vec::with_capacity(cell_in_nets.iter().map(Vec::len).sum::<usize>() + nets.len());
+        cell_net_offsets.push(0u32);
+        for (ins, outs) in cell_in_nets.iter().zip(cell_out_nets.iter()) {
+            cell_net_arena.extend_from_slice(ins);
+            cell_net_split.push(cell_net_arena.len() as u32);
+            cell_net_arena.extend_from_slice(outs);
+            cell_net_offsets.push(cell_net_arena.len() as u32);
+        }
+
+        // CSR net→cells arena: distinct connected cells per net, sorted by
+        // id. This is the pin order every wirelength kernel iterates in.
+        let mut net_cell_offsets = Vec::with_capacity(nets.len() + 1);
+        let mut net_cell_arena = Vec::new();
+        net_cell_offsets.push(0u32);
+        let mut scratch: Vec<CellId> = Vec::new();
+        for n in &nets {
+            scratch.clear();
+            scratch.extend(n.connected_cells());
+            scratch.sort_unstable();
+            scratch.dedup();
+            net_cell_arena.extend_from_slice(&scratch);
+            net_cell_offsets.push(net_cell_arena.len() as u32);
+        }
+
         Ok(Netlist {
             name,
             cells,
             nets,
-            cell_out_nets,
-            cell_in_nets,
+            cell_net_offsets,
+            cell_net_split,
+            cell_net_arena,
+            net_cell_offsets,
+            net_cell_arena,
         })
     }
 }
@@ -369,6 +427,28 @@ mod tests {
         assert_eq!(nl.nets_feeding(g0), &[NetId(0)]);
         assert_eq!(nl.fanout_cells(g0), vec![g1, o0]);
         assert_eq!(nl.fanin_cells(o0), vec![g0, g1]);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_role_queries() {
+        let nl = tiny();
+        for cell in nl.cell_ids() {
+            let combined: Vec<NetId> = nl
+                .nets_feeding(cell)
+                .iter()
+                .chain(nl.nets_driven_by(cell))
+                .copied()
+                .collect();
+            assert_eq!(nl.nets_of_cell(cell), combined.as_slice());
+        }
+        for net in nl.net_ids() {
+            let mut expected: Vec<CellId> = nl.net(net).connected_cells().collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(nl.net_cells(net), expected.as_slice());
+        }
+        let g0 = nl.cell_by_name("g0").unwrap();
+        assert_eq!(nl.nets_of_cell(g0), &[NetId(0), NetId(1)]);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Bounds {
         for cell in netlist.cell_ids() {
             let mut wl = 0.0;
             let mut pw = 0.0;
-            for net in netlist.nets_of_cell(cell) {
+            for &net in netlist.nets_of_cell(cell) {
                 wl += net_lower[net.index()];
                 pw += net_lower[net.index()] * netlist.net(net).switching_prob;
             }
@@ -210,7 +210,8 @@ mod tests {
         for cell in nl.cell_ids() {
             let expected: f64 = nl
                 .nets_of_cell(cell)
-                .map(|n| bounds.net_lower[n.index()])
+                .iter()
+                .map(|&n| bounds.net_lower[n.index()])
                 .sum();
             assert!((bounds.cell_wire_lower[cell.index()] - expected).abs() < 1e-9);
             assert!(bounds.cell_power_lower[cell.index()] <= expected + 1e-9);

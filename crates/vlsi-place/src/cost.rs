@@ -102,10 +102,10 @@ pub struct CostEvaluator {
     paths: Arc<Vec<Path>>,
     /// For each net, the indices of the stored paths that contain it.
     net_in_paths: Arc<Vec<Vec<u32>>>,
+    /// `net_on_path[n]` is `true` iff net `n` lies on a stored critical path
+    /// (flat lookup for the allocation hot loop).
+    net_on_path: Arc<Vec<bool>>,
     bounds: Arc<Bounds>,
-    /// Deduplicated connected cells per net (drivers can also be sinks in
-    /// degenerate netlists; pins are counted once per cell).
-    net_cells: Arc<Vec<Vec<CellId>>>,
 }
 
 impl CostEvaluator {
@@ -142,16 +142,7 @@ impl CostEvaluator {
             }
         }
         let bounds = Bounds::compute(&netlist, &paths, &timing);
-        let net_cells: Vec<Vec<CellId>> = netlist
-            .nets()
-            .iter()
-            .map(|n| {
-                let mut cells: Vec<CellId> = n.connected_cells().collect();
-                cells.sort_unstable();
-                cells.dedup();
-                cells
-            })
-            .collect();
+        let net_on_path: Vec<bool> = net_in_paths.iter().map(|p| !p.is_empty()).collect();
         CostEvaluator {
             netlist,
             objectives,
@@ -160,8 +151,8 @@ impl CostEvaluator {
             fuzzy,
             paths: Arc::new(paths),
             net_in_paths: Arc::new(net_in_paths),
+            net_on_path: Arc::new(net_on_path),
             bounds: Arc::new(bounds),
-            net_cells: Arc::new(net_cells),
         }
     }
 
@@ -195,9 +186,19 @@ impl CostEvaluator {
         &self.timing
     }
 
+    /// The per-net wirelength model in use.
+    pub fn wirelength_model(&self) -> WirelengthModel {
+        self.wl_model
+    }
+
     /// Estimated length of one net under `placement`.
+    ///
+    /// This is the *reference* implementation: it allocates a pin buffer per
+    /// call and defers to [`WirelengthModel::estimate`]. The allocation-free
+    /// hot path lives in [`crate::kernel::TrialScorer`], which is tested to
+    /// be bitwise identical to this oracle.
     pub fn net_length(&self, placement: &Placement, net: NetId) -> f64 {
-        let cells = &self.net_cells[net.index()];
+        let cells = self.netlist.net_cells(net);
         if cells.len() < 2 {
             return 0.0;
         }
@@ -207,7 +208,9 @@ impl CostEvaluator {
 
     /// Estimated length of one net with the position of `cell` overridden to
     /// `pos` (the cell does not need to be currently placed in the row it is
-    /// being tried in). This is the kernel of allocation trial scoring.
+    /// being tried in). Reference implementation of allocation trial scoring;
+    /// the allocation operator itself runs on
+    /// [`crate::kernel::TrialScorer::net_length_with_override`].
     pub fn net_length_with_override(
         &self,
         placement: &Placement,
@@ -215,7 +218,7 @@ impl CostEvaluator {
         cell: CellId,
         pos: (f64, f64),
     ) -> f64 {
-        let cells = &self.net_cells[net.index()];
+        let cells = self.netlist.net_cells(net);
         if cells.len() < 2 {
             return 0.0;
         }
@@ -339,11 +342,11 @@ impl CostEvaluator {
     /// is what makes allocation trial scoring affordable.
     pub fn cell_cost_at(&self, placement: &Placement, cell: CellId, pos: (f64, f64)) -> CellCost {
         let mut cost = CellCost::default();
-        for net in self.netlist.nets_of_cell(cell) {
+        for &net in self.netlist.nets_of_cell(cell) {
             let len = self.net_length_with_override(placement, net, cell, pos);
             cost.wirelength += len;
             cost.power += len * self.netlist.net(net).switching_prob;
-            if !self.net_in_paths[net.index()].is_empty() {
+            if self.net_on_path[net.index()] {
                 cost.critical_wirelength += len;
             }
         }
@@ -367,9 +370,17 @@ impl CostEvaluator {
         &self.net_in_paths[net.index()]
     }
 
-    /// Deduplicated cells connected to `net`.
+    /// `true` iff `net` lies on at least one stored critical path.
+    #[inline]
+    pub fn net_is_critical(&self, net: NetId) -> bool {
+        self.net_on_path[net.index()]
+    }
+
+    /// Deduplicated cells connected to `net` (delegates to the netlist's CSR
+    /// adjacency arena; this is the canonical pin order of every kernel).
+    #[inline]
     pub fn net_cells(&self, net: NetId) -> &[CellId] {
-        &self.net_cells[net.index()]
+        self.netlist.net_cells(net)
     }
 }
 
@@ -472,11 +483,12 @@ mod tests {
     fn cell_cost_sums_incident_nets() {
         let (eval, placement) = evaluator(Objectives::WirelengthPowerDelay);
         let nl = Arc::clone(eval.netlist());
-        let cell = nl.cell_ids().find(|&c| nl.nets_of_cell(c).count() > 1).unwrap();
+        let cell = nl.cell_ids().find(|&c| nl.nets_of_cell(c).len() > 1).unwrap();
         let cost = eval.cell_cost(&placement, cell);
         let expected: f64 = nl
             .nets_of_cell(cell)
-            .map(|n| eval.net_length(&placement, n))
+            .iter()
+            .map(|&n| eval.net_length(&placement, n))
             .sum();
         assert!((cost.wirelength - expected).abs() < 1e-9);
         assert!(cost.power <= cost.wirelength + 1e-9);

@@ -76,7 +76,7 @@ impl GoodnessEvaluator {
 
         let mut wire_cost = 0.0;
         let mut power_cost = 0.0;
-        for net in netlist.nets_of_cell(cell) {
+        for &net in netlist.nets_of_cell(cell) {
             let len = net_lengths[net.index()];
             wire_cost += len;
             power_cost += len * netlist.net(net).switching_prob;
@@ -117,7 +117,7 @@ impl GoodnessEvaluator {
         // Only the incident nets and the paths through the cell are needed;
         // compute just those lengths into a sparse buffer.
         let mut lengths = vec![0.0; netlist.num_nets()];
-        for net in netlist.nets_of_cell(cell) {
+        for &net in netlist.nets_of_cell(cell) {
             lengths[net.index()] = self.evaluator.net_length(placement, net);
         }
         for &pi in &self.cell_paths[cell.index()] {
@@ -136,11 +136,22 @@ impl GoodnessEvaluator {
 
     /// Combined goodness of every cell from precomputed net lengths.
     pub fn all_goodness_from_lengths(&self, net_lengths: &[f64]) -> Vec<f64> {
-        self.evaluator
-            .netlist()
-            .cell_ids()
-            .map(|c| self.cell_goodness_from_lengths(c, net_lengths).combined)
-            .collect()
+        let mut out = Vec::new();
+        self.all_goodness_into(net_lengths, &mut out);
+        out
+    }
+
+    /// Combined goodness of every cell from precomputed net lengths, written
+    /// into a caller-owned buffer (the allocation-free variant used by the
+    /// engine's per-iteration scratch space).
+    pub fn all_goodness_into(&self, net_lengths: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.evaluator
+                .netlist()
+                .cell_ids()
+                .map(|c| self.cell_goodness_from_lengths(c, net_lengths).combined),
+        );
     }
 
     /// Average combined goodness of a goodness vector — SimE's convergence
@@ -249,12 +260,12 @@ mod tests {
         // vs a fake length vector where its incident nets are at their bound.
         let cell = nl
             .cell_ids()
-            .find(|&c| nl.nets_of_cell(c).count() >= 2)
+            .find(|&c| nl.nets_of_cell(c).len() >= 2)
             .unwrap();
         let lengths = ge.evaluator().net_lengths(&placement);
         let actual = ge.cell_goodness_from_lengths(cell, &lengths);
         let mut ideal = lengths.clone();
-        for net in nl.nets_of_cell(cell) {
+        for &net in nl.nets_of_cell(cell) {
             ideal[net.index()] = ge.evaluator().bounds().net_lower[net.index()];
         }
         let better = ge.cell_goodness_from_lengths(cell, &ideal);

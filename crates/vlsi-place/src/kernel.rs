@@ -1,0 +1,666 @@
+//! Allocation-free incremental cost kernel.
+//!
+//! The SimE allocation operator scores thousands of trial positions per
+//! iteration, and each score needs the estimated length of every net incident
+//! to the moved cell. The reference implementations in [`crate::cost`] pay a
+//! heap allocation per net (the pin buffer) and an `O(p log p)` sort per
+//! Steiner estimate (the median pin y). This module provides the equivalent
+//! hot path with zero allocations per call:
+//!
+//! * [`TrialScorer`] owns reusable scratch buffers and computes the
+//!   single-trunk-Steiner median by *per-row counting* — cell y coordinates
+//!   are discrete multiples of [`ROW_HEIGHT`], so a counting pass over the
+//!   pin rows finds the median without sorting.
+//! * [`NetLengthCache`] keeps the per-net length vector of a placement alive
+//!   across SimE iterations and re-evaluates only the nets *dirtied* since
+//!   the last refresh, using the placement's per-row mutation epochs.
+//!
+//! # Bitwise determinism
+//!
+//! Both structures are drop-in replacements for the naive path at the bit
+//! level: pins are visited in the same canonical order (the netlist's sorted
+//! CSR `net_cells` arena), partial sums are accumulated in the same order,
+//! and the counting median selects exactly the element the sort-based median
+//! picks. `tests/kernel_differential.rs` asserts `==` (not approximate
+//! equality) against the [`crate::cost::CostEvaluator`] oracle across random
+//! placements and mutation sequences.
+//!
+//! # Cache invalidation invariants
+//!
+//! [`NetLengthCache::refresh`] is exact as long as cell coordinates only
+//! change through [`Placement`] methods (which funnel every mutation through
+//! a row rebuild that bumps the row's epoch):
+//!
+//! * cached entries are keyed on [`Placement::uid`]; evaluating a *different*
+//!   placement object (including clones, which take a fresh uid) triggers a
+//!   full recompute,
+//! * a net is re-evaluated iff it touches a cell of a row whose
+//!   [`Placement::row_epoch`] advanced since the last refresh,
+//! * a cell that is ripped up (`remove_cell`) keeps its last coordinates, so
+//!   nets that reference it mid-allocation evaluate exactly as the oracle
+//!   does; its eventual re-insertion dirties the target row and restores
+//!   freshness.
+
+use crate::cost::{CellCost, CostEvaluator};
+use crate::layout::{Placement, ROW_HEIGHT};
+use crate::wirelength::WirelengthModel;
+use vlsi_netlist::{CellId, NetId};
+
+/// Maps a row-lattice y coordinate (`(row + 0.5) * ROW_HEIGHT`) back to its
+/// row index. Exact for every row index the layout can produce, because the
+/// lattice values are exact doubles.
+#[inline]
+fn row_of_lattice_y(y: f64) -> u32 {
+    let row = (y / ROW_HEIGHT - 0.5).round();
+    debug_assert!(
+        ((row + 0.5) * ROW_HEIGHT - y).abs() == 0.0,
+        "y = {y} is not a row-lattice coordinate"
+    );
+    row as u32
+}
+
+/// Precomputed summary of one net incident to a prepared cell: everything
+/// about the *other* pins that trial scoring needs, so each candidate slot is
+/// scored in `O(distinct rows)` instead of `O(pins)`.
+///
+/// The summaries rely on two exactness facts that make the reductions
+/// order-independent (and therefore bit-compatible with the oracle's
+/// pin-order loops): `f64::min`/`f64::max` are commutative for finite values,
+/// and every vertical distance is an exact multiple of [`ROW_HEIGHT`] (cell x
+/// coordinates are exact half-integers, y coordinates exact lattice points),
+/// so the branch sums incur no rounding in any summation order.
+#[derive(Debug, Clone, Copy)]
+struct NetSummary {
+    /// Total pin count of the net, including the prepared cell.
+    total_pins: u32,
+    /// Extent of the other pins' x coordinates.
+    min_x: f64,
+    max_x: f64,
+    /// Extent of the other pins' rows.
+    min_row: u32,
+    max_row: u32,
+    /// Range of this net's `(row, count)` histogram in the scorer's arena.
+    hist_start: u32,
+    hist_end: u32,
+    /// Net switching probability (power weight).
+    switching_prob: f64,
+    /// Whether the net lies on a stored critical path.
+    critical: bool,
+}
+
+/// Row holding the `k`-th (0-based) smallest pin y among a sorted-by-row
+/// `(row, count)` histogram merged with one extra pin at `extra_row`.
+/// Equivalent to sorting all pin ys ascending and taking index `k`, which is
+/// what the sort-based oracle median does.
+fn merged_median_row(hist: &[(u32, u32)], extra_row: u32, k: usize) -> u32 {
+    let mut acc = 0usize;
+    let mut extra_pending = true;
+    for &(r, c) in hist {
+        if extra_pending && extra_row < r {
+            acc += 1;
+            if acc > k {
+                return extra_row;
+            }
+            extra_pending = false;
+        }
+        acc += c as usize;
+        if extra_pending && extra_row == r {
+            acc += 1;
+            extra_pending = false;
+        }
+        if acc > k {
+            return r;
+        }
+    }
+    debug_assert!(extra_pending, "k must index into the merged pin multiset");
+    extra_row
+}
+
+/// Reusable, allocation-free scorer for net lengths and allocation trial
+/// positions. One instance per worker thread; the buffers grow to the largest
+/// net once and are reused for every subsequent call.
+#[derive(Debug, Clone)]
+pub struct TrialScorer {
+    model: WirelengthModel,
+    /// Pin x coordinates of the net being scored, in canonical pin order.
+    xs: Vec<f64>,
+    /// Pin row indices, parallel to `xs`.
+    rows: Vec<u32>,
+    /// Per-row pin counts used by the counting median; indexed by row,
+    /// grown on demand, cleared after every estimate.
+    row_counts: Vec<u32>,
+    /// Per-incident-net summaries of the currently prepared cell.
+    prepared: Vec<NetSummary>,
+    /// Flat `(row, count)` histogram arena for the prepared summaries,
+    /// sorted by row within each net's range.
+    hist: Vec<(u32, u32)>,
+}
+
+impl TrialScorer {
+    /// Creates a scorer for the given wirelength model.
+    pub fn new(model: WirelengthModel) -> Self {
+        TrialScorer {
+            model,
+            xs: Vec::with_capacity(16),
+            rows: Vec::with_capacity(16),
+            row_counts: Vec::new(),
+            prepared: Vec::new(),
+            hist: Vec::new(),
+        }
+    }
+
+    /// Creates a scorer matching an evaluator's wirelength model.
+    pub fn for_evaluator(evaluator: &CostEvaluator) -> Self {
+        Self::new(evaluator.wirelength_model())
+    }
+
+    /// The wirelength model this scorer computes.
+    pub fn model(&self) -> WirelengthModel {
+        self.model
+    }
+
+    /// Estimated length of `net` under `placement`. Bitwise identical to
+    /// [`CostEvaluator::net_length`], without the per-call allocation/sort.
+    pub fn net_length(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        net: NetId,
+    ) -> f64 {
+        let cells = evaluator.net_cells(net);
+        if cells.len() < 2 {
+            return 0.0;
+        }
+        self.xs.clear();
+        self.rows.clear();
+        for &c in cells {
+            self.xs.push(placement.x_of(c));
+            self.rows.push(placement.row_of(c) as u32);
+        }
+        self.estimate()
+    }
+
+    /// Estimated length of `net` with the position of `cell` overridden to
+    /// `pos` (a row-lattice position, as produced by
+    /// [`Placement::trial_position`]). Bitwise identical to
+    /// [`CostEvaluator::net_length_with_override`].
+    pub fn net_length_with_override(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        net: NetId,
+        cell: CellId,
+        pos: (f64, f64),
+    ) -> f64 {
+        let cells = evaluator.net_cells(net);
+        if cells.len() < 2 {
+            return 0.0;
+        }
+        let override_row = row_of_lattice_y(pos.1);
+        self.xs.clear();
+        self.rows.clear();
+        for &c in cells {
+            if c == cell {
+                self.xs.push(pos.0);
+                self.rows.push(override_row);
+            } else {
+                self.xs.push(placement.x_of(c));
+                self.rows.push(placement.row_of(c) as u32);
+            }
+        }
+        self.estimate()
+    }
+
+    /// Cost of the nets incident to `cell` if it sat at `pos`. Bitwise
+    /// identical to [`CostEvaluator::cell_cost_at`]; this is the inner loop
+    /// of allocation trial scoring.
+    pub fn cell_cost_at(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        cell: CellId,
+        pos: (f64, f64),
+    ) -> CellCost {
+        let netlist = evaluator.netlist();
+        let mut cost = CellCost::default();
+        for &net in netlist.nets_of_cell(cell) {
+            let len = self.net_length_with_override(evaluator, placement, net, cell, pos);
+            cost.wirelength += len;
+            cost.power += len * netlist.net(net).switching_prob;
+            if evaluator.net_is_critical(net) {
+                cost.critical_wirelength += len;
+            }
+        }
+        cost
+    }
+
+    /// Precomputes per-net summaries of the *other* pins of every net
+    /// incident to `cell`, so that subsequent
+    /// [`TrialScorer::prepared_cost_at`] calls score a candidate position in
+    /// `O(distinct rows)` per net instead of re-walking every pin. The
+    /// summaries stay valid while no cell other than `cell` moves — exactly
+    /// the situation inside one allocation trial loop, where `cell` is ripped
+    /// up and only hypothetically placed.
+    pub fn prepare_cell(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        cell: CellId,
+    ) {
+        let netlist = evaluator.netlist();
+        self.prepared.clear();
+        self.hist.clear();
+        for &net in netlist.nets_of_cell(cell) {
+            let cells = evaluator.net_cells(net);
+            let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut min_row, mut max_row) = (u32::MAX, 0u32);
+            for &c in cells {
+                if c == cell {
+                    continue;
+                }
+                let x = placement.x_of(c);
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                let r = placement.row_of(c) as u32;
+                min_row = min_row.min(r);
+                max_row = max_row.max(r);
+                if r as usize >= self.row_counts.len() {
+                    self.row_counts.resize(r as usize + 1, 0);
+                }
+                self.row_counts[r as usize] += 1;
+            }
+            let hist_start = self.hist.len() as u32;
+            if min_row != u32::MAX {
+                for r in min_row..=max_row {
+                    let c = self.row_counts[r as usize];
+                    if c > 0 {
+                        self.hist.push((r, c));
+                        self.row_counts[r as usize] = 0;
+                    }
+                }
+            }
+            self.prepared.push(NetSummary {
+                total_pins: cells.len() as u32,
+                min_x,
+                max_x,
+                min_row,
+                max_row,
+                hist_start,
+                hist_end: self.hist.len() as u32,
+                switching_prob: netlist.net(net).switching_prob,
+                critical: evaluator.net_is_critical(net),
+            });
+        }
+    }
+
+    /// Cost of the prepared cell's nets if the cell sat at `pos` (a
+    /// row-lattice position). Requires a preceding
+    /// [`TrialScorer::prepare_cell`] for this cell under the current
+    /// placement; bitwise identical to [`CostEvaluator::cell_cost_at`].
+    pub fn prepared_cost_at(&self, pos: (f64, f64)) -> CellCost {
+        let row = row_of_lattice_y(pos.1);
+        let mut cost = CellCost::default();
+        for s in &self.prepared {
+            if s.total_pins < 2 {
+                continue;
+            }
+            let min_x = s.min_x.min(pos.0);
+            let max_x = s.max_x.max(pos.0);
+            let min_row = s.min_row.min(row);
+            let max_row = s.max_row.max(row);
+            let len = match self.model {
+                WirelengthModel::HalfPerimeter => {
+                    (max_x - min_x) + (max_row - min_row) as f64 * ROW_HEIGHT
+                }
+                WirelengthModel::SingleTrunkSteiner => {
+                    let hist = &self.hist[s.hist_start as usize..s.hist_end as usize];
+                    let median_row =
+                        merged_median_row(hist, row, s.total_pins as usize / 2);
+                    // All vertical distances are exact multiples of
+                    // ROW_HEIGHT, so this reduction is exact and matches the
+                    // oracle's pin-order sum bit for bit.
+                    let mut branches = 0.0f64;
+                    for &(r, c) in hist {
+                        branches += c as f64
+                            * ((r as f64 - median_row as f64) * ROW_HEIGHT).abs();
+                    }
+                    branches += ((row as f64 - median_row as f64) * ROW_HEIGHT).abs();
+                    (max_x - min_x) + branches
+                }
+            };
+            cost.wirelength += len;
+            cost.power += len * s.switching_prob;
+            if s.critical {
+                cost.critical_wirelength += len;
+            }
+        }
+        cost
+    }
+
+    /// Estimates the gathered pins (`xs`/`rows`) under the scorer's model.
+    fn estimate(&mut self) -> f64 {
+        let n = self.xs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &self.xs {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+        }
+        let (mut min_row, mut max_row) = (u32::MAX, 0u32);
+        for &r in &self.rows {
+            min_row = min_row.min(r);
+            max_row = max_row.max(r);
+        }
+        match self.model {
+            WirelengthModel::HalfPerimeter => {
+                let min_y = (min_row as f64 + 0.5) * ROW_HEIGHT;
+                let max_y = (max_row as f64 + 0.5) * ROW_HEIGHT;
+                (max_x - min_x) + (max_y - min_y)
+            }
+            WirelengthModel::SingleTrunkSteiner => {
+                // Counting median over the discrete rows: the sort-based
+                // oracle picks sorted_ys[n / 2], i.e. the (n/2)-th smallest
+                // (0-based); the first row whose cumulative count exceeds
+                // n / 2 holds exactly that element.
+                if max_row as usize >= self.row_counts.len() {
+                    self.row_counts.resize(max_row as usize + 1, 0);
+                }
+                for &r in &self.rows {
+                    self.row_counts[r as usize] += 1;
+                }
+                let k = n / 2;
+                let mut acc = 0usize;
+                let mut median_row = max_row;
+                for r in min_row..=max_row {
+                    acc += self.row_counts[r as usize] as usize;
+                    if acc > k {
+                        median_row = r;
+                        break;
+                    }
+                }
+                for r in min_row..=max_row {
+                    self.row_counts[r as usize] = 0;
+                }
+                let trunk_y = (median_row as f64 + 0.5) * ROW_HEIGHT;
+                let trunk = max_x - min_x;
+                let mut branches = 0.0f64;
+                for &r in &self.rows {
+                    branches += ((r as f64 + 0.5) * ROW_HEIGHT - trunk_y).abs();
+                }
+                trunk + branches
+            }
+        }
+    }
+}
+
+/// Incremental per-net length vector for one evolving placement.
+///
+/// [`NetLengthCache::refresh`] returns the same vector
+/// [`CostEvaluator::net_lengths`] would, but after the first (full) refresh
+/// of a placement object it re-evaluates only the nets touching rows whose
+/// epoch advanced. See the module docs for the exact invalidation invariants.
+#[derive(Debug, Clone, Default)]
+pub struct NetLengthCache {
+    lengths: Vec<f64>,
+    /// `uid` of the placement the cache is synchronised with (0 = none).
+    placement_uid: u64,
+    /// Per-row epochs at the last refresh.
+    row_epoch_seen: Vec<u64>,
+    /// Per-net visit stamp of the current delta pass (avoids re-evaluating a
+    /// net reachable from several dirty rows).
+    net_stamp: Vec<u32>,
+    stamp: u32,
+    full_refreshes: u64,
+    delta_refreshes: u64,
+    nets_recomputed: u64,
+}
+
+impl NetLengthCache {
+    /// Creates an empty (unsynchronised) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the association with any placement; the next refresh recomputes
+    /// every net.
+    pub fn invalidate(&mut self) {
+        self.placement_uid = 0;
+    }
+
+    /// The cached net lengths from the last [`NetLengthCache::refresh`].
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Number of full (every-net) refreshes performed.
+    pub fn full_refreshes(&self) -> u64 {
+        self.full_refreshes
+    }
+
+    /// Number of delta refreshes that re-evaluated at least one net.
+    pub fn delta_refreshes(&self) -> u64 {
+        self.delta_refreshes
+    }
+
+    /// Number of individual net re-evaluations performed by delta refreshes.
+    pub fn nets_recomputed(&self) -> u64 {
+        self.nets_recomputed
+    }
+
+    /// Brings the cache in sync with `placement` and returns the per-net
+    /// lengths, bitwise identical to [`CostEvaluator::net_lengths`].
+    pub fn refresh(
+        &mut self,
+        evaluator: &CostEvaluator,
+        scorer: &mut TrialScorer,
+        placement: &Placement,
+    ) -> &[f64] {
+        let netlist = evaluator.netlist();
+        let num_nets = netlist.num_nets();
+        let num_rows = placement.num_rows();
+        let full = self.placement_uid != placement.uid()
+            || self.lengths.len() != num_nets
+            || self.row_epoch_seen.len() != num_rows;
+        if full {
+            self.lengths.clear();
+            self.lengths.resize(num_nets, 0.0);
+            for net in netlist.net_ids() {
+                self.lengths[net.index()] = scorer.net_length(evaluator, placement, net);
+            }
+            self.row_epoch_seen.clear();
+            self.row_epoch_seen
+                .extend((0..num_rows).map(|r| placement.row_epoch(r)));
+            self.net_stamp.clear();
+            self.net_stamp.resize(num_nets, 0);
+            self.stamp = 0;
+            self.placement_uid = placement.uid();
+            self.full_refreshes += 1;
+        } else {
+            self.stamp = self.stamp.wrapping_add(1);
+            if self.stamp == 0 {
+                self.net_stamp.iter_mut().for_each(|s| *s = 0);
+                self.stamp = 1;
+            }
+            let mut recomputed = 0u64;
+            for r in 0..num_rows {
+                let epoch = placement.row_epoch(r);
+                if epoch == self.row_epoch_seen[r] {
+                    continue;
+                }
+                self.row_epoch_seen[r] = epoch;
+                for &c in placement.row(r) {
+                    for &net in netlist.nets_of_cell(c) {
+                        let i = net.index();
+                        if self.net_stamp[i] != self.stamp {
+                            self.net_stamp[i] = self.stamp;
+                            self.lengths[i] = scorer.net_length(evaluator, placement, net);
+                            recomputed += 1;
+                        }
+                    }
+                }
+            }
+            if recomputed > 0 {
+                self.delta_refreshes += 1;
+            }
+            self.nets_recomputed += recomputed;
+        }
+        &self.lengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Objectives;
+    use crate::layout::Slot;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+    use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+
+    fn setup(model: WirelengthModel) -> (CostEvaluator, Placement) {
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("kernel_test", 170, 29)).generate(),
+        );
+        let eval = CostEvaluator::with_models(
+            Arc::clone(&nl),
+            Objectives::WirelengthPowerDelay,
+            model,
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
+        let placement = Placement::round_robin(&nl, 9);
+        (eval, placement)
+    }
+
+    #[test]
+    fn scorer_matches_oracle_net_lengths_bitwise() {
+        for model in [
+            WirelengthModel::SingleTrunkSteiner,
+            WirelengthModel::HalfPerimeter,
+        ] {
+            let (eval, placement) = setup(model);
+            let mut scorer = TrialScorer::for_evaluator(&eval);
+            for net in eval.netlist().net_ids() {
+                let naive = eval.net_length(&placement, net);
+                let kernel = scorer.net_length(&eval, &placement, net);
+                assert_eq!(naive.to_bits(), kernel.to_bits(), "{model:?} net {net}");
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_matches_oracle_trial_scores_bitwise() {
+        let (eval, mut placement) = setup(WirelengthModel::SingleTrunkSteiner);
+        let mut scorer = TrialScorer::for_evaluator(&eval);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let cell = vlsi_netlist::CellId(rng.gen_range(0..eval.netlist().num_cells() as u32));
+            let row = rng.gen_range(0..placement.num_rows());
+            let index = rng.gen_range(0..placement.row(row).len() + 1);
+            placement.remove_cell(cell);
+            let pos = placement.trial_position(cell, Slot { row, index });
+            let naive = eval.cell_cost_at(&placement, cell, pos);
+            let fast = scorer.cell_cost_at(&eval, &placement, cell, pos);
+            assert_eq!(naive.wirelength.to_bits(), fast.wirelength.to_bits());
+            assert_eq!(naive.power.to_bits(), fast.power.to_bits());
+            assert_eq!(
+                naive.critical_wirelength.to_bits(),
+                fast.critical_wirelength.to_bits()
+            );
+            placement.insert_cell(cell, Slot { row, index });
+        }
+    }
+
+    #[test]
+    fn prepared_scoring_matches_oracle_bitwise() {
+        for model in [
+            WirelengthModel::SingleTrunkSteiner,
+            WirelengthModel::HalfPerimeter,
+        ] {
+            let (eval, mut placement) = setup(model);
+            let mut scorer = TrialScorer::for_evaluator(&eval);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for _ in 0..40 {
+                let cell =
+                    vlsi_netlist::CellId(rng.gen_range(0..eval.netlist().num_cells() as u32));
+                placement.remove_cell(cell);
+                scorer.prepare_cell(&eval, &placement, cell);
+                let back = placement.num_rows() - 1;
+                for _ in 0..8 {
+                    let row = rng.gen_range(0..placement.num_rows());
+                    let index = rng.gen_range(0..placement.row(row).len() + 1);
+                    let pos = placement.trial_position(cell, Slot { row, index });
+                    let naive = eval.cell_cost_at(&placement, cell, pos);
+                    let fast = scorer.prepared_cost_at(pos);
+                    assert_eq!(naive.wirelength.to_bits(), fast.wirelength.to_bits(), "{model:?}");
+                    assert_eq!(naive.power.to_bits(), fast.power.to_bits());
+                    assert_eq!(
+                        naive.critical_wirelength.to_bits(),
+                        fast.critical_wirelength.to_bits()
+                    );
+                }
+                placement.insert_cell(cell, Slot { row: back, index: 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn cache_delta_refresh_matches_full_recompute() {
+        let (eval, mut placement) = setup(WirelengthModel::SingleTrunkSteiner);
+        let mut scorer = TrialScorer::for_evaluator(&eval);
+        let mut cache = NetLengthCache::new();
+        cache.refresh(&eval, &mut scorer, &placement);
+        assert_eq!(cache.full_refreshes(), 1);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for round in 0..20 {
+            let cell = vlsi_netlist::CellId(rng.gen_range(0..eval.netlist().num_cells() as u32));
+            let row = rng.gen_range(0..placement.num_rows());
+            let index = rng.gen_range(0..placement.row(row).len() + 1);
+            placement.move_cell(cell, Slot { row, index });
+            let cached = cache.refresh(&eval, &mut scorer, &placement).to_vec();
+            let oracle = eval.net_lengths(&placement);
+            for (n, (a, b)) in cached.iter().zip(oracle.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round} net {n}");
+            }
+        }
+        assert_eq!(cache.full_refreshes(), 1, "mutations must take the delta path");
+        assert!(cache.delta_refreshes() > 0);
+    }
+
+    #[test]
+    fn cache_fully_recomputes_for_clones() {
+        let (eval, placement) = setup(WirelengthModel::HalfPerimeter);
+        let mut scorer = TrialScorer::for_evaluator(&eval);
+        let mut cache = NetLengthCache::new();
+        cache.refresh(&eval, &mut scorer, &placement);
+        let clone = placement.clone();
+        assert_ne!(placement.uid(), clone.uid());
+        cache.refresh(&eval, &mut scorer, &clone);
+        assert_eq!(cache.full_refreshes(), 2);
+    }
+
+    #[test]
+    fn unchanged_placement_refreshes_for_free() {
+        let (eval, placement) = setup(WirelengthModel::SingleTrunkSteiner);
+        let mut scorer = TrialScorer::for_evaluator(&eval);
+        let mut cache = NetLengthCache::new();
+        cache.refresh(&eval, &mut scorer, &placement);
+        let before = cache.nets_recomputed();
+        cache.refresh(&eval, &mut scorer, &placement);
+        assert_eq!(cache.nets_recomputed(), before);
+        assert_eq!(cache.full_refreshes(), 1);
+    }
+
+    #[test]
+    fn row_lattice_roundtrip_is_exact() {
+        for row in 0u32..4096 {
+            let y = (row as f64 + 0.5) * ROW_HEIGHT;
+            assert_eq!(row_of_lattice_y(y), row);
+        }
+    }
+}

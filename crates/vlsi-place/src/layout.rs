@@ -11,7 +11,17 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vlsi_netlist::{CellId, Netlist};
+
+/// Source of unique placement identities (see [`Placement::uid`]). Identity
+/// only gates cache reuse — it never influences the search — so a process-wide
+/// atomic does not affect determinism.
+static PLACEMENT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_placement_uid() -> u64 {
+    PLACEMENT_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Height of a placement row in layout units. Standard cells share a common
 /// height, so the value only scales the vertical component of wirelength.
@@ -65,18 +75,52 @@ impl std::error::Error for PlacementError {}
 ///
 /// The structure keeps per-cell cached coordinates so that cost evaluation is
 /// cheap; the caches are refreshed for a whole row whenever that row changes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Note: deliberately **not** `Serialize`/`Deserialize`. The `uid` field
+/// must be unique per live object (incremental caches key on it), so a
+/// derived round-trip that restored a stored uid verbatim could alias two
+/// placements and make [`crate::kernel::NetLengthCache`] skip rows that
+/// actually changed. If persistence is ever needed, serialize the row lists
+/// and rebuild through [`Placement::from_rows`], which assigns a fresh uid.
+#[derive(Debug)]
 pub struct Placement {
     /// Cells of each row, in left-to-right order.
     rows: Vec<Vec<CellId>>,
     /// Row of each cell.
     cell_row: Vec<u32>,
+    /// Cached ordinal index of each cell within its row (maintained by
+    /// [`Placement::rebuild_row_x`], which already walks the row).
+    cell_index: Vec<u32>,
     /// Cached centre x coordinate of each cell.
     cell_x: Vec<f64>,
     /// Cached width of each cell (copied from the netlist to avoid lookups).
     cell_width: Vec<u32>,
     /// Total width of each row.
     row_width: Vec<u64>,
+    /// Unique identity of this placement object; refreshed on clone so
+    /// incremental caches keyed on a placement never confuse two objects that
+    /// share a mutation history (e.g. per-rank clones in Type II).
+    uid: u64,
+    /// Monotone mutation counter; bumped on every row rebuild.
+    epoch: u64,
+    /// For each row, the `epoch` at which it last changed. An incremental
+    /// cost cache is valid for a row iff it has seen this epoch.
+    row_epoch: Vec<u64>,
+}
+
+impl Clone for Placement {
+    fn clone(&self) -> Self {
+        Placement {
+            rows: self.rows.clone(),
+            cell_row: self.cell_row.clone(),
+            cell_index: self.cell_index.clone(),
+            cell_x: self.cell_x.clone(),
+            cell_width: self.cell_width.clone(),
+            row_width: self.row_width.clone(),
+            uid: next_placement_uid(),
+            epoch: self.epoch,
+            row_epoch: self.row_epoch.clone(),
+        }
+    }
 }
 
 impl Placement {
@@ -105,9 +149,13 @@ impl Placement {
         let mut p = Placement {
             rows: vec![Vec::with_capacity(n / num_rows + 1); num_rows],
             cell_row: vec![0; n],
+            cell_index: vec![0; n],
             cell_x: vec![0.0; n],
             cell_width: netlist.cells().iter().map(|c| c.width).collect(),
             row_width: vec![0; num_rows],
+            uid: next_placement_uid(),
+            epoch: 0,
+            row_epoch: vec![0; num_rows],
         };
         for &cell in order {
             let row = (0..num_rows)
@@ -136,9 +184,13 @@ impl Placement {
         let n = netlist.num_cells();
         let mut p = Placement {
             cell_row: vec![0; n],
+            cell_index: vec![0; n],
             cell_x: vec![0.0; n],
             cell_width: netlist.cells().iter().map(|c| c.width).collect(),
             row_width: vec![0; rows.len()],
+            uid: next_placement_uid(),
+            epoch: 0,
+            row_epoch: vec![0; rows.len()],
             rows,
         };
         for r in 0..p.rows.len() {
@@ -178,13 +230,23 @@ impl Placement {
         self.cell_row[cell.index()] as usize
     }
 
-    /// Ordinal index of `cell` within its row.
+    /// Ordinal index of `cell` within its row. O(1): the ordinal is cached
+    /// per cell and maintained by the same row walk that refreshes the x
+    /// coordinates, because `slot_of`/`trial_position` sit under the
+    /// allocation trial loop.
+    #[inline]
     pub fn index_in_row(&self, cell: CellId) -> usize {
-        let row = self.row_of(cell);
-        self.rows[row]
-            .iter()
-            .position(|&c| c == cell)
-            .expect("cell_row points at a row that contains the cell")
+        let idx = self.cell_index[cell.index()] as usize;
+        // Always-on fail-fast, like the linear scan this replaced: an
+        // unplaced cell (e.g. a double remove_cell) must panic here, not
+        // silently evict whichever cell sits at its stale cached ordinal.
+        // O(1), negligible next to the O(row) mutations that call this.
+        assert_eq!(
+            self.rows[self.row_of(cell)].get(idx).copied(),
+            Some(cell),
+            "cell {cell} is not placed at its cached ordinal"
+        );
+        idx
     }
 
     /// Slot currently occupied by `cell`.
@@ -193,6 +255,13 @@ impl Placement {
             row: self.row_of(cell),
             index: self.index_in_row(cell),
         }
+    }
+
+    /// Cached centre x coordinate of `cell` (the first component of
+    /// [`Placement::position`], without recomputing the y coordinate).
+    #[inline]
+    pub fn x_of(&self, cell: CellId) -> f64 {
+        self.cell_x[cell.index()]
     }
 
     /// Centre coordinates of `cell` in layout units.
@@ -283,10 +352,16 @@ impl Placement {
     pub fn trial_position(&self, cell: CellId, slot: Slot) -> (f64, f64) {
         let row = &self.rows[slot.row];
         let index = slot.index.min(row.len());
-        let mut x = 0.0f64;
-        for &c in row.iter().take(index) {
-            x += self.cell_width[c.index()] as f64;
-        }
+        // O(1) via the cached centre coordinate of the left neighbour: its
+        // right edge is the insertion point. Cell widths are integers, so
+        // every centre/edge is an exact half-integer double and this matches
+        // the former prefix-sum loop bit for bit.
+        let x = if index == 0 {
+            0.0
+        } else {
+            let prev = row[index - 1].index();
+            self.cell_x[prev] + self.cell_width[prev] as f64 / 2.0
+        };
         let w = self.cell_width[cell.index()] as f64;
         (x + w / 2.0, (slot.row as f64 + 0.5) * ROW_HEIGHT)
     }
@@ -309,12 +384,15 @@ impl Placement {
         let mut seen = vec![false; netlist.num_cells()];
         for (r, row) in self.rows.iter().enumerate() {
             let mut width = 0u64;
-            for &cell in row {
+            for (i, &cell) in row.iter().enumerate() {
                 if seen[cell.index()] {
                     return Err(PlacementError::DuplicateCell(cell));
                 }
                 seen[cell.index()] = true;
                 if self.cell_row[cell.index()] as usize != r {
+                    return Err(PlacementError::InconsistentRow(cell));
+                }
+                if self.cell_index[cell.index()] as usize != i {
                     return Err(PlacementError::InconsistentRow(cell));
                 }
                 width += self.cell_width[cell.index()] as u64;
@@ -337,18 +415,39 @@ impl Placement {
         Ok(())
     }
 
-    /// Rebuilds the cached x coordinates of every cell in `row`.
+    /// Identity of this placement object. Fresh per construction and per
+    /// clone; incremental caches use it to detect that they are looking at a
+    /// different placement than the one they were synchronised with.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The epoch at which `row` last changed (monotone across the whole
+    /// placement). Together with [`Placement::uid`] this is the invalidation
+    /// signal for incremental net-length caches: a row's cells can only move
+    /// (x or y) through a row rebuild, which bumps this value.
+    #[inline]
+    pub fn row_epoch(&self, row: usize) -> u64 {
+        self.row_epoch[row]
+    }
+
+    /// Rebuilds the cached x coordinates and ordinals of every cell in `row`
+    /// and records the mutation in the row's epoch.
     fn rebuild_row_x(&mut self, row: usize) {
         let mut x = 0.0f64;
         // Split borrows: the row list is read while the coordinate cache is
         // written, so take the row out temporarily.
         let cells = std::mem::take(&mut self.rows[row]);
-        for &cell in &cells {
+        for (i, &cell) in cells.iter().enumerate() {
             let w = self.cell_width[cell.index()] as f64;
             self.cell_x[cell.index()] = x + w / 2.0;
+            self.cell_index[cell.index()] = i as u32;
             x += w;
         }
         self.rows[row] = cells;
+        self.epoch += 1;
+        self.row_epoch[row] = self.epoch;
     }
 }
 

@@ -11,6 +11,10 @@
 //! * [`CostEvaluator`] — wirelength, power, delay and width costs, with
 //!   incremental per-net/per-path updates used heavily by the SimE allocation
 //!   operator,
+//! * [`kernel`] — the allocation-free hot path: [`TrialScorer`] (scratch-space
+//!   trial scoring with a counting median instead of a sort) and
+//!   [`NetLengthCache`] (dirty-net delta re-evaluation across iterations),
+//!   both bitwise identical to the [`cost`] oracle,
 //! * [`fuzzy`] — the fuzzy membership functions and aggregation that fold the
 //!   three objectives into the scalar quality measure `µ(s) ∈ [0, 1]`,
 //! * [`goodness`] — the per-cell multiobjective goodness `gᵢ = Oᵢ/Cᵢ` that
@@ -28,10 +32,12 @@ pub mod bounds;
 pub mod cost;
 pub mod fuzzy;
 pub mod goodness;
+pub mod kernel;
 pub mod layout;
 pub mod wirelength;
 
 pub use cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
+pub use kernel::{NetLengthCache, TrialScorer};
 pub use fuzzy::{FuzzyConfig, FuzzyLevel};
 pub use goodness::{GoodnessEvaluator, GoodnessVector};
 pub use layout::{Placement, PlacementError, Slot};
@@ -42,6 +48,7 @@ pub mod prelude {
     pub use crate::cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
     pub use crate::fuzzy::FuzzyConfig;
     pub use crate::goodness::GoodnessEvaluator;
+    pub use crate::kernel::{NetLengthCache, TrialScorer};
     pub use crate::layout::{Placement, Slot};
     pub use crate::wirelength::WirelengthModel;
 }

@@ -1,0 +1,157 @@
+//! Differential property tests: the allocation-free kernel
+//! ([`TrialScorer`], [`NetLengthCache`]) must be **bit-identical** to the
+//! naive [`CostEvaluator`] oracle — not approximately equal — across random
+//! circuits, random placements, random rip-up/re-insert sequences, both
+//! [`WirelengthModel`]s and both [`Objectives`] variants. Bit identity is
+//! what lets the engine run on the kernel while keeping every seeded
+//! trajectory of the paper-reproduction tables unchanged.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+use vlsi_netlist::{CellId, Netlist};
+use vlsi_place::cost::{CostEvaluator, Objectives};
+use vlsi_place::kernel::{NetLengthCache, TrialScorer};
+use vlsi_place::layout::{Placement, Slot};
+use vlsi_place::wirelength::WirelengthModel;
+
+fn arb_netlist() -> impl Strategy<Value = (Arc<Netlist>, u64)> {
+    (80usize..220, any::<u64>()).prop_map(|(cells, seed)| {
+        let cfg = GeneratorConfig::sized(format!("kdiff_{seed}"), cells, seed);
+        (Arc::new(CircuitGenerator::new(cfg).generate()), seed)
+    })
+}
+
+fn evaluator(netlist: &Arc<Netlist>, model: WirelengthModel, objectives: Objectives) -> CostEvaluator {
+    CostEvaluator::with_models(
+        Arc::clone(netlist),
+        objectives,
+        model,
+        Default::default(),
+        Default::default(),
+        Default::default(),
+    )
+}
+
+const MODELS: [WirelengthModel; 2] = [
+    WirelengthModel::SingleTrunkSteiner,
+    WirelengthModel::HalfPerimeter,
+];
+const OBJECTIVES: [Objectives; 2] = [
+    Objectives::WirelengthPower,
+    Objectives::WirelengthPowerDelay,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cached net lengths track the naive evaluator bit-for-bit through an
+    /// arbitrary sequence of rip-up/re-insert and move operations, for every
+    /// model/objective combination.
+    #[test]
+    fn cache_is_bit_identical_through_mutations(
+        (netlist, seed) in arb_netlist(),
+        rows in 4usize..10,
+        steps in 4usize..24,
+    ) {
+        for model in MODELS {
+            for objectives in OBJECTIVES {
+                let eval = evaluator(&netlist, model, objectives);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+                let mut placement = Placement::random(&netlist, rows, &mut rng);
+                let mut scorer = TrialScorer::for_evaluator(&eval);
+                let mut cache = NetLengthCache::new();
+                for _ in 0..steps {
+                    // Random rip-up / re-insert of a batch of cells, like the
+                    // allocation operator performs.
+                    let batch = rng.gen_range(1..5usize);
+                    let mut cells: Vec<CellId> = Vec::new();
+                    for _ in 0..batch {
+                        let c = CellId(rng.gen_range(0..netlist.num_cells() as u32));
+                        if !cells.contains(&c) {
+                            cells.push(c);
+                        }
+                    }
+                    for &c in &cells {
+                        placement.remove_cell(c);
+                    }
+                    for &c in &cells {
+                        let row = rng.gen_range(0..rows);
+                        let index = rng.gen_range(0..placement.row(row).len() + 1);
+                        placement.insert_cell(c, Slot { row, index });
+                    }
+                    let cached = cache.refresh(&eval, &mut scorer, &placement);
+                    let oracle = eval.net_lengths(&placement);
+                    prop_assert_eq!(cached.len(), oracle.len());
+                    for (a, b) in cached.iter().zip(oracle.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                prop_assert_eq!(cache.full_refreshes(), 1);
+            }
+        }
+    }
+
+    /// Kernel trial scoring (both the generic and the prepared-cell path)
+    /// agrees with the naive `cell_cost_at` oracle to the bit for arbitrary
+    /// trial slots of a ripped-up cell.
+    #[test]
+    fn trial_scoring_is_bit_identical(
+        (netlist, seed) in arb_netlist(),
+        rows in 4usize..10,
+        picks in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        for model in MODELS {
+            for objectives in OBJECTIVES {
+                let eval = evaluator(&netlist, model, objectives);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+                let mut placement = Placement::random(&netlist, rows, &mut rng);
+                let mut scorer = TrialScorer::for_evaluator(&eval);
+                for &pick in &picks {
+                    let cell = CellId((pick as u32) % netlist.num_cells() as u32);
+                    let home = placement.remove_cell(cell);
+                    scorer.prepare_cell(&eval, &placement, cell);
+                    for probe in 0..4u64 {
+                        let h = pick.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(probe);
+                        let row = (h as usize) % rows;
+                        let index = (h as usize / rows) % (placement.row(row).len() + 1);
+                        let pos = placement.trial_position(cell, Slot { row, index });
+                        let naive = eval.cell_cost_at(&placement, cell, pos);
+                        let generic = scorer.cell_cost_at(&eval, &placement, cell, pos);
+                        let prepared = scorer.prepared_cost_at(pos);
+                        for (a, b) in [
+                            (naive.wirelength, generic.wirelength),
+                            (naive.power, generic.power),
+                            (naive.critical_wirelength, generic.critical_wirelength),
+                            (naive.wirelength, prepared.wirelength),
+                            (naive.power, prepared.power),
+                            (naive.critical_wirelength, prepared.critical_wirelength),
+                        ] {
+                            prop_assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                    placement.insert_cell(cell, home);
+                }
+            }
+        }
+    }
+
+    /// Scorer-computed single net lengths equal the oracle's for every net of
+    /// a random placement (the cache's building block, checked directly).
+    #[test]
+    fn net_lengths_are_bit_identical((netlist, seed) in arb_netlist(), rows in 3usize..9) {
+        for model in MODELS {
+            let eval = evaluator(&netlist, model, Objectives::WirelengthPower);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFACE);
+            let placement = Placement::random(&netlist, rows, &mut rng);
+            let mut scorer = TrialScorer::for_evaluator(&eval);
+            for net in netlist.net_ids() {
+                let naive = eval.net_length(&placement, net);
+                let fast = scorer.net_length(&eval, &placement, net);
+                prop_assert_eq!(naive.to_bits(), fast.to_bits());
+            }
+        }
+    }
+}
