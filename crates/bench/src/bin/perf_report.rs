@@ -1,20 +1,34 @@
-//! `perf_report` — machine-readable performance snapshot of the SimE
-//! operator hot paths, written as JSON so CI can archive the perf trajectory
-//! PR over PR.
+//! `perf_report` — machine-readable performance snapshots of the SimE hot
+//! paths, written as JSON so CI can archive the perf trajectory PR over PR.
 //!
-//! Runs the operator benches at reduced scale (a handful of full SimE
-//! iterations on the paper's `s1196` circuit plus naive-vs-kernel
-//! head-to-heads) and writes `BENCH_PR2.json` with per-phase wall-clock
-//! nanoseconds, deterministic work counts and derived net-evaluations/second
-//! rates.
+//! Two reports per invocation:
 //!
-//! Usage: `perf_report [--out PATH] [--iters N]`
-//! (defaults: `BENCH_PR2.json`, 10 iterations).
+//! * `BENCH_PR2.json` — the operator snapshot: a handful of full SimE
+//!   iterations on the paper's `s1196` circuit plus naive-vs-kernel
+//!   head-to-heads, with per-phase wall-clock nanoseconds, deterministic
+//!   work counts and derived net-evaluations/second rates.
+//! * `BENCH_PR3.json` — the execution-backend scaling snapshot: the
+//!   `parallel_scaling` matrix (Type III at p = 5, Type II random at p = 4)
+//!   on the `Modeled` backend and the `Threaded` backend at 1, 2 and 4 OS
+//!   workers, with measured wall-clock per run, the speedup of 4 workers
+//!   over 1, the host's available parallelism (the speedup ceiling — on a
+//!   single-core host the honest number is ~1×), and a cross-check that
+//!   every backend/worker-count produced bitwise-identical results.
+//!
+//! Usage:
+//! `perf_report [--only pr2|pr3] [--out PATH] [--out3 PATH] [--iters N] [--scaling-iters N]`
+//! (defaults: both reports, `BENCH_PR2.json`, `BENCH_PR3.json`, 10 and 8
+//! iterations; `--only` lets a CI job generate just the half it archives).
 
+use cluster_sim::timeline::ClusterConfig;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sime_core::engine::{SimEConfig, SimEEngine};
 use sime_core::profile::{Phase, ProfileReport};
+use sime_parallel::exec::{ExecBackend, Modeled, Threaded};
+use sime_parallel::type2::{run_type2_on, RowPattern, Type2Config};
+use sime_parallel::type3::{run_type3_on, Type3Config};
+use sime_parallel::StrategyOutcome;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +54,136 @@ fn evals_per_sec(net_evals: u64, total_ns: u128) -> f64 {
     }
 }
 
+/// Runs the parallel-scaling matrix and assembles the `BENCH_PR3` JSON:
+/// wall-clock per (strategy, backend, workers) cell — best of `reps`
+/// repetitions — plus speedups and the bitwise cross-backend check.
+fn parallel_scaling_report(iters: usize) -> String {
+    let circuit = PaperCircuit::S1196;
+    let netlist = Arc::new(paper_circuit(circuit));
+    let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iters);
+    let engine = SimEEngine::new(Arc::clone(&netlist), config);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    const REPS: usize = 3;
+
+    let backends: Vec<(String, u64, Box<dyn ExecBackend>)> = vec![
+        ("modeled".into(), 0, Box::new(Modeled)),
+        ("threaded".into(), 1, Box::new(Threaded::new(1))),
+        ("threaded".into(), 2, Box::new(Threaded::new(2))),
+        ("threaded".into(), 4, Box::new(Threaded::new(4))),
+    ];
+    let strategies: Vec<(&str, Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome>)> = vec![
+        (
+            "type3_p5",
+            Box::new(|backend: &dyn ExecBackend| {
+                run_type3_on(
+                    &engine,
+                    ClusterConfig::paper_cluster(5),
+                    Type3Config {
+                        ranks: 5,
+                        iterations: iters,
+                        retry_threshold: 5,
+                    },
+                    backend,
+                )
+            }),
+        ),
+        (
+            "type2_random_p4",
+            Box::new(|backend: &dyn ExecBackend| {
+                run_type2_on(
+                    &engine,
+                    ClusterConfig::paper_cluster(4),
+                    Type2Config {
+                        ranks: 4,
+                        iterations: iters,
+                        pattern: RowPattern::Random,
+                    },
+                    backend,
+                )
+            }),
+        ),
+    ];
+
+    let mut rows = String::new();
+    let mut bitwise_ok = true;
+    let mut speedup_4v1 = f64::NAN;
+    for (si, (name, run)) in strategies.iter().enumerate() {
+        let mut reference: Option<StrategyOutcome> = None;
+        let mut wall_w1 = 0u128;
+        for (bi, (backend_name, workers, backend)) in backends.iter().enumerate() {
+            let mut best_ns = u128::MAX;
+            let mut outcome = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let o = run(backend.as_ref());
+                best_ns = best_ns.min(t0.elapsed().as_nanos());
+                outcome = Some(o);
+            }
+            let outcome = outcome.expect("at least one rep ran");
+            match &reference {
+                None => reference = Some(outcome.clone()),
+                Some(r) => {
+                    bitwise_ok &= r.best_cost.mu.to_bits() == outcome.best_cost.mu.to_bits()
+                        && r.modeled_seconds.to_bits() == outcome.modeled_seconds.to_bits()
+                        && r.mu_history.len() == outcome.mu_history.len()
+                        && r.mu_history
+                            .iter()
+                            .zip(&outcome.mu_history)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                }
+            }
+            if *workers == 1 {
+                wall_w1 = best_ns;
+            }
+            let speedup_vs_w1 = if *workers >= 1 && wall_w1 > 0 {
+                wall_w1 as f64 / best_ns as f64
+            } else {
+                f64::NAN
+            };
+            if si == 0 && *workers == 4 && wall_w1 > 0 {
+                speedup_4v1 = wall_w1 as f64 / best_ns as f64;
+            }
+            if si > 0 || bi > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"strategy\": \"{name}\", \"backend\": \"{backend_name}\", \
+                 \"workers\": {workers}, \"reps\": {REPS}, \"wall_ns\": {best_ns}, \
+                 \"speedup_vs_1_worker\": {speedup}, \"best_mu\": {mu:.6}, \
+                 \"modeled_seconds\": {modeled:.3}}}",
+                speedup = if speedup_vs_w1.is_nan() {
+                    "null".to_string()
+                } else {
+                    format!("{speedup_vs_w1:.2}")
+                },
+                mu = outcome.best_cost.mu,
+                modeled = outcome.modeled_seconds,
+            ));
+        }
+    }
+
+    format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"report\": \"BENCH_PR3\",\n\
+         \x20 \"bench\": \"parallel_scaling\",\n\
+         \x20 \"circuit\": \"s1196\",\n\
+         \x20 \"cells\": {cells},\n\
+         \x20 \"iterations\": {iters},\n\
+         \x20 \"host_parallelism\": {host_parallelism},\n\
+         \x20 \"bitwise_identical_across_backends_and_workers\": {bitwise_ok},\n\
+         \x20 \"type3_p5_speedup_4_workers_vs_1\": {speedup},\n\
+         \x20 \"runs\": [\n{rows}\n  ]\n\
+         }}\n",
+        cells = netlist.num_cells(),
+        speedup = if speedup_4v1.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{speedup_4v1:.2}")
+        },
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg = |flag: &str| {
@@ -48,7 +192,29 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_PR2.json".into());
+    let out3_path = arg("--out3").unwrap_or_else(|| "BENCH_PR3.json".into());
     let iters: usize = arg("--iters").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let scaling_iters: usize = arg("--scaling-iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let only = arg("--only");
+    let (run_pr2, run_pr3) = match only.as_deref() {
+        None => (true, true),
+        Some("pr2") => (true, false),
+        Some("pr3") => (false, true),
+        Some(other) => {
+            eprintln!("unknown --only value '{other}' (expected 'pr2' or 'pr3')");
+            std::process::exit(2);
+        }
+    };
+    if !run_pr2 {
+        // Backend-scaling snapshot only; skip the operator benchmarks.
+        let json3 = parallel_scaling_report(scaling_iters);
+        std::fs::write(&out3_path, &json3).expect("write parallel-scaling report");
+        println!("wrote {out3_path}");
+        print!("{json3}");
+        return;
+    }
 
     let circuit = PaperCircuit::S1196;
     let netlist = Arc::new(paper_circuit(circuit));
@@ -180,4 +346,12 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("wrote {out_path}");
     print!("{json}");
+
+    if run_pr3 {
+        // -- Execution-backend scaling snapshot (PR 3).
+        let json3 = parallel_scaling_report(scaling_iters);
+        std::fs::write(&out3_path, &json3).expect("write parallel-scaling report");
+        println!("wrote {out3_path}");
+        print!("{json3}");
+    }
 }

@@ -149,6 +149,140 @@ impl RankHandle {
     }
 }
 
+/// An opaque unit of work executed by a [`WorkerPool`] thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of OS worker threads fed through a crossbeam MPMC
+/// channel — the execution substrate of the `Threaded` backend in
+/// `sime-parallel`.
+///
+/// Jobs are submitted through a shared unbounded channel and claimed by
+/// whichever worker is free (work stealing by queue contention); results
+/// travel back through a per-batch typed channel and are **merged in
+/// submission order**, so the output of [`WorkerPool::run_tasks`] is
+/// independent of the number of workers and of OS scheduling. That merge
+/// discipline is what lets the threaded SimE backend stay bitwise
+/// deterministic — see `DESIGN.md` §4 ("Execution backends & the determinism
+/// contract").
+///
+/// ```
+/// use cluster_sim::comm::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..8)
+///     .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+///     .collect();
+/// // Results come back in submission order regardless of which worker ran
+/// // which task.
+/// assert_eq!(pool.run_tasks(tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    jobs: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` OS threads blocked on the shared job
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a worker pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            jobs: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `tasks` on the pool and returns their results **in
+    /// submission (index) order** — the deterministic merge barrier.
+    ///
+    /// The calling thread blocks until every task has completed. Tasks may
+    /// finish in any order on any worker; the index carried alongside each
+    /// result re-establishes the submission order at the merge.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside a task is caught on the worker (which stays alive for
+    /// later batches) and re-raised on the calling thread once the merge
+    /// loop receives it — at any worker count, with no hang.
+    pub fn run_tasks<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let (tx, rx) = unbounded::<(usize, std::thread::Result<T>)>();
+        let jobs = self
+            .jobs
+            .as_ref()
+            .expect("worker pool already shut down");
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            let job: Job = Box::new(move || {
+                // AssertUnwindSafe: on Err the caller re-raises the panic and
+                // never observes the task's captured state again.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                let _ = tx.send((index, result));
+            });
+            if jobs.send(job).is_err() {
+                panic!("worker pool threads have exited");
+            }
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, result) = rx
+                .recv()
+                .expect("worker pool dropped a task result");
+            match result {
+                Ok(value) => slots[index] = Some(value),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker pool produced a duplicate task index"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel lets every worker's `recv` return an error;
+        // join so no detached thread outlives the pool.
+        self.jobs.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
 /// Thread-backed cluster launcher.
 pub struct Cluster;
 
@@ -301,6 +435,81 @@ mod tests {
             counter.load(Ordering::SeqCst)
         });
         assert!(out.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn pool_results_arrive_in_submission_order() {
+        for workers in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..32)
+                .map(|i| Box::new(move || i * 3) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = pool.run_tasks(tasks);
+            assert_eq!(out, (0usize..32).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(3);
+        for batch in 0..5usize {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6)
+                .map(|i| Box::new(move || batch * 100 + i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = pool.run_tasks(tasks);
+            assert_eq!(out, (0..6).map(|i| batch * 100 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_handles_more_tasks_than_workers() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..100u64)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect();
+        let out = pool.run_tasks(tasks);
+        assert_eq!(out.iter().sum::<u64>(), (1..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<usize> = pool.run_tasks(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn pool_rejects_zero_workers() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_and_pool_survives() {
+        // A panicking task must re-raise on the caller — even on a one-worker
+        // pool with further tasks queued behind it (no silent hang) — and the
+        // worker must stay usable for the next batch.
+        let pool = WorkerPool::new(1);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| panic!("task exploded")),
+            Box::new(|| 7),
+        ];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_tasks(tasks)
+        }));
+        let payload = caught.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("task exploded"), "got: {message}");
+
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..4).map(|i| Box::new(move || i) as _).collect();
+        assert_eq!(pool.run_tasks(tasks), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -25,7 +25,17 @@
 //!   run with real concurrency, and it is used by the wall-clock execution
 //!   mode and by tests of message-passing semantics.
 //!
-//! The substitution argument is recorded in `DESIGN.md` (S4).
+//! * [`comm::WorkerPool`] — a persistent pool of OS worker threads fed
+//!   through a crossbeam MPMC job channel, with results merged back **in
+//!   submission order**. This is the backend seam the `sime-parallel` crate's
+//!   `Threaded` execution backend builds on: strategies execute their
+//!   per-rank work as pool tasks for real shared-memory parallelism while the
+//!   [`timeline::ClusterTimeline`] keeps accounting the *modeled* cluster
+//!   cost of the same schedule, so both backends report identical modeled
+//!   runtimes and bitwise-identical search results.
+//!
+//! The substitution argument is recorded in `DESIGN.md` (S4); the backend
+//! determinism contract lives in `DESIGN.md` §4.
 
 #![warn(missing_docs)]
 
@@ -34,14 +44,14 @@ pub mod machine;
 pub mod network;
 pub mod timeline;
 
-pub use comm::{Cluster, RankHandle};
+pub use comm::{Cluster, RankHandle, WorkerPool};
 pub use machine::{ComputeModel, Workload};
 pub use network::NetworkModel;
 pub use timeline::{ClusterConfig, ClusterTimeline, CommStats};
 
 /// Convenience prelude bringing the common cluster-simulation types into scope.
 pub mod prelude {
-    pub use crate::comm::{Cluster, RankHandle};
+    pub use crate::comm::{Cluster, RankHandle, WorkerPool};
     pub use crate::machine::{ComputeModel, Workload};
     pub use crate::network::NetworkModel;
     pub use crate::timeline::{ClusterConfig, ClusterTimeline, CommStats};

@@ -19,6 +19,22 @@
 //! * `barrier()` — all clocks jump to the maximum (plus one latency per rank
 //!   pair handled by the caller if desired; the simple max is enough for the
 //!   bulk-synchronous strategies here).
+//!
+//! ```
+//! use cluster_sim::machine::Workload;
+//! use cluster_sim::timeline::{ClusterConfig, ClusterTimeline};
+//!
+//! // One bulk-synchronous step on the paper's 4-node cluster: broadcast,
+//! // compute on every rank, gather at the master.
+//! let mut timeline = ClusterTimeline::new(ClusterConfig::paper_cluster(4));
+//! timeline.broadcast_tree(0, 4 * 561);
+//! for rank in 0..4 {
+//!     timeline.charge_compute(rank, &Workload::net_evals(10_000));
+//! }
+//! timeline.gather(0, &[0, 1024, 1024, 1024]);
+//! assert!(timeline.makespan() > 0.0);
+//! assert_eq!(timeline.stats().messages, 2 * 3); // 3 bcast + 3 gather msgs
+//! ```
 
 use crate::machine::{ComputeModel, Workload};
 use crate::network::NetworkModel;

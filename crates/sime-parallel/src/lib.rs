@@ -28,27 +28,41 @@
 //!   parallel SA. There is no workload division, so the runtime stays at the
 //!   serial level; the benefit (if any) is solution quality.
 //!
+//! Every strategy runs on an **execution backend** ([`exec`]): the
+//! [`exec::Modeled`] backend executes the per-rank work inline (the virtual
+//! cluster timeline is the only notion of parallel time), the
+//! [`exec::Threaded`] backend executes it on a pool of real OS threads. Both
+//! produce bitwise-identical outcomes — seeds, per-rank RNG streams and the
+//! rank-ordered merge at every synchronisation barrier are backend-
+//! independent — so `run_typeN(...)` and
+//! `run_typeN_on(..., &Threaded::new(n))` differ only in host wall-clock
+//! time. The contract is spelled out in [`exec`] and in `DESIGN.md` §4.
+//!
 //! Every strategy returns a [`report::StrategyOutcome`] containing the best
-//! placement found, the *modeled* runtime on the simulated cluster, and the
-//! communication statistics. The table-reproduction binaries in the `bench`
-//! crate print these in the layout of the paper's Tables 1–4.
+//! placement found, the *modeled* runtime on the simulated cluster, the
+//! communication statistics, and the host wall-clock time of the run. The
+//! table-reproduction binaries in the `bench` crate print these in the layout
+//! of the paper's Tables 1–4.
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod report;
 pub mod type1;
 pub mod type2;
 pub mod type3;
 
+pub use exec::{backend_from_name, ExecBackend, Modeled, Threaded};
 pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
-pub use type1::{run_type1, Type1Config};
-pub use type2::{run_type2, RowPattern, Type2Config};
-pub use type3::{run_type3, Type3Config};
+pub use type1::{run_type1, run_type1_on, Type1Config};
+pub use type2::{run_type2, run_type2_on, RowPattern, Type2Config};
+pub use type3::{run_type3, run_type3_on, Type3Config};
 
 /// Convenience prelude bringing the parallel-strategy API into scope.
 pub mod prelude {
+    pub use crate::exec::{backend_from_name, ExecBackend, Modeled, Threaded};
     pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
-    pub use crate::type1::{run_type1, Type1Config};
-    pub use crate::type2::{run_type2, RowPattern, Type2Config};
-    pub use crate::type3::{run_type3, Type3Config};
+    pub use crate::type1::{run_type1, run_type1_on, Type1Config};
+    pub use crate::type2::{run_type2, run_type2_on, RowPattern, Type2Config};
+    pub use crate::type3::{run_type3, run_type3_on, Type3Config};
 }

@@ -1,4 +1,10 @@
 //! Shared result types and the modeled-serial-time baseline.
+//!
+//! Every strategy run — Type I/II/III, on either execution backend — ends in
+//! a [`StrategyOutcome`]; the serial reference point the paper's tables
+//! normalise against comes from [`run_serial_baseline`], which runs the
+//! serial engine and prices its work profile on one node of the simulated
+//! cluster via [`modeled_serial_seconds`].
 
 use cluster_sim::machine::{ComputeModel, Workload};
 use cluster_sim::timeline::CommStats;
@@ -20,6 +26,7 @@ pub struct StrategyOutcome {
     /// Cost breakdown of the best placement.
     pub best_cost: CostBreakdown,
     /// Modeled runtime (makespan) on the simulated cluster, in seconds.
+    /// Identical across execution backends for a fixed configuration.
     pub modeled_seconds: f64,
     /// Communication statistics of the modeled run.
     pub comm: CommStats,
@@ -27,6 +34,13 @@ pub struct StrategyOutcome {
     pub iterations: usize,
     /// Solution quality `µ(s)` after every iteration, as seen by the master.
     pub mu_history: Vec<f64>,
+    /// Host wall-clock seconds the run actually took. Unlike every other
+    /// field this depends on the execution backend and the machine; it is
+    /// *not* covered by the determinism contract (`DESIGN.md` §4).
+    pub wall_seconds: f64,
+    /// Label of the execution backend that produced the run
+    /// (`"modeled"`, `"threaded(4)"`, …).
+    pub backend: String,
 }
 
 impl StrategyOutcome {
@@ -179,6 +193,8 @@ mod tests {
             comm: CommStats::default(),
             iterations: 1,
             mu_history: vec![],
+            wall_seconds: 0.0,
+            backend: "modeled".into(),
         };
         assert!((outcome.quality_fraction_of(baseline.best_mu()) - 1.0).abs() < 1e-12);
         assert!(outcome.quality_fraction_of(baseline.best_mu() * 2.0) < 1.0);

@@ -11,14 +11,37 @@
 //!    nets, which is what forces those duplicates,
 //! 3. the slaves send their partial goodness vectors back to the master,
 //! 4. the master runs Selection and Allocation exactly as the serial
-//!    algorithm does.
+//!    algorithm does, via [`SimEEngine::select_and_allocate`].
 //!
-//! Because the search operators run unchanged on the master, the search
-//! trajectory — and therefore the final solution quality — is identical to
-//! the serial algorithm; only the runtime differs. The reproduction of
-//! Table 1 therefore only needs the modeled runtime, which this module
-//! charges to a [`ClusterTimeline`].
+//! Because the search operators run unchanged on the master with the gathered
+//! goodness vector — which is bitwise identical to a serial evaluation — the
+//! search trajectory and the final solution quality are identical to the
+//! serial algorithm; only the runtime differs. The modeled runtime comes from
+//! a [`ClusterTimeline`]; under the `Threaded` backend the per-partition
+//! evaluation tasks of step 2 additionally run on real OS threads.
+//!
+//! ```
+//! use cluster_sim::timeline::ClusterConfig;
+//! use sime_core::engine::{SimEConfig, SimEEngine};
+//! use sime_parallel::exec::Threaded;
+//! use sime_parallel::type1::{run_type1, run_type1_on, Type1Config};
+//! use std::sync::Arc;
+//! use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+//! use vlsi_place::cost::Objectives;
+//!
+//! let netlist = Arc::new(
+//!     CircuitGenerator::new(GeneratorConfig::sized("type1_doc", 120, 1)).generate(),
+//! );
+//! let engine = SimEEngine::new(netlist, SimEConfig::fast(Objectives::WirelengthPower, 6, 3));
+//! let config = Type1Config { ranks: 3, iterations: 3 };
+//! let modeled = run_type1(&engine, ClusterConfig::paper_cluster(3), config);
+//! let threaded = run_type1_on(&engine, ClusterConfig::paper_cluster(3), config, &Threaded::new(2));
+//! // The determinism contract: backends agree bit for bit.
+//! assert_eq!(modeled.best_mu().to_bits(), threaded.best_mu().to_bits());
+//! assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
+//! ```
 
+use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{
     partition_evaluation_workload, StrategyOutcome, BYTES_PER_CELL, BYTES_PER_GOODNESS,
 };
@@ -29,7 +52,10 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sime_core::engine::SimEEngine;
 use sime_core::profile::ProfileReport;
+use std::sync::Arc;
+use std::time::Instant;
 use vlsi_netlist::CellId;
+use vlsi_place::layout::Placement;
 
 /// Configuration of a Type I run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,7 +66,91 @@ pub struct Type1Config {
     pub iterations: usize,
 }
 
-/// Runs the Type I parallel SimE strategy.
+/// Reusable buffers for one partition's evaluation task: the sparse
+/// net-length buffer and its fill mask. One instance per simulated slave,
+/// moved into the slave's task at fan-out and returned with its result, so
+/// the per-iteration evaluation stays allocation-free (matching the E7
+/// kernel discipline on the serial path).
+struct EvalScratch {
+    lengths: Vec<f64>,
+    filled: Vec<bool>,
+}
+
+impl EvalScratch {
+    fn new(num_nets: usize) -> Self {
+        EvalScratch {
+            lengths: vec![0.0; num_nets],
+            filled: vec![false; num_nets],
+        }
+    }
+}
+
+/// What one slave's evaluation task sends back: the partition's combined
+/// goodness values and the slave's reusable buffers.
+type EvalOutput = (Vec<f64>, EvalScratch);
+
+/// Computes the combined goodness of one cell partition under `placement` —
+/// the work one Type I processor performs in step 2 of every iteration.
+///
+/// Fills a sparse net-length buffer with exactly the nets the partition's
+/// cells depend on (incident nets, plus the nets of stored critical paths
+/// through the cells when the delay objective is active) using the same
+/// per-net estimator as the full evaluation, then reads each cell's goodness
+/// off that buffer. The result is bitwise identical to the corresponding
+/// entries of a dense [`GoodnessEvaluator::all_goodness`] pass — the property
+/// the Type I determinism argument rests on.
+///
+/// [`GoodnessEvaluator::all_goodness`]: vlsi_place::goodness::GoodnessEvaluator::all_goodness
+pub fn partition_goodness(
+    engine: &SimEEngine,
+    placement: &Placement,
+    cells: &[CellId],
+) -> Vec<f64> {
+    let mut scratch = EvalScratch::new(engine.evaluator().netlist().num_nets());
+    partition_goodness_with(engine, placement, cells, &mut scratch)
+}
+
+/// [`partition_goodness`] over caller-owned buffers (the allocation-free
+/// variant the strategy loop uses). Stale `lengths` entries from earlier
+/// calls are never read: every net a cell's goodness touches is (re)filled
+/// for the current placement before the goodness pass.
+fn partition_goodness_with(
+    engine: &SimEEngine,
+    placement: &Placement,
+    cells: &[CellId],
+    scratch: &mut EvalScratch,
+) -> Vec<f64> {
+    let goodness = engine.goodness();
+    let evaluator = goodness.evaluator();
+    let netlist = evaluator.netlist();
+    scratch.filled.fill(false);
+    for &cell in cells {
+        for &net in netlist.nets_of_cell(cell) {
+            if !scratch.filled[net.index()] {
+                scratch.filled[net.index()] = true;
+                scratch.lengths[net.index()] = evaluator.net_length(placement, net);
+            }
+        }
+        for &pi in goodness.paths_of_cell(cell) {
+            for &net in &evaluator.paths()[pi as usize].nets {
+                if !scratch.filled[net.index()] {
+                    scratch.filled[net.index()] = true;
+                    scratch.lengths[net.index()] = evaluator.net_length(placement, net);
+                }
+            }
+        }
+    }
+    cells
+        .iter()
+        .map(|&cell| {
+            goodness
+                .cell_goodness_from_lengths(cell, &scratch.lengths)
+                .combined
+        })
+        .collect()
+}
+
+/// Runs the Type I parallel SimE strategy on the default [`Modeled`] backend.
 ///
 /// The engine's RNG seed determines the (serial-equivalent) search
 /// trajectory; `cluster` describes the simulated machine.
@@ -49,21 +159,42 @@ pub fn run_type1(
     cluster: ClusterConfig,
     config: Type1Config,
 ) -> StrategyOutcome {
+    run_type1_on(engine, cluster, config, &Modeled)
+}
+
+/// Runs the Type I parallel SimE strategy on an explicit execution backend.
+///
+/// Both backends produce bitwise-identical outcomes (see the determinism
+/// contract in [`crate::exec`]); the threaded backend executes the
+/// per-partition evaluation tasks on real OS threads.
+pub fn run_type1_on(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type1Config,
+    backend: &dyn ExecBackend,
+) -> StrategyOutcome {
     assert!(config.ranks >= 2, "Type I needs a master and at least one slave");
     assert_eq!(
         cluster.ranks, config.ranks,
         "cluster configuration and strategy configuration disagree on the rank count"
     );
+    let started = Instant::now();
+    let executor = backend.executor();
 
     let netlist = engine.evaluator().netlist().clone();
     let num_cells = netlist.num_cells();
     let placement_bytes = BYTES_PER_CELL * num_cells as u64;
 
     // Static cell partition (contiguous blocks, as in the paper's
-    // implementation); the master holds partition 0.
+    // implementation); the master holds partition 0. Tasks capture the engine
+    // behind an Arc so the same closures run inline or on pool threads.
+    let shared = Arc::new(engine.clone());
     let cells: Vec<CellId> = netlist.cell_ids().collect();
     let chunk = num_cells.div_ceil(config.ranks);
-    let partitions: Vec<&[CellId]> = cells.chunks(chunk).collect();
+    let partitions: Vec<Arc<Vec<CellId>>> = cells
+        .chunks(chunk)
+        .map(|c| Arc::new(c.to_vec()))
+        .collect();
     let partition_work: Vec<Workload> = (0..config.ranks)
         .map(|r| {
             partitions
@@ -71,6 +202,9 @@ pub fn run_type1(
                 .map(|p| partition_evaluation_workload(engine, p))
                 .unwrap_or_default()
         })
+        .collect();
+    let mut eval_scratch: Vec<Option<EvalScratch>> = (0..partitions.len())
+        .map(|_| Some(EvalScratch::new(netlist.num_nets())))
         .collect();
     let goodness_bytes: Vec<u64> = (0..config.ranks)
         .map(|r| partitions.get(r).map_or(0, |p| p.len() as u64 * BYTES_PER_GOODNESS))
@@ -82,6 +216,7 @@ pub fn run_type1(
     // The master mutates one placement in place across iterations, so its
     // scratch's net-length cache stays on the delta path.
     let mut scratch = engine.new_scratch();
+    let mut goodness = vec![0.0f64; num_cells];
 
     let mut best_placement = placement.clone();
     let mut best_cost = engine.evaluator().evaluate(&placement);
@@ -99,23 +234,56 @@ pub fn run_type1(
         //    MPICH 1.x does).
         timeline.broadcast_tree(0, placement_bytes);
 
-        // 2. Distributed evaluation (every rank evaluates its partition; the
-        //    duplicates across partitions are inherent to the partitioning).
+        // 2. Distributed evaluation: one task per partition (the duplicates
+        //    across partitions are inherent to the partitioning). Each slave
+        //    carries its reusable buffers through the task and hands them
+        //    back with the result.
+        let snapshot = Arc::new(placement.clone());
+        let tasks: Vec<Task<EvalOutput>> = partitions
+            .iter()
+            .zip(eval_scratch.iter_mut())
+            .map(|(partition, slot)| {
+                let engine = Arc::clone(&shared);
+                let snapshot = Arc::clone(&snapshot);
+                let partition = Arc::clone(partition);
+                let mut scratch = slot.take().expect("evaluation scratch in flight");
+                Box::new(move || {
+                    let part =
+                        partition_goodness_with(&engine, &snapshot, &partition, &mut scratch);
+                    (part, scratch)
+                }) as Task<EvalOutput>
+            })
+            .collect();
+        let partial = executor.run_tasks(tasks);
         for (rank, work) in partition_work.iter().enumerate() {
             timeline.charge_compute(rank, work);
         }
 
-        // 3. Gather the partial goodness vectors at the master.
+        // 3. Gather the partial goodness vectors at the master; partitions
+        //    are contiguous chunks in cell-id order, so the merge is a
+        //    concatenation in rank order.
         timeline.gather(0, &goodness_bytes);
+        let mut next = 0usize;
+        for (rank, (part, scratch)) in partial.into_iter().enumerate() {
+            goodness[next..next + part.len()].copy_from_slice(&part);
+            next += part.len();
+            eval_scratch[rank] = Some(scratch);
+        }
 
-        // 4. The master runs the serial iteration (selection + allocation).
-        //    The evaluation inside `iterate` recomputes what the slaves
-        //    produced; its cost is *not* charged to the master — only the
-        //    selection and allocation work is, plus the extra cost
-        //    recalculations for non-partition cells.
+        // 4. The master runs Selection and Allocation exactly as the serial
+        //    algorithm does, driven by the gathered goodness vector. Only the
+        //    selection and allocation work is charged to the master, plus the
+        //    extra cost recalculations for non-partition cells.
         let mut profile = ProfileReport::new();
-        let (_avg_goodness, selected, alloc_stats) =
-            engine.iterate(&mut placement, &mut scratch, &mut rng, &mut profile, &[], &[]);
+        let (selected, alloc_stats) = engine.select_and_allocate(
+            &mut placement,
+            &mut scratch,
+            &goodness,
+            &mut rng,
+            &mut profile,
+            &[],
+            &[],
+        );
         let alloc_evals = alloc_stats.net_evaluations as f64;
         timeline.charge_compute(
             0,
@@ -140,12 +308,15 @@ pub fn run_type1(
         comm: timeline.stats(),
         iterations: config.iterations,
         mu_history,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        backend: backend.label(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Threaded;
     use crate::report::{modeled_serial_seconds, run_serial_baseline};
     use sime_core::engine::SimEConfig;
     use std::sync::Arc;
@@ -178,6 +349,66 @@ mod tests {
         );
         assert!((outcome.best_mu() - serial.best_cost.mu).abs() < 1e-12);
         assert!((outcome.best_cost.wirelength - serial.best_cost.wirelength).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type1_trajectory_is_bitwise_serial() {
+        // Stronger than quality equality: the gathered-goodness master path
+        // reproduces the serial per-iteration µ trace to the bit.
+        let engine = engine(5);
+        let serial = engine.run();
+        let outcome = run_type1(
+            &engine,
+            ClusterConfig::paper_cluster(4),
+            Type1Config {
+                ranks: 4,
+                iterations: 5,
+            },
+        );
+        assert_eq!(serial.history.len(), outcome.mu_history.len());
+        for (h, &mu) in serial.history.iter().zip(&outcome.mu_history) {
+            assert_eq!(h.mu.to_bits(), mu.to_bits());
+        }
+    }
+
+    #[test]
+    fn type1_backends_agree_bitwise() {
+        let engine = engine(4);
+        let config = Type1Config {
+            ranks: 3,
+            iterations: 4,
+        };
+        let modeled = run_type1(&engine, ClusterConfig::paper_cluster(3), config);
+        for workers in [1, 2, 4] {
+            let threaded = run_type1_on(
+                &engine,
+                ClusterConfig::paper_cluster(3),
+                config,
+                &Threaded::new(workers),
+            );
+            assert_eq!(threaded.backend, format!("threaded({workers})"));
+            assert_eq!(modeled.best_cost.mu.to_bits(), threaded.best_cost.mu.to_bits());
+            assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
+            assert_eq!(modeled.comm, threaded.comm);
+            for (a, b) in modeled.mu_history.iter().zip(&threaded.mu_history) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_goodness_matches_dense_evaluation() {
+        let engine = engine(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let placement = engine.initial_placement(&mut rng);
+        let dense = engine.goodness().all_goodness(&placement);
+        let cells: Vec<CellId> = engine.evaluator().netlist().cell_ids().collect();
+        for part in cells.chunks(47) {
+            let partial = partition_goodness(&engine, &placement, part);
+            for (cell, g) in part.iter().zip(partial) {
+                assert_eq!(dense[cell.index()].to_bits(), g.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -248,6 +479,8 @@ mod tests {
         assert_eq!(outcome.comm.messages, (2 * (ranks - 1) * 4) as u64);
         assert!(outcome.comm.bytes > 0);
         assert_eq!(outcome.mu_history.len(), 4);
+        assert_eq!(outcome.backend, "modeled");
+        assert!(outcome.wall_seconds > 0.0);
     }
 
     #[test]

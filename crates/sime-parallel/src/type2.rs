@@ -19,7 +19,33 @@
 //!   two iterations.
 //! * [`RowPattern::Random`] — the authors' variation: rows are shuffled and
 //!   dealt to the processors anew every iteration.
+//!
+//! Each processor's iteration is an independent task over its own RNG stream
+//! and scratch; under the `Threaded` backend the tasks of one iteration run
+//! on real OS threads, and the master's merge consumes the partial rows in
+//! rank order so the rebuilt placement is identical on every backend.
+//!
+//! ```
+//! use cluster_sim::timeline::ClusterConfig;
+//! use sime_core::engine::{SimEConfig, SimEEngine};
+//! use sime_parallel::exec::Threaded;
+//! use sime_parallel::type2::{run_type2, run_type2_on, RowPattern, Type2Config};
+//! use std::sync::Arc;
+//! use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+//! use vlsi_place::cost::Objectives;
+//!
+//! let netlist = Arc::new(
+//!     CircuitGenerator::new(GeneratorConfig::sized("type2_doc", 120, 2)).generate(),
+//! );
+//! let engine = SimEEngine::new(netlist, SimEConfig::fast(Objectives::WirelengthPower, 6, 3));
+//! let config = Type2Config { ranks: 3, iterations: 3, pattern: RowPattern::Random };
+//! let modeled = run_type2(&engine, ClusterConfig::paper_cluster(3), config);
+//! let threaded = run_type2_on(&engine, ClusterConfig::paper_cluster(3), config, &Threaded::new(2));
+//! assert_eq!(modeled.best_mu().to_bits(), threaded.best_mu().to_bits());
+//! assert_eq!(modeled.comm, threaded.comm);
+//! ```
 
+use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{StrategyOutcome, BYTES_PER_CELL};
 use cluster_sim::machine::Workload;
 use cluster_sim::timeline::{ClusterConfig, ClusterTimeline};
@@ -27,8 +53,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use sime_core::engine::SimEEngine;
+use sime_core::allocation::AllocationStats;
+use sime_core::engine::{SimEEngine, SimEScratch};
 use sime_core::profile::ProfileReport;
+use std::sync::Arc;
+use std::time::Instant;
 use vlsi_netlist::CellId;
 use vlsi_place::layout::Placement;
 
@@ -102,11 +131,38 @@ pub fn row_assignment<RNG: rand::Rng + ?Sized>(
     assignment
 }
 
-/// Runs the Type II parallel SimE strategy.
+/// Per-rank state that persists across iterations: the rank's private RNG
+/// stream and its allocation scratch. Moved into the rank's task at fan-out
+/// and returned with the task result at the merge.
+struct RankState {
+    rng: ChaCha8Rng,
+    scratch: SimEScratch,
+}
+
+/// What one rank's task sends back: its state, the contents of the rows it
+/// owned after its local iteration, and the allocation work it performed.
+type RankOutput = (RankState, Vec<(usize, Vec<CellId>)>, AllocationStats);
+
+/// Runs the Type II parallel SimE strategy on the default [`Modeled`] backend.
 pub fn run_type2(
     engine: &SimEEngine,
     cluster: ClusterConfig,
     config: Type2Config,
+) -> StrategyOutcome {
+    run_type2_on(engine, cluster, config, &Modeled)
+}
+
+/// Runs the Type II parallel SimE strategy on an explicit execution backend.
+///
+/// Per-rank iterations are independent tasks over seed-derived private RNG
+/// streams (`seed ^ ((rank + 1) << 32)`); the master merges the returned rows
+/// in rank order, so both backends — and any worker count — produce bitwise
+/// identical outcomes.
+pub fn run_type2_on(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type2Config,
+    backend: &dyn ExecBackend,
 ) -> StrategyOutcome {
     assert!(config.ranks >= 2, "Type II needs at least two processors");
     assert_eq!(
@@ -118,20 +174,28 @@ pub fn run_type2(
         num_rows >= config.ranks,
         "each processor needs at least one row"
     );
+    let started = Instant::now();
+    let executor = backend.executor();
 
     let netlist = engine.evaluator().netlist().clone();
     let num_cells = netlist.num_cells();
     let placement_bytes = BYTES_PER_CELL * num_cells as u64 + 8 * num_rows as u64;
+    let shared = Arc::new(engine.clone());
 
     let mut timeline = ClusterTimeline::new(cluster);
     let mut master_rng = ChaCha8Rng::seed_from_u64(engine.config().seed);
     let mut placement = engine.initial_placement(&mut master_rng);
-    let mut rank_rngs: Vec<ChaCha8Rng> = (0..config.ranks)
-        .map(|r| ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((r as u64 + 1) << 32)))
+    // One private RNG stream + scratch per simulated processor (plus one
+    // scratch for the master's merge evaluation); the shared engine stays
+    // immutable and `Send + Sync`.
+    let mut rank_state: Vec<Option<RankState>> = (0..config.ranks)
+        .map(|r| {
+            Some(RankState {
+                rng: ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((r as u64 + 1) << 32)),
+                scratch: engine.new_scratch(),
+            })
+        })
         .collect();
-    // One scratch per simulated processor (plus one for the master's merge
-    // evaluation) keeps the shared engine immutable and `Send + Sync`.
-    let mut rank_scratch: Vec<_> = (0..config.ranks).map(|_| engine.new_scratch()).collect();
     let mut master_scratch = engine.new_scratch();
 
     let mut best_placement = placement.clone();
@@ -149,12 +213,15 @@ pub fn run_type2(
         );
         timeline.broadcast_tree(0, placement_bytes);
 
-        // Every processor runs a full SimE iteration on its rows. The
-        // computation is executed locally (sequentially) and charged to the
-        // processor's virtual clock.
+        // Fan out: every processor runs a full SimE iteration on its rows.
+        // The master determines each rank's owned cells and frozen mask from
+        // the pre-iteration placement (it has to, to price the work), then
+        // hands the rank its task.
         let mut merged_rows: Vec<Vec<CellId>> =
             (0..num_rows).map(|r| placement.row(r).to_vec()).collect();
         let mut bytes_per_rank = vec![0u64; config.ranks];
+        let mut tasks: Vec<Task<RankOutput>> = Vec::new();
+        let mut task_meta: Vec<(usize, Workload, usize)> = Vec::new();
 
         for (rank, rows) in assignment.iter().enumerate() {
             if rows.is_empty() {
@@ -165,34 +232,48 @@ pub fn run_type2(
                 .filter(|&c| rows.contains(&placement.row_of(c)))
                 .collect();
             let frozen = engine.frozen_mask_from_owned(&owned);
+            let eval_work = crate::report::partition_evaluation_workload(engine, &owned);
+            bytes_per_rank[rank] = owned.len() as u64 * BYTES_PER_CELL;
+            task_meta.push((rank, eval_work, owned.len()));
 
+            let mut state = rank_state[rank].take().expect("rank state in flight");
+            let engine = Arc::clone(&shared);
             let mut local = placement.clone();
-            let mut profile = ProfileReport::new();
-            let (_avg, _selected, alloc_stats) = engine.iterate(
-                &mut local,
-                &mut rank_scratch[rank],
-                &mut rank_rngs[rank],
-                &mut profile,
-                &frozen,
-                rows,
-            );
+            let rows = rows.clone();
+            tasks.push(Box::new(move || {
+                let mut profile = ProfileReport::new();
+                let (_avg, _selected, alloc_stats) = engine.iterate(
+                    &mut local,
+                    &mut state.scratch,
+                    &mut state.rng,
+                    &mut profile,
+                    &frozen,
+                    &rows,
+                );
+                let out_rows = rows.iter().map(|&r| (r, local.row(r).to_vec())).collect();
+                (state, out_rows, alloc_stats)
+            }) as Task<RankOutput>);
+        }
 
+        // Merge in rank order (the tasks were built in rank order and the
+        // executor returns results in submission order).
+        let results = executor.run_tasks(tasks);
+        for ((rank, eval_work, owned_len), (state, out_rows, alloc_stats)) in
+            task_meta.into_iter().zip(results)
+        {
+            rank_state[rank] = Some(state);
             // Charge the partition's evaluation plus its allocation work.
-            let eval = crate::report::partition_evaluation_workload(engine, &owned);
-            timeline.charge_compute(rank, &eval);
+            timeline.charge_compute(rank, &eval_work);
             timeline.charge_compute(
                 rank,
                 &Workload {
                     net_evaluations: alloc_stats.net_evaluations as u64,
-                    misc_operations: owned.len() as u64 * 8,
+                    misc_operations: owned_len as u64 * 8,
                 },
             );
-
-            // Extract the partial placement rows this processor owns.
-            for &row in rows {
-                merged_rows[row] = local.row(row).to_vec();
+            for (row, cells) in out_rows {
+                merged_rows[row] = cells;
             }
-            bytes_per_rank[rank] = owned.len() as u64 * BYTES_PER_CELL;
         }
 
         // Slaves send their partial rows back; the master reconstructs the
@@ -216,12 +297,15 @@ pub fn run_type2(
         comm: timeline.stats(),
         iterations: config.iterations,
         mu_history,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        backend: backend.label(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Threaded;
     use crate::report::run_serial_baseline;
     use sime_core::engine::SimEConfig;
     use std::sync::Arc;
@@ -291,6 +375,43 @@ mod tests {
             .unwrap();
         assert!(outcome.best_mu() > 0.0 && outcome.best_mu() <= 1.0);
         assert_eq!(outcome.mu_history.len(), 8);
+    }
+
+    #[test]
+    fn type2_backends_agree_bitwise() {
+        let engine = engine(5);
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            let config = Type2Config {
+                ranks: 4,
+                iterations: 5,
+                pattern,
+            };
+            let modeled = run_type2(&engine, ClusterConfig::paper_cluster(4), config);
+            for workers in [1, 3] {
+                let threaded = run_type2_on(
+                    &engine,
+                    ClusterConfig::paper_cluster(4),
+                    config,
+                    &Threaded::new(workers),
+                );
+                assert_eq!(
+                    modeled.best_cost.wirelength.to_bits(),
+                    threaded.best_cost.wirelength.to_bits(),
+                    "{pattern:?} workers={workers}"
+                );
+                assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
+                assert_eq!(modeled.comm, threaded.comm);
+                for (a, b) in modeled.mu_history.iter().zip(&threaded.mu_history) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for row in 0..engine.config().num_rows {
+                    assert_eq!(
+                        modeled.best_placement.row(row),
+                        threaded.best_placement.row(row)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,15 +18,47 @@
 //! (= more independence) tend to give better quality — SimE searches that are
 //! differentiated only by their random seed are too similar for aggressive
 //! sharing to pay off.
+//!
+//! Each worker's iteration depends only on its own placement, RNG stream and
+//! scratch, so the workers' iterations fan out as independent tasks; the
+//! central store then processes improvement reports and retry requests **in
+//! worker order** at the iteration barrier, exactly as the modeled sequential
+//! loop does. Under the `Threaded` backend this is the strategy with the most
+//! host parallelism to harvest: `p − 1` full SimE iterations run concurrently
+//! where the modeled backend executes them back to back.
+//!
+//! ```
+//! use cluster_sim::timeline::ClusterConfig;
+//! use sime_core::engine::{SimEConfig, SimEEngine};
+//! use sime_parallel::exec::Threaded;
+//! use sime_parallel::type3::{run_type3, run_type3_on, Type3Config};
+//! use std::sync::Arc;
+//! use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+//! use vlsi_place::cost::Objectives;
+//!
+//! let netlist = Arc::new(
+//!     CircuitGenerator::new(GeneratorConfig::sized("type3_doc", 120, 3)).generate(),
+//! );
+//! let engine = SimEEngine::new(netlist, SimEConfig::fast(Objectives::WirelengthPower, 6, 3));
+//! let config = Type3Config { ranks: 3, iterations: 3, retry_threshold: 2 };
+//! let modeled = run_type3(&engine, ClusterConfig::paper_cluster(3), config);
+//! let threaded = run_type3_on(&engine, ClusterConfig::paper_cluster(3), config, &Threaded::new(2));
+//! assert_eq!(modeled.best_mu().to_bits(), threaded.best_mu().to_bits());
+//! assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
+//! ```
 
+use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{StrategyOutcome, BYTES_PER_CELL};
 use cluster_sim::machine::Workload;
 use cluster_sim::timeline::{ClusterConfig, ClusterTimeline};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use sime_core::allocation::AllocationStats;
 use sime_core::engine::{SimEEngine, SimEScratch};
 use sime_core::profile::ProfileReport;
+use std::sync::Arc;
+use std::time::Instant;
 use vlsi_place::cost::CostBreakdown;
 use vlsi_place::layout::Placement;
 
@@ -57,11 +89,33 @@ struct Worker {
     scratch: SimEScratch,
 }
 
-/// Runs the Type III parallel SimE strategy.
+/// What one worker's task sends back to the central store at the iteration
+/// barrier: the worker state, its post-iteration cost and the allocation
+/// work it performed.
+type WorkerOutput = (Worker, CostBreakdown, AllocationStats);
+
+/// Runs the Type III parallel SimE strategy on the default [`Modeled`]
+/// backend.
 pub fn run_type3(
     engine: &SimEEngine,
     cluster: ClusterConfig,
     config: Type3Config,
+) -> StrategyOutcome {
+    run_type3_on(engine, cluster, config, &Modeled)
+}
+
+/// Runs the Type III parallel SimE strategy on an explicit execution backend.
+///
+/// Worker iterations fan out as independent tasks over seed-derived private
+/// RNG streams (`seed ^ ((worker + 1) << 40)`); the central store then
+/// applies improvement reports and retry adoptions in worker order, so both
+/// backends — and any worker-thread count — produce bitwise identical
+/// outcomes.
+pub fn run_type3_on(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type3Config,
+    backend: &dyn ExecBackend,
 ) -> StrategyOutcome {
     assert!(
         config.ranks >= 3,
@@ -71,10 +125,13 @@ pub fn run_type3(
         cluster.ranks, config.ranks,
         "cluster configuration and strategy configuration disagree on the rank count"
     );
+    let started = Instant::now();
+    let executor = backend.executor();
 
     let netlist = engine.evaluator().netlist().clone();
     let placement_bytes = BYTES_PER_CELL * netlist.num_cells() as u64;
     let workers = config.ranks - 1;
+    let shared = Arc::new(engine.clone());
 
     let mut timeline = ClusterTimeline::new(cluster);
 
@@ -86,15 +143,17 @@ pub fn run_type3(
     // The initial solution is distributed to every worker once.
     timeline.broadcast_tree(0, placement_bytes);
 
-    let mut worker_state: Vec<Worker> = (0..workers)
-        .map(|w| Worker {
-            placement: initial.clone(),
-            current_cost: initial_cost,
-            best_cost: initial_cost,
-            best_placement: initial.clone(),
-            rng: ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((w as u64 + 1) << 40)),
-            fail_count: 0,
-            scratch: engine.new_scratch(),
+    let mut worker_state: Vec<Option<Worker>> = (0..workers)
+        .map(|w| {
+            Some(Worker {
+                placement: initial.clone(),
+                current_cost: initial_cost,
+                best_cost: initial_cost,
+                best_placement: initial.clone(),
+                rng: ChaCha8Rng::seed_from_u64(engine.config().seed ^ ((w as u64 + 1) << 40)),
+                fail_count: 0,
+                scratch: engine.new_scratch(),
+            })
         })
         .collect();
 
@@ -104,18 +163,38 @@ pub fn run_type3(
     let mut mu_history = Vec::with_capacity(config.iterations);
 
     for _ in 0..config.iterations {
+        // Fan out: every worker runs one full serial SimE iteration on its
+        // own placement. The iteration reads nothing but the worker's own
+        // state, which is what makes the barrier placement below exact.
+        let tasks: Vec<Task<WorkerOutput>> = worker_state
+            .iter_mut()
+            .map(|slot| {
+                let mut worker = slot.take().expect("worker state in flight");
+                let engine = Arc::clone(&shared);
+                Box::new(move || {
+                    let mut profile = ProfileReport::new();
+                    let (_avg, _selected, alloc_stats) = engine.iterate(
+                        &mut worker.placement,
+                        &mut worker.scratch,
+                        &mut worker.rng,
+                        &mut profile,
+                        &[],
+                        &[],
+                    );
+                    let cost = engine.cost_with(&worker.placement, &mut worker.scratch);
+                    (worker, cost, alloc_stats)
+                }) as Task<WorkerOutput>
+            })
+            .collect();
+        let results = executor.run_tasks(tasks);
+
+        // Barrier: the central store processes the workers in worker order —
+        // improvement reports first update the store, then retry requests
+        // read it, exactly as the paper's asynchronous exchange serialises at
+        // the store.
         let mut best_mu_this_iteration: f64 = 0.0;
-        for (w, worker) in worker_state.iter_mut().enumerate() {
+        for (w, (mut worker, cost, alloc_stats)) in results.into_iter().enumerate() {
             let rank = w + 1;
-            let mut profile = ProfileReport::new();
-            let (_avg, _selected, alloc_stats) = engine.iterate(
-                &mut worker.placement,
-                &mut worker.scratch,
-                &mut worker.rng,
-                &mut profile,
-                &[],
-                &[],
-            );
             // Full serial workload on the worker: evaluation + allocation.
             timeline.charge_compute(
                 rank,
@@ -126,7 +205,6 @@ pub fn run_type3(
                 },
             );
 
-            let cost = engine.cost_with(&worker.placement, &mut worker.scratch);
             worker.current_cost = cost;
             if cost.mu > worker.best_cost.mu {
                 worker.best_cost = cost;
@@ -153,6 +231,7 @@ pub fn run_type3(
                 worker.fail_count = 0;
             }
             best_mu_this_iteration = best_mu_this_iteration.max(worker.best_cost.mu);
+            worker_state[w] = Some(worker);
         }
         mu_history.push(best_mu_this_iteration);
     }
@@ -160,7 +239,7 @@ pub fn run_type3(
     // The best solution over all workers is what the run reports.
     let mut best_cost = central_cost;
     let mut best_placement = central_placement;
-    for worker in &worker_state {
+    for worker in worker_state.iter().flatten() {
         if worker.best_cost.mu > best_cost.mu {
             best_cost = worker.best_cost;
             best_placement = worker.best_placement.clone();
@@ -174,12 +253,15 @@ pub fn run_type3(
         comm: timeline.stats(),
         iterations: config.iterations,
         mu_history,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        backend: backend.label(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Threaded;
     use crate::report::run_serial_baseline;
     use sime_core::engine::SimEConfig;
     use std::sync::Arc;
@@ -225,6 +307,31 @@ mod tests {
         for &mu in &outcome.mu_history {
             assert!(mu + 1e-12 >= last);
             last = mu;
+        }
+    }
+
+    #[test]
+    fn type3_backends_agree_bitwise() {
+        let engine = engine(6);
+        let config = Type3Config {
+            ranks: 4,
+            iterations: 6,
+            retry_threshold: 1,
+        };
+        let modeled = run_type3(&engine, ClusterConfig::paper_cluster(4), config);
+        for workers in [1, 2, 4] {
+            let threaded = run_type3_on(
+                &engine,
+                ClusterConfig::paper_cluster(4),
+                config,
+                &Threaded::new(workers),
+            );
+            assert_eq!(modeled.best_cost.mu.to_bits(), threaded.best_cost.mu.to_bits());
+            assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
+            assert_eq!(modeled.comm, threaded.comm);
+            for (a, b) in modeled.mu_history.iter().zip(&threaded.mu_history) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -1,0 +1,197 @@
+//! Differential tests of the execution backends (`DESIGN.md` §4): for every
+//! strategy the `Threaded` backend must (a) reproduce the `Modeled` backend's
+//! search trajectory **bitwise**, (b) be bitwise-deterministic across reruns
+//! for a fixed (seed, worker count), and (c) produce the same bits for every
+//! worker count — the worker count is a pure wall-clock knob.
+
+use cluster_sim::timeline::ClusterConfig;
+use proptest::prelude::*;
+use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_parallel::exec::{Modeled, Threaded};
+use sime_parallel::prelude::*;
+use sime_parallel::StrategyOutcome;
+use std::sync::Arc;
+use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+use vlsi_netlist::Netlist;
+use vlsi_place::cost::Objectives;
+
+/// s1196-scale generated netlists: the paper's smallest circuit has 561
+/// cells; the strategy draws circuits in the 450–650 band around it.
+fn arb_netlist() -> impl Strategy<Value = (Arc<Netlist>, u64)> {
+    (450usize..650, any::<u64>()).prop_map(|(cells, seed)| {
+        let cfg = GeneratorConfig::sized(format!("beq_{seed}"), cells, seed);
+        (Arc::new(CircuitGenerator::new(cfg).generate()), seed)
+    })
+}
+
+fn engine_for(netlist: Arc<Netlist>, seed: u64, iterations: usize) -> SimEEngine {
+    let mut config = SimEConfig::fast(Objectives::WirelengthPower, 10, iterations);
+    config.seed = seed;
+    SimEEngine::new(netlist, config)
+}
+
+/// Asserts that two outcomes are bitwise identical in every
+/// determinism-contract field (everything except wall-clock and label).
+fn assert_bitwise_equal(a: &StrategyOutcome, b: &StrategyOutcome, context: &str) {
+    assert_eq!(
+        a.best_cost.mu.to_bits(),
+        b.best_cost.mu.to_bits(),
+        "best µ differs: {context}"
+    );
+    assert_eq!(
+        a.best_cost.wirelength.to_bits(),
+        b.best_cost.wirelength.to_bits(),
+        "best wirelength differs: {context}"
+    );
+    assert_eq!(
+        a.modeled_seconds.to_bits(),
+        b.modeled_seconds.to_bits(),
+        "modeled runtime differs: {context}"
+    );
+    assert_eq!(a.comm, b.comm, "comm stats differ: {context}");
+    assert_eq!(
+        a.mu_history.len(),
+        b.mu_history.len(),
+        "trajectory length differs: {context}"
+    );
+    for (i, (x, y)) in a.mu_history.iter().zip(&b.mu_history).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "trajectory diverges at iteration {i}: {context}"
+        );
+    }
+    assert_eq!(
+        a.best_placement.num_rows(),
+        b.best_placement.num_rows(),
+        "row count differs: {context}"
+    );
+    for row in 0..a.best_placement.num_rows() {
+        assert_eq!(
+            a.best_placement.row(row),
+            b.best_placement.row(row),
+            "best placement differs in row {row}: {context}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Modeled and Threaded (workers = the strategy's machine count, as in
+    /// the paper's cluster) walk identical best-cost trajectories on seeded
+    /// s1196-scale netlists, for all three strategy types.
+    #[test]
+    fn modeled_and_threaded_trajectories_match(
+        (netlist, seed) in arb_netlist(),
+        iterations in 3usize..6,
+    ) {
+        let engine = engine_for(netlist, seed, iterations);
+
+        let ranks = 4; // the paper's mid-size machine count
+        let cluster = ClusterConfig::paper_cluster(ranks);
+        let threaded = Threaded::new(ranks);
+
+        let t1_cfg = Type1Config { ranks, iterations };
+        assert_bitwise_equal(
+            &run_type1(&engine, cluster, t1_cfg),
+            &run_type1_on(&engine, cluster, t1_cfg, &threaded),
+            "type1",
+        );
+
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            let t2_cfg = Type2Config { ranks, iterations, pattern };
+            assert_bitwise_equal(
+                &run_type2(&engine, cluster, t2_cfg),
+                &run_type2_on(&engine, cluster, t2_cfg, &threaded),
+                &format!("type2 {pattern:?}"),
+            );
+        }
+
+        let t3_cfg = Type3Config { ranks, iterations, retry_threshold: 1 };
+        assert_bitwise_equal(
+            &run_type3(&engine, cluster, t3_cfg),
+            &run_type3_on(&engine, cluster, t3_cfg, &threaded),
+            "type3",
+        );
+    }
+}
+
+/// Rerunning the Threaded backend with the same seed and worker count is
+/// bitwise-reproducible, and the bits are the same for *every* worker count
+/// (1, 2 and 4 OS workers) — scheduling never leaks into results.
+#[test]
+fn threaded_rerun_determinism_at_1_2_and_4_workers() {
+    let netlist = Arc::new(
+        CircuitGenerator::new(GeneratorConfig::sized("beq_rerun", 561, 42)).generate(),
+    );
+    let iterations = 5;
+    let engine = engine_for(netlist, 42, iterations);
+    let ranks = 4;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+
+    let t2_cfg = Type2Config {
+        ranks,
+        iterations,
+        pattern: RowPattern::Random,
+    };
+    let t3_cfg = Type3Config {
+        ranks,
+        iterations,
+        retry_threshold: 2,
+    };
+
+    let reference2 = run_type2(&engine, cluster, t2_cfg);
+    let reference3 = run_type3(&engine, cluster, t3_cfg);
+    for workers in [1, 2, 4] {
+        let backend = Threaded::new(workers);
+        let first2 = run_type2_on(&engine, cluster, t2_cfg, &backend);
+        let second2 = run_type2_on(&engine, cluster, t2_cfg, &backend);
+        assert_bitwise_equal(&first2, &second2, &format!("type2 rerun workers={workers}"));
+        assert_bitwise_equal(
+            &reference2,
+            &first2,
+            &format!("type2 across worker counts, workers={workers}"),
+        );
+
+        let first3 = run_type3_on(&engine, cluster, t3_cfg, &backend);
+        let second3 = run_type3_on(&engine, cluster, t3_cfg, &backend);
+        assert_bitwise_equal(&first3, &second3, &format!("type3 rerun workers={workers}"));
+        assert_bitwise_equal(
+            &reference3,
+            &first3,
+            &format!("type3 across worker counts, workers={workers}"),
+        );
+    }
+}
+
+/// The Type I master path over gathered goodness equals the plain serial
+/// engine run bitwise, independent of backend — the paper's "identical
+/// search trajectory" claim, held to the strictest possible standard.
+#[test]
+fn type1_trajectory_equals_serial_on_both_backends() {
+    let netlist = Arc::new(
+        CircuitGenerator::new(GeneratorConfig::sized("beq_type1", 561, 7)).generate(),
+    );
+    let iterations = 4;
+    let engine = engine_for(netlist, 7, iterations);
+    let serial = engine.run();
+    let cluster = ClusterConfig::paper_cluster(3);
+    let config = Type1Config {
+        ranks: 3,
+        iterations,
+    };
+    for outcome in [
+        run_type1_on(&engine, cluster, config, &Modeled),
+        run_type1_on(&engine, cluster, config, &Threaded::new(3)),
+    ] {
+        assert_eq!(serial.history.len(), outcome.mu_history.len());
+        for (h, mu) in serial.history.iter().zip(&outcome.mu_history) {
+            assert_eq!(h.mu.to_bits(), mu.to_bits());
+        }
+        assert_eq!(
+            serial.best_cost.mu.to_bits(),
+            outcome.best_cost.mu.to_bits()
+        );
+    }
+}

@@ -63,6 +63,18 @@ impl GoodnessEvaluator {
         &self.evaluator
     }
 
+    /// Indices (into [`CostEvaluator::paths`]) of the stored critical paths
+    /// passing through `cell`. Empty when the cell is on no stored path.
+    ///
+    /// A distributed evaluation of `cell`'s goodness needs the lengths of the
+    /// nets on exactly these paths (in addition to the cell's incident nets);
+    /// exposing the mapping lets the Type I partitioned evaluation fill the
+    /// same sparse length buffer that [`GoodnessEvaluator::cell_goodness`]
+    /// fills internally.
+    pub fn paths_of_cell(&self, cell: CellId) -> &[u32] {
+        &self.cell_paths[cell.index()]
+    }
+
     /// Goodness of a single cell, given precomputed per-net lengths for the
     /// current placement (so that evaluating all cells costs one pass over
     /// the pins instead of many).
