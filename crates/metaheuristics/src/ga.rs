@@ -86,7 +86,13 @@ impl GeneticPlacer {
     }
 
     /// Order crossover (OX1) of two parent permutations.
-    fn crossover<R: Rng + ?Sized>(&self, a: &[CellId], b: &[CellId], rng: &mut R) -> Vec<CellId> {
+    ///
+    /// Copies a random slice `[i, j]` of parent `a` into the child, then
+    /// fills the remaining slots with the cells of parent `b` in the order
+    /// they appear after position `j`, wrapping around. Public so the
+    /// operator's invariants (the child is always a permutation; genes
+    /// inside the cut come from `a`) can be tested directly.
+    pub fn crossover<R: Rng + ?Sized>(&self, a: &[CellId], b: &[CellId], rng: &mut R) -> Vec<CellId> {
         let n = a.len();
         if n < 2 {
             return a.to_vec();
@@ -112,6 +118,20 @@ impl GeneticPlacer {
             }
         }
         child.into_iter().map(|c| c.expect("OX1 fills every slot")).collect()
+    }
+
+    /// Swap mutation: with probability `mutation_rate`, swaps two uniformly
+    /// chosen positions of `order` (a no-op on permutations shorter than
+    /// two). The probability variate is always drawn, so the RNG stream is
+    /// independent of whether the mutation fires. Public so the operator's
+    /// invariant (the order stays a permutation of the same cells) can be
+    /// tested directly.
+    pub fn mutate<R: Rng + ?Sized>(&self, order: &mut [CellId], rng: &mut R) {
+        if rng.gen::<f64>() < self.config.mutation_rate && order.len() >= 2 {
+            let i = rng.gen_range(0..order.len());
+            let j = rng.gen_range(0..order.len());
+            order.swap(i, j);
+        }
     }
 
     /// Runs the GA. The initial population is built from random permutations
@@ -157,11 +177,7 @@ impl GeneticPlacer {
             let pa = pick(&mut rng, &population);
             let pb = pick(&mut rng, &population);
             let mut child = self.crossover(&population[pa].order, &population[pb].order, &mut rng);
-            if rng.gen::<f64>() < self.config.mutation_rate && child.len() >= 2 {
-                let i = rng.gen_range(0..child.len());
-                let j = rng.gen_range(0..child.len());
-                child.swap(i, j);
-            }
+            self.mutate(&mut child, &mut rng);
             let mu = self.fitness(&child);
             evaluations += 1;
 

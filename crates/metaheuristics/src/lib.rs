@@ -26,8 +26,8 @@ pub mod tabu;
 
 pub use common::{HeuristicResult, MoveKind};
 pub use ga::{GaConfig, GeneticPlacer};
-pub use sa::{SaConfig, SimulatedAnnealingPlacer};
-pub use tabu::{TabuConfig, TabuSearchPlacer};
+pub use sa::{acceptance_probability, SaConfig, SimulatedAnnealingPlacer};
+pub use tabu::{TabuConfig, TabuList, TabuSearchPlacer};
 
 /// Convenience prelude bringing the baseline placers into scope.
 pub mod prelude {

@@ -52,6 +52,20 @@ impl SaConfig {
     }
 }
 
+/// The Metropolis acceptance probability for an energy change `delta` at
+/// `temperature`: 1 for downhill or sideways moves (`delta <= 0`), else
+/// `exp(−delta / max(T, ε))`. This is the exact rule the placer's run loop
+/// draws against; it is exposed so the acceptance behaviour (monotone
+/// non-decreasing in `T`, monotone non-increasing in `delta`) can be tested
+/// directly.
+pub fn acceptance_probability(delta: f64, temperature: f64) -> f64 {
+    if delta <= 0.0 {
+        1.0
+    } else {
+        (-delta / temperature.max(1e-12)).exp()
+    }
+}
+
 /// Simulated Annealing placer over a shared [`CostEvaluator`].
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealingPlacer {
@@ -83,8 +97,10 @@ impl SimulatedAnnealingPlacer {
                 let candidate = self.evaluator.evaluate(&placement);
                 evaluations += 1;
                 let delta = (1.0 - candidate.mu) - (1.0 - current.mu);
-                let accept = delta <= 0.0
-                    || rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp();
+                // Short-circuit keeps the RNG stream identical to the
+                // pre-refactor placer: no variate is drawn for a downhill move.
+                let accept =
+                    delta <= 0.0 || rng.gen::<f64>() < acceptance_probability(delta, temperature);
                 if accept {
                     current = candidate;
                     if current.mu > best.mu {

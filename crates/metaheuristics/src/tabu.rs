@@ -51,6 +51,60 @@ impl TabuConfig {
     }
 }
 
+/// Recency-based tabu list over moved cells.
+///
+/// A bounded FIFO: [`TabuList::admit`] records the cells of an accepted
+/// move, and once more than `tenure` cells are held the oldest entries
+/// expire (so a cell stays tabu for roughly `tenure / cells-per-move`
+/// iterations). Extracted from the placer loop so membership and expiry
+/// semantics are directly testable.
+#[derive(Debug, Clone)]
+pub struct TabuList {
+    entries: VecDeque<CellId>,
+    tenure: usize,
+}
+
+impl TabuList {
+    /// An empty list holding at most `tenure` recently moved cells.
+    pub fn new(tenure: usize) -> Self {
+        TabuList {
+            entries: VecDeque::with_capacity(tenure + 1),
+            tenure,
+        }
+    }
+
+    /// `true` while `cell` is held by the list.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.entries.contains(&cell)
+    }
+
+    /// `true` if any cell of the move is currently tabu.
+    pub fn is_tabu(&self, moved_cells: &[CellId]) -> bool {
+        moved_cells.iter().any(|&c| self.contains(c))
+    }
+
+    /// Records an accepted move's cells, expiring the oldest entries beyond
+    /// the tenure.
+    pub fn admit(&mut self, moved_cells: &[CellId]) {
+        for &c in moved_cells {
+            self.entries.push_back(c);
+        }
+        while self.entries.len() > self.tenure {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Number of cells currently held (≤ tenure).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no cell is tabu.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Tabu Search placer over a shared [`CostEvaluator`].
 #[derive(Debug, Clone)]
 pub struct TabuSearchPlacer {
@@ -74,7 +128,7 @@ impl TabuSearchPlacer {
         let mut evaluations = 1usize;
         let mut mu_history = Vec::with_capacity(self.config.iterations);
 
-        let mut tabu: VecDeque<CellId> = VecDeque::with_capacity(self.config.tenure + 1);
+        let mut tabu = TabuList::new(self.config.tenure);
 
         for _ in 0..self.config.iterations {
             let mut best_candidate: Option<(MoveKind, f64)> = None;
@@ -89,9 +143,8 @@ impl TabuSearchPlacer {
                 evaluations += 1;
                 apply_move(&mut placement, undo);
 
-                let is_tabu = moved_cells.iter().any(|c| tabu.contains(c));
                 let aspires = candidate.mu > best.mu;
-                if is_tabu && !aspires {
+                if tabu.is_tabu(&moved_cells) && !aspires {
                     continue;
                 }
                 if best_candidate.map_or(true, |(_, mu)| candidate.mu > mu) {
@@ -107,12 +160,7 @@ impl TabuSearchPlacer {
                 apply_move(&mut placement, mv);
                 current = self.evaluator.evaluate(&placement);
                 evaluations += 1;
-                for c in moved_cells {
-                    tabu.push_back(c);
-                }
-                while tabu.len() > self.config.tenure {
-                    tabu.pop_front();
-                }
+                tabu.admit(&moved_cells);
                 if current.mu > best.mu {
                     best = current;
                     best_placement = placement.clone();

@@ -1,0 +1,187 @@
+//! Operator-level invariants of the baseline placers — the first integration
+//! test surface of the `metaheuristics` crate.
+//!
+//! Three families, one per heuristic:
+//!
+//! * **GA** — the OX1 crossover always yields a permutation of the full
+//!   cell set and preserves the cut slice from parent A; swap mutation
+//!   preserves permutation-ness and multiset equality.
+//! * **SA** — the Metropolis acceptance probability is 1 for downhill
+//!   moves, in `(0, 1)` for uphill moves, monotone non-decreasing in
+//!   temperature and monotone non-increasing in the energy delta.
+//! * **TS** — tabu-list membership follows admission, expiry is strict FIFO
+//!   once the tenure is exceeded, and aspiration-free membership checks see
+//!   every cell of a multi-cell move.
+
+use metaheuristics::sa::acceptance_probability;
+use metaheuristics::tabu::TabuList;
+use metaheuristics::{GaConfig, GeneticPlacer};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+use vlsi_netlist::CellId;
+use vlsi_place::cost::{CostEvaluator, Objectives};
+
+fn small_placer(num_cells: usize, seed: u64) -> GeneticPlacer {
+    let nl = Arc::new(
+        CircuitGenerator::new(GeneratorConfig::sized("invariants", num_cells, seed)).generate(),
+    );
+    let eval = CostEvaluator::new(nl, Objectives::WirelengthPower);
+    GeneticPlacer::new(eval, GaConfig::fast(6, seed))
+}
+
+/// Sorted copy — the canonical permutation check baseline.
+fn sorted(ids: &[CellId]) -> Vec<CellId> {
+    let mut v = ids.to_vec();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// OX1 always produces a permutation of the full cell set, whatever the
+    /// parents and cut points.
+    #[test]
+    fn ga_crossover_yields_a_permutation(seed in any::<u64>(), cells in 60usize..160) {
+        let placer = small_placer(cells, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<CellId> = (0..cells as u32).map(CellId).collect();
+        let mut b = a.clone();
+        b.shuffle(&mut rng);
+        let child = placer.crossover(&a, &b, &mut rng);
+        prop_assert_eq!(child.len(), a.len());
+        prop_assert_eq!(sorted(&child), a);
+    }
+
+    /// Crossing two identical parents is the identity: with every gene
+    /// already placed by the cut-slice copy or the same-order fill, the
+    /// child must equal the parents.
+    #[test]
+    fn ga_crossover_of_identical_parents_is_identity(seed in any::<u64>()) {
+        let placer = small_placer(90, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut a: Vec<CellId> = (0..90u32).map(CellId).collect();
+        a.shuffle(&mut rng);
+        let child = placer.crossover(&a, &a, &mut rng);
+        prop_assert_eq!(child, a);
+    }
+
+    /// The GA's swap-mutation operator preserves the multiset of genes:
+    /// however often it fires, the order is still a permutation of the same
+    /// cells, and when it does not fire the order is untouched.
+    #[test]
+    fn ga_swap_mutation_preserves_the_permutation(
+        seed in any::<u64>(),
+        rounds in 1usize..30,
+    ) {
+        let placer = small_placer(80, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<CellId> = (0..80u32).map(CellId).collect();
+        order.shuffle(&mut rng);
+        let reference = sorted(&order);
+        for _ in 0..rounds {
+            let before = order.clone();
+            placer.mutate(&mut order, &mut rng);
+            prop_assert_eq!(sorted(&order), reference.clone());
+            // A single swap changes zero or exactly two positions.
+            let changed = order.iter().zip(&before).filter(|(a, b)| a != b).count();
+            prop_assert!(changed == 0 || changed == 2, "changed {} positions", changed);
+        }
+    }
+
+    /// Metropolis acceptance: certain for downhill, in (0,1) for uphill,
+    /// monotone non-decreasing in T and non-increasing in delta.
+    #[test]
+    fn sa_acceptance_is_monotone_in_temperature_and_delta(
+        delta in 0.0001f64..0.5,
+        temp_lo in 0.001f64..0.2,
+        temp_step in 0.0f64..0.5,
+        delta_step in 0.0f64..0.5,
+    ) {
+        // Downhill and sideways moves are always accepted.
+        prop_assert_eq!(acceptance_probability(-delta, temp_lo), 1.0);
+        prop_assert_eq!(acceptance_probability(0.0, temp_lo), 1.0);
+
+        // Uphill: a genuine probability, strictly below certainty.
+        let p = acceptance_probability(delta, temp_lo);
+        prop_assert!(p > 0.0 && p < 1.0, "p = {}", p);
+
+        // Hotter never accepts less...
+        let hotter = acceptance_probability(delta, temp_lo + temp_step);
+        prop_assert!(hotter >= p, "hotter {} < colder {}", hotter, p);
+
+        // ...and a worse move is never likelier.
+        let worse = acceptance_probability(delta + delta_step, temp_lo);
+        prop_assert!(worse <= p, "worse {} > better {}", worse, p);
+    }
+
+    /// Tabu expiry is strict FIFO: admitting cells one at a time past the
+    /// tenure always evicts the oldest, so exactly the last `tenure` cells
+    /// are held.
+    #[test]
+    fn tabu_expiry_is_fifo(tenure in 1usize..12, admissions in 1usize..40) {
+        let mut tabu = TabuList::new(tenure);
+        for k in 0..admissions {
+            tabu.admit(&[CellId(k as u32)]);
+        }
+        prop_assert_eq!(tabu.len(), admissions.min(tenure));
+        for k in 0..admissions {
+            let held = tabu.contains(CellId(k as u32));
+            let expected = k + tenure >= admissions;
+            prop_assert_eq!(held, expected, "cell {} after {} admissions", k, admissions);
+        }
+    }
+}
+
+#[test]
+fn sa_acceptance_survives_a_zero_temperature() {
+    // The run loop clamps T to ε; even at T = 0 the rule must stay a
+    // probability, not a NaN.
+    let p = acceptance_probability(0.1, 0.0);
+    assert!((0.0..1.0).contains(&p));
+    assert_eq!(acceptance_probability(-0.1, 0.0), 1.0);
+}
+
+#[test]
+fn tabu_membership_covers_every_cell_of_a_move() {
+    let mut tabu = TabuList::new(4);
+    assert!(tabu.is_empty());
+    tabu.admit(&[CellId(1), CellId(2)]);
+    assert!(tabu.is_tabu(&[CellId(1)]));
+    assert!(tabu.is_tabu(&[CellId(9), CellId(2)]), "any tabu cell taints the move");
+    assert!(!tabu.is_tabu(&[CellId(9), CellId(8)]));
+
+    // A multi-cell admission that overflows the tenure evicts the oldest.
+    tabu.admit(&[CellId(3), CellId(4), CellId(5)]);
+    assert_eq!(tabu.len(), 4);
+    assert!(!tabu.contains(CellId(1)), "oldest entry must expire first");
+    for c in [2u32, 3, 4, 5] {
+        assert!(tabu.contains(CellId(c)));
+    }
+}
+
+#[test]
+fn ga_crossover_preserves_the_cut_slice_from_parent_a() {
+    // Run the operator many times; whenever the child differs from parent B
+    // in a contiguous window matching parent A, that window must be a copy
+    // of A's genes (OX1's defining property). Verified structurally: every
+    // gene of the child that equals A's gene at the same position forms at
+    // least one non-empty run, because some cut [i, j] was copied verbatim.
+    let placer = small_placer(70, 9);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let a: Vec<CellId> = (0..70u32).map(CellId).collect();
+    let mut b = a.clone();
+    b.shuffle(&mut rng);
+    for _ in 0..50 {
+        let child = placer.crossover(&a, &b, &mut rng);
+        let aligned_with_a = child.iter().zip(&a).filter(|(c, p)| c == p).count();
+        assert!(
+            aligned_with_a >= 1,
+            "OX1 must copy a non-empty slice of parent A in place"
+        );
+    }
+}

@@ -1,0 +1,713 @@
+//! Scenario batch driver and golden-trajectory fingerprints.
+//!
+//! The scenario matrix is the cross-product
+//! `{circuit} × {strategy Type I/II/III} × {backend Modeled/Threaded} ×
+//! {worker count} × {objective mix}`. This module provides the three pieces
+//! every surface that walks that matrix (the `scenario_matrix` binary, the
+//! root `golden_suite` regression test, future scaling studies) shares:
+//!
+//! * [`ScenarioSpec`] — one fully pinned cell of the matrix. The **backend**
+//!   axis (`workers`) is deliberately excluded from the scenario identity
+//!   ([`ScenarioSpec::id`]): the PR 3 determinism contract promises backends
+//!   and worker counts change nothing but wall-clock, so every backend of a
+//!   cell shares one golden fingerprint — and the golden suite *checks* that
+//!   promise instead of assuming it.
+//! * [`BatchDriver`] — runs cells while reusing the expensive per-circuit
+//!   state: the netlist is generated once per circuit and the engine (cost
+//!   evaluator CSR tables, extracted critical paths, goodness evaluator) is
+//!   built once per `(circuit, objectives)` and shared by every strategy,
+//!   backend and worker count that visits it. Per-worker scratch spaces are
+//!   created inside the strategy drivers as always.
+//! * [`TrajectoryFingerprint`] — the replayable digest of one run: the final
+//!   cost bits, the µ(s) trajectory bits at fixed checkpoint iterations, a
+//!   hash of the full µ trajectory and a hash of the best placement (the
+//!   product of every Selection/Allocation decision the run made). Two runs
+//!   produce equal fingerprints iff they made bitwise-identical decisions,
+//!   which is exactly the determinism contract of `DESIGN.md` §4 turned into
+//!   a comparable value. Fingerprints serialise to a line-oriented text form
+//!   ([`TrajectoryFingerprint::to_text`]) that is checked into
+//!   `tests/golden/` and replayed by the `golden_suite` integration test.
+
+use crate::exec::{ExecBackend, Modeled, Threaded};
+use crate::report::StrategyOutcome;
+use crate::type1::{run_type1_on, Type1Config};
+use crate::type2::{run_type2_on, RowPattern, Type2Config};
+use crate::type3::{run_type3_on, Type3Config};
+use cluster_sim::timeline::ClusterConfig;
+use sime_core::engine::{SimEConfig, SimEEngine};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vlsi_netlist::bench_suite::SuiteCircuit;
+use vlsi_netlist::Netlist;
+use vlsi_place::cost::Objectives;
+
+/// Which parallel strategy a scenario cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Type I — distributed cost/goodness evaluation.
+    Type1,
+    /// Type II — row-domain decomposition with the given row pattern.
+    Type2(RowPattern),
+    /// Type III — cooperating parallel searches.
+    Type3,
+}
+
+impl StrategyKind {
+    /// The strategies of the standard matrix: Type I, Type II (random
+    /// pattern, the authors' variant), Type III.
+    pub const MATRIX: [StrategyKind; 3] = [
+        StrategyKind::Type1,
+        StrategyKind::Type2(RowPattern::Random),
+        StrategyKind::Type3,
+    ];
+
+    /// Stable label used in scenario ids and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Type1 => "type1",
+            StrategyKind::Type2(RowPattern::Fixed) => "type2_fixed",
+            StrategyKind::Type2(RowPattern::Random) => "type2_random",
+            StrategyKind::Type3 => "type3",
+        }
+    }
+
+    /// Parses the label produced by [`StrategyKind::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "type1" => Some(StrategyKind::Type1),
+            "type2_fixed" => Some(StrategyKind::Type2(RowPattern::Fixed)),
+            "type2_random" => Some(StrategyKind::Type2(RowPattern::Random)),
+            "type3" => Some(StrategyKind::Type3),
+            _ => None,
+        }
+    }
+
+    /// The smallest rank count the strategy accepts (Type I needs a master
+    /// and a slave; Type III a store and two workers).
+    pub fn min_ranks(self) -> usize {
+        match self {
+            StrategyKind::Type1 | StrategyKind::Type2(_) => 2,
+            StrategyKind::Type3 => 3,
+        }
+    }
+}
+
+/// Short stable label for an objective mix (used in scenario ids and golden
+/// files; the long form is [`Objectives::label`]).
+pub fn objectives_tag(objectives: Objectives) -> &'static str {
+    match objectives {
+        Objectives::WirelengthPower => "wp",
+        Objectives::WirelengthPowerDelay => "wpd",
+    }
+}
+
+/// Parses both the short tag and the long label of an objective mix.
+pub fn objectives_from_tag(tag: &str) -> Option<Objectives> {
+    match tag {
+        "wp" | "wirelength+power" => Some(Objectives::WirelengthPower),
+        "wpd" | "wirelength+power+delay" => Some(Objectives::WirelengthPowerDelay),
+        _ => None,
+    }
+}
+
+/// One fully pinned cell of the scenario matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Suite circuit name (resolved through [`SuiteCircuit::from_name`]).
+    pub circuit: String,
+    /// Strategy to run.
+    pub strategy: StrategyKind,
+    /// Simulated rank count (processors of the modeled cluster).
+    pub ranks: usize,
+    /// SimE iterations per processor.
+    pub iterations: usize,
+    /// Objective mix.
+    pub objectives: Objectives,
+    /// Execution backend: `None` → [`Modeled`], `Some(n)` → [`Threaded`]
+    /// with `n` OS workers. Not part of the scenario identity — see the
+    /// [module docs](self).
+    pub workers: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// Stable scenario identity: every field except the execution backend.
+    /// Used as the golden-file stem and the JSON record key.
+    pub fn id(&self) -> String {
+        format!(
+            "{}.{}.r{}.i{}.{}",
+            self.circuit,
+            self.strategy.label(),
+            self.ranks,
+            self.iterations,
+            objectives_tag(self.objectives)
+        )
+    }
+
+    /// The backend this spec asks for.
+    pub fn backend(&self) -> Box<dyn ExecBackend> {
+        match self.workers {
+            None => Box::new(Modeled),
+            Some(n) => Box::new(Threaded::new(n)),
+        }
+    }
+
+    /// The same scenario on a different backend (same identity, same golden
+    /// fingerprint under the determinism contract).
+    pub fn on_workers(&self, workers: Option<usize>) -> ScenarioSpec {
+        ScenarioSpec {
+            workers,
+            ..self.clone()
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a over 64-bit words (the hash behind the placement and
+/// trajectory digests; chosen for stability — it is defined by the algorithm,
+/// not by a library version).
+fn fnv1a_u64(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The iteration checkpoints fingerprints sample: powers of two plus the
+/// final iteration, capped to the history length.
+pub fn checkpoint_iterations(history_len: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 1usize;
+    while i <= history_len {
+        out.push(i - 1);
+        i *= 2;
+    }
+    if history_len > 0 && out.last() != Some(&(history_len - 1)) {
+        out.push(history_len - 1);
+    }
+    out
+}
+
+/// Replayable digest of one scenario run. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryFingerprint {
+    /// `f64::to_bits` of the best µ(s).
+    pub final_mu_bits: u64,
+    /// `f64::to_bits` of the best placement's wirelength cost.
+    pub final_wirelength_bits: u64,
+    /// `f64::to_bits` of the best placement's power cost.
+    pub final_power_bits: u64,
+    /// `f64::to_bits` of the best placement's delay cost (0.0 when delay is
+    /// not optimised).
+    pub final_delay_bits: u64,
+    /// `(iteration, µ(s) bits)` at the fixed checkpoints of
+    /// [`checkpoint_iterations`].
+    pub mu_checkpoints: Vec<(usize, u64)>,
+    /// FNV-1a over every µ(s) value of the run, in order.
+    pub trajectory_hash: u64,
+    /// FNV-1a over the best placement (row boundaries + cell order) — the
+    /// accumulated product of every Selection/Allocation decision.
+    pub placement_hash: u64,
+}
+
+impl TrajectoryFingerprint {
+    /// Fingerprints a finished run.
+    pub fn from_outcome(outcome: &StrategyOutcome) -> Self {
+        let mut trajectory_hash = FNV_OFFSET;
+        for mu in &outcome.mu_history {
+            trajectory_hash = fnv1a_u64(trajectory_hash, mu.to_bits());
+        }
+        let placement = &outcome.best_placement;
+        let mut ph = FNV_OFFSET;
+        for row in 0..placement.num_rows() {
+            // Row separator, then the exact cell order.
+            ph = fnv1a_u64(ph, u64::MAX);
+            for &cell in placement.row(row) {
+                ph = fnv1a_u64(ph, cell.index() as u64);
+            }
+        }
+        TrajectoryFingerprint {
+            final_mu_bits: outcome.best_cost.mu.to_bits(),
+            final_wirelength_bits: outcome.best_cost.wirelength.to_bits(),
+            final_power_bits: outcome.best_cost.power.to_bits(),
+            final_delay_bits: outcome.best_cost.delay.to_bits(),
+            mu_checkpoints: checkpoint_iterations(outcome.mu_history.len())
+                .into_iter()
+                .map(|i| (i, outcome.mu_history[i].to_bits()))
+                .collect(),
+            trajectory_hash,
+            placement_hash: ph,
+        }
+    }
+
+    /// Serialises the fingerprint (with its scenario header) to the golden
+    /// file format: line-oriented `key value` pairs, `#` comments, stable
+    /// across versions via the leading format tag.
+    pub fn to_text(&self, spec: &ScenarioSpec) -> String {
+        let mut out = String::new();
+        out.push_str("# golden trajectory fingerprint v1\n");
+        out.push_str(&format!("scenario {}\n", spec.id()));
+        out.push_str(&format!("circuit {}\n", spec.circuit));
+        out.push_str(&format!("strategy {}\n", spec.strategy.label()));
+        out.push_str(&format!("ranks {}\n", spec.ranks));
+        out.push_str(&format!("iterations {}\n", spec.iterations));
+        out.push_str(&format!("objectives {}\n", objectives_tag(spec.objectives)));
+        out.push_str(&format!("final_mu_bits {:#018x}\n", self.final_mu_bits));
+        out.push_str(&format!(
+            "final_wirelength_bits {:#018x}\n",
+            self.final_wirelength_bits
+        ));
+        out.push_str(&format!("final_power_bits {:#018x}\n", self.final_power_bits));
+        out.push_str(&format!("final_delay_bits {:#018x}\n", self.final_delay_bits));
+        for (iter, bits) in &self.mu_checkpoints {
+            out.push_str(&format!("mu_bits {iter} {bits:#018x}\n"));
+        }
+        out.push_str(&format!("trajectory_hash {:#018x}\n", self.trajectory_hash));
+        out.push_str(&format!("placement_hash {:#018x}\n", self.placement_hash));
+        out
+    }
+
+    /// Parses a golden file: the scenario spec (always on the [`Modeled`]
+    /// backend — the golden identity is backend-free) and the fingerprint.
+    pub fn parse_text(text: &str) -> Result<(ScenarioSpec, TrajectoryFingerprint), String> {
+        let mut circuit = None;
+        let mut strategy = None;
+        let mut ranks = None;
+        let mut iterations = None;
+        let mut objectives = None;
+        let mut final_mu_bits = None;
+        let mut final_wirelength_bits = None;
+        let mut final_power_bits = None;
+        let mut final_delay_bits = None;
+        let mut trajectory_hash = None;
+        let mut placement_hash = None;
+        let mut mu_checkpoints = Vec::new();
+
+        let parse_u64 = |tok: &str| -> Result<u64, String> {
+            let tok = tok.trim();
+            if let Some(hex) = tok.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex `{tok}`: {e}"))
+            } else {
+                tok.parse::<u64>().map_err(|e| format!("bad number `{tok}`: {e}"))
+            }
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let (key, rest) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {lineno}: missing value for `{line}`"))?;
+            let rest = rest.trim();
+            let ctx = |e: String| format!("line {lineno}: {e}");
+            match key {
+                "scenario" => {} // informative only; rebuilt from the fields
+                "circuit" => circuit = Some(rest.to_string()),
+                "strategy" => {
+                    strategy = Some(
+                        StrategyKind::from_label(rest)
+                            .ok_or_else(|| ctx(format!("unknown strategy `{rest}`")))?,
+                    )
+                }
+                "ranks" => ranks = Some(rest.parse().map_err(|_| ctx("bad ranks".into()))?),
+                "iterations" => {
+                    iterations = Some(rest.parse().map_err(|_| ctx("bad iterations".into()))?)
+                }
+                "objectives" => {
+                    objectives = Some(
+                        objectives_from_tag(rest)
+                            .ok_or_else(|| ctx(format!("unknown objectives `{rest}`")))?,
+                    )
+                }
+                "final_mu_bits" => final_mu_bits = Some(parse_u64(rest).map_err(ctx)?),
+                "final_wirelength_bits" => {
+                    final_wirelength_bits = Some(parse_u64(rest).map_err(ctx)?)
+                }
+                "final_power_bits" => final_power_bits = Some(parse_u64(rest).map_err(ctx)?),
+                "final_delay_bits" => final_delay_bits = Some(parse_u64(rest).map_err(ctx)?),
+                "mu_bits" => {
+                    let (iter, bits) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| ctx("mu_bits needs `<iteration> <bits>`".into()))?;
+                    mu_checkpoints.push((
+                        iter.trim().parse().map_err(|_| ctx("bad iteration".into()))?,
+                        parse_u64(bits).map_err(ctx)?,
+                    ));
+                }
+                "trajectory_hash" => trajectory_hash = Some(parse_u64(rest).map_err(ctx)?),
+                "placement_hash" => placement_hash = Some(parse_u64(rest).map_err(ctx)?),
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+
+        fn require<T>(name: &str, v: Option<T>) -> Result<T, String> {
+            v.ok_or_else(|| format!("missing `{name}`"))
+        }
+        let spec = ScenarioSpec {
+            circuit: require("circuit", circuit)?,
+            strategy: require("strategy", strategy)?,
+            ranks: require("ranks", ranks)?,
+            iterations: require("iterations", iterations)?,
+            objectives: require("objectives", objectives)?,
+            workers: None,
+        };
+        let fingerprint = TrajectoryFingerprint {
+            final_mu_bits: require("final_mu_bits", final_mu_bits)?,
+            final_wirelength_bits: require("final_wirelength_bits", final_wirelength_bits)?,
+            final_power_bits: require("final_power_bits", final_power_bits)?,
+            final_delay_bits: require("final_delay_bits", final_delay_bits)?,
+            mu_checkpoints,
+            trajectory_hash: require("trajectory_hash", trajectory_hash)?,
+            placement_hash: require("placement_hash", placement_hash)?,
+        };
+        Ok((spec, fingerprint))
+    }
+}
+
+/// One executed cell: the spec, the raw outcome and its fingerprint.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecord {
+    /// The cell that was run.
+    pub spec: ScenarioSpec,
+    /// The strategy outcome (placement, modeled time, comm stats, history).
+    pub outcome: StrategyOutcome,
+    /// The golden-comparable digest of the run.
+    pub fingerprint: TrajectoryFingerprint,
+}
+
+impl ScenarioRecord {
+    /// One JSON object for the scenario-matrix report (hand-rolled; the
+    /// vendored serde is a no-op shim).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\": \"{id}\", \"circuit\": \"{circuit}\", \
+             \"strategy\": \"{strategy}\", \"ranks\": {ranks}, \
+             \"iterations\": {iters}, \"objectives\": \"{obj}\", \
+             \"backend\": \"{backend}\", \"best_mu\": {mu:.6}, \
+             \"modeled_seconds\": {modeled:.4}, \"wall_seconds\": {wall:.4}, \
+             \"comm_messages\": {msgs}, \"comm_bytes\": {bytes}, \
+             \"final_mu_bits\": \"{mubits:#018x}\", \
+             \"placement_hash\": \"{ph:#018x}\", \
+             \"trajectory_hash\": \"{th:#018x}\"}}",
+            id = self.spec.id(),
+            circuit = self.spec.circuit,
+            strategy = self.spec.strategy.label(),
+            ranks = self.spec.ranks,
+            iters = self.spec.iterations,
+            obj = objectives_tag(self.spec.objectives),
+            backend = self.outcome.backend,
+            mu = self.outcome.best_cost.mu,
+            modeled = self.outcome.modeled_seconds,
+            wall = self.outcome.wall_seconds,
+            msgs = self.outcome.comm.messages,
+            bytes = self.outcome.comm.bytes,
+            mubits = self.fingerprint.final_mu_bits,
+            ph = self.fingerprint.placement_hash,
+            th = self.fingerprint.trajectory_hash,
+        )
+    }
+}
+
+/// Runs scenario cells while reusing per-circuit netlists and per-
+/// `(circuit, objectives)` engines across the whole batch. See the
+/// [module docs](self) for what is shared and what stays per-run.
+#[derive(Default)]
+pub struct BatchDriver {
+    netlists: HashMap<String, Arc<Netlist>>,
+    engines: HashMap<(String, Objectives), SimEEngine>,
+}
+
+impl BatchDriver {
+    /// An empty driver; circuits are generated (or registered) on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pre-built netlist (e.g. one reloaded from a Bookshelf
+    /// dump) under its circuit name, bypassing suite generation. The circuit
+    /// still needs a row count the suite knows, so `name` must resolve via
+    /// [`SuiteCircuit::from_name`] for specs to run against it.
+    pub fn register_netlist(&mut self, netlist: Arc<Netlist>) {
+        self.netlists.insert(netlist.name().to_string(), netlist);
+    }
+
+    /// The netlist for a suite circuit, generating and caching it on first
+    /// use.
+    pub fn netlist(&mut self, circuit: SuiteCircuit) -> Arc<Netlist> {
+        self.netlists
+            .entry(circuit.name().to_string())
+            .or_insert_with(|| Arc::new(circuit.generate()))
+            .clone()
+    }
+
+    /// The engine for a `(circuit, objectives)` pair, building and caching
+    /// it on first use. Engine construction (CSR cost tables, critical-path
+    /// extraction, fuzzy goal calibration) dominates small-run setup time,
+    /// which is why it is the unit of reuse.
+    pub fn engine(&mut self, circuit: SuiteCircuit, objectives: Objectives) -> &SimEEngine {
+        let key = (circuit.name().to_string(), objectives);
+        if !self.engines.contains_key(&key) {
+            let netlist = self.netlist(circuit);
+            // The stopping criterion in the engine config only governs
+            // `SimEEngine::run` (the serial baseline); strategy runs carry
+            // their own iteration budget in the strategy config.
+            let config = SimEConfig::paper_defaults(objectives, circuit.num_rows(), 1);
+            let engine = SimEEngine::new(netlist, config);
+            self.engines.insert(key.clone(), engine);
+        }
+        &self.engines[&key]
+    }
+
+    /// Runs one cell of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's circuit is not a suite circuit, or if its rank
+    /// count violates the strategy's minimum (see
+    /// [`StrategyKind::min_ranks`]).
+    pub fn run_cell(&mut self, spec: &ScenarioSpec) -> ScenarioRecord {
+        let circuit = SuiteCircuit::from_name(&spec.circuit)
+            .unwrap_or_else(|| panic!("unknown suite circuit `{}`", spec.circuit));
+        assert!(
+            spec.ranks >= spec.strategy.min_ranks(),
+            "{} needs at least {} ranks, spec has {}",
+            spec.strategy.label(),
+            spec.strategy.min_ranks(),
+            spec.ranks
+        );
+        let backend = spec.backend();
+        let engine = self.engine(circuit, spec.objectives);
+        let cluster = ClusterConfig::paper_cluster(spec.ranks);
+        let outcome = match spec.strategy {
+            StrategyKind::Type1 => run_type1_on(
+                engine,
+                cluster,
+                Type1Config {
+                    ranks: spec.ranks,
+                    iterations: spec.iterations,
+                },
+                backend.as_ref(),
+            ),
+            StrategyKind::Type2(pattern) => run_type2_on(
+                engine,
+                cluster,
+                Type2Config {
+                    ranks: spec.ranks,
+                    iterations: spec.iterations,
+                    pattern,
+                },
+                backend.as_ref(),
+            ),
+            StrategyKind::Type3 => run_type3_on(
+                engine,
+                cluster,
+                Type3Config {
+                    ranks: spec.ranks,
+                    iterations: spec.iterations,
+                    retry_threshold: 3,
+                },
+                backend.as_ref(),
+            ),
+        };
+        let fingerprint = TrajectoryFingerprint::from_outcome(&outcome);
+        ScenarioRecord {
+            spec: spec.clone(),
+            outcome,
+            fingerprint,
+        }
+    }
+}
+
+/// The pinned golden subset: the scenarios whose fingerprints are checked
+/// into `tests/golden/` and replayed by the `golden_suite` integration test
+/// on every push. Small circuits and short runs — the gate must stay cheap —
+/// but covering all three strategies, both objective mixes and one
+/// extended-tier circuit.
+pub fn golden_subset() -> Vec<ScenarioSpec> {
+    let wp = Objectives::WirelengthPower;
+    let wpd = Objectives::WirelengthPowerDelay;
+    vec![
+        ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Type1,
+            ranks: 3,
+            iterations: 5,
+            objectives: wp,
+            workers: None,
+        },
+        ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 3,
+            iterations: 5,
+            objectives: wp,
+            workers: None,
+        },
+        ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Type3,
+            ranks: 3,
+            iterations: 5,
+            objectives: wp,
+            workers: None,
+        },
+        ScenarioSpec {
+            circuit: "s1238".into(),
+            strategy: StrategyKind::Type2(RowPattern::Fixed),
+            ranks: 3,
+            iterations: 5,
+            objectives: wpd,
+            workers: None,
+        },
+        ScenarioSpec {
+            circuit: "s5378".into(),
+            strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 4,
+            iterations: 3,
+            objectives: wp,
+            workers: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 3,
+            iterations: 3,
+            objectives: Objectives::WirelengthPower,
+            workers: None,
+        }
+    }
+
+    #[test]
+    fn scenario_id_excludes_the_backend() {
+        let spec = small_spec();
+        assert_eq!(spec.id(), "s1196.type2_random.r3.i3.wp");
+        assert_eq!(spec.on_workers(Some(4)).id(), spec.id());
+    }
+
+    #[test]
+    fn strategy_labels_roundtrip() {
+        for s in [
+            StrategyKind::Type1,
+            StrategyKind::Type2(RowPattern::Fixed),
+            StrategyKind::Type2(RowPattern::Random),
+            StrategyKind::Type3,
+        ] {
+            assert_eq!(StrategyKind::from_label(s.label()), Some(s));
+        }
+        assert_eq!(StrategyKind::from_label("type4"), None);
+    }
+
+    #[test]
+    fn objectives_tags_roundtrip() {
+        for o in [Objectives::WirelengthPower, Objectives::WirelengthPowerDelay] {
+            assert_eq!(objectives_from_tag(objectives_tag(o)), Some(o));
+            assert_eq!(objectives_from_tag(o.label()), Some(o));
+        }
+        assert_eq!(objectives_from_tag("w"), None);
+    }
+
+    #[test]
+    fn checkpoints_are_powers_of_two_plus_last() {
+        assert_eq!(checkpoint_iterations(0), Vec::<usize>::new());
+        assert_eq!(checkpoint_iterations(1), vec![0]);
+        assert_eq!(checkpoint_iterations(5), vec![0, 1, 3, 4]);
+        assert_eq!(checkpoint_iterations(8), vec![0, 1, 3, 7]);
+        assert_eq!(checkpoint_iterations(9), vec![0, 1, 3, 7, 8]);
+    }
+
+    #[test]
+    fn fingerprint_text_roundtrips() {
+        let mut driver = BatchDriver::new();
+        let spec = small_spec();
+        let record = driver.run_cell(&spec);
+        let text = record.fingerprint.to_text(&spec);
+        let (parsed_spec, parsed_fp) = TrajectoryFingerprint::parse_text(&text).unwrap();
+        assert_eq!(parsed_spec, spec);
+        assert_eq!(parsed_fp, record.fingerprint);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_reruns_and_backends() {
+        let mut driver = BatchDriver::new();
+        let spec = small_spec();
+        let a = driver.run_cell(&spec);
+        let b = driver.run_cell(&spec);
+        assert_eq!(a.fingerprint, b.fingerprint, "rerun must not change the fingerprint");
+        let threaded = driver.run_cell(&spec.on_workers(Some(2)));
+        assert_eq!(
+            a.fingerprint, threaded.fingerprint,
+            "backend must not change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprints_differ_between_scenarios() {
+        let mut driver = BatchDriver::new();
+        let a = driver.run_cell(&small_spec());
+        let mut other = small_spec();
+        other.strategy = StrategyKind::Type3;
+        let b = driver.run_cell(&other);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn driver_reuses_engines_across_cells() {
+        let mut driver = BatchDriver::new();
+        driver.run_cell(&small_spec());
+        let mut other = small_spec();
+        other.strategy = StrategyKind::Type1;
+        driver.run_cell(&other);
+        assert_eq!(driver.engines.len(), 1, "same circuit+objectives → one engine");
+        assert_eq!(driver.netlists.len(), 1);
+    }
+
+    #[test]
+    fn golden_subset_is_runnable_and_unique() {
+        let subset = golden_subset();
+        let mut ids: Vec<String> = subset.iter().map(ScenarioSpec::id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "golden scenario ids must be unique");
+        for spec in &subset {
+            assert!(SuiteCircuit::from_name(&spec.circuit).is_some(), "{}", spec.circuit);
+            assert!(spec.ranks >= spec.strategy.min_ranks());
+            assert!(spec.workers.is_none(), "goldens are blessed on the modeled backend");
+        }
+    }
+
+    #[test]
+    fn record_json_contains_the_key_fields() {
+        let mut driver = BatchDriver::new();
+        let record = driver.run_cell(&small_spec());
+        let json = record.to_json();
+        assert!(json.contains("\"scenario\": \"s1196.type2_random.r3.i3.wp\""));
+        assert!(json.contains("\"backend\": \"modeled\""));
+        assert!(json.contains("placement_hash"));
+    }
+
+    #[test]
+    fn parse_text_rejects_malformed_input() {
+        assert!(TrajectoryFingerprint::parse_text("").is_err());
+        assert!(TrajectoryFingerprint::parse_text("bogus_key 1\n").is_err());
+        let missing_hash = "circuit s1196\nstrategy type1\nranks 3\niterations 5\nobjectives wp\n\
+                            final_mu_bits 0x1\nfinal_wirelength_bits 0x1\nfinal_power_bits 0x1\n\
+                            final_delay_bits 0x0\n";
+        let err = TrajectoryFingerprint::parse_text(missing_hash).unwrap_err();
+        assert!(err.contains("trajectory_hash"), "{err}");
+    }
+}

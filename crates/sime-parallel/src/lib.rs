@@ -43,15 +43,26 @@
 //! communication statistics, and the host wall-clock time of the run. The
 //! table-reproduction binaries in the `bench` crate print these in the layout
 //! of the paper's Tables 1–4.
+//!
+//! The [`batch`] module drives whole **scenario matrices** over these
+//! strategies — `{circuit × strategy × backend × workers × objectives}` —
+//! reusing one engine per `(circuit, objectives)` across cells, and distils
+//! every run into a [`batch::TrajectoryFingerprint`] that the checked-in
+//! golden registry (`tests/golden/`, replayed by the root `golden_suite`
+//! test) compares bitwise across pushes, backends and worker counts.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod exec;
 pub mod report;
 pub mod type1;
 pub mod type2;
 pub mod type3;
 
+pub use batch::{
+    golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec, StrategyKind, TrajectoryFingerprint,
+};
 pub use exec::{backend_from_name, ExecBackend, Modeled, Threaded};
 pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
 pub use type1::{run_type1, run_type1_on, Type1Config};
@@ -60,6 +71,10 @@ pub use type3::{run_type3, run_type3_on, Type3Config};
 
 /// Convenience prelude bringing the parallel-strategy API into scope.
 pub mod prelude {
+    pub use crate::batch::{
+        golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec, StrategyKind,
+        TrajectoryFingerprint,
+    };
     pub use crate::exec::{backend_from_name, ExecBackend, Modeled, Threaded};
     pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
     pub use crate::type1::{run_type1, run_type1_on, Type1Config};

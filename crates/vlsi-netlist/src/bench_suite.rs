@@ -1,4 +1,5 @@
-//! The paper's benchmark circuits, regenerated synthetically.
+//! The paper's benchmark circuits, regenerated synthetically, plus an
+//! extended tier of larger ISCAS-class circuits for scaling studies.
 //!
 //! The paper reports results on five ISCAS-89 circuits. The table below lists
 //! the published cell counts (Table 1 of the paper) and the I/O / flip-flop
@@ -13,15 +14,41 @@
 //! | s1494   | 661           | 8      | 19      | 6          |
 //! | s3330   | 1561          | 40     | 73      | 132        |
 //!
-//! Because the real netlists cannot be redistributed, [`paper_circuit`]
-//! generates a deterministic synthetic circuit with these exact counts and
-//! ISCAS-like connectivity statistics (see [`crate::generator`]). The seed is
-//! derived from the circuit name, so the whole workspace always sees the same
-//! five circuits.
+//! The [`ExtendedCircuit`] tier goes beyond the paper: four larger ISCAS-89
+//! circuits (the next size steps of the same benchmark family), regenerated
+//! with the published ISCAS-89 gate/I/O/flip-flop counts and the same
+//! connectivity statistics the paper-tier stand-ins use:
+//!
+//! | Circuit | Cells  | Inputs | Outputs | Flip-flops | Rows |
+//! |---------|--------|--------|---------|------------|------|
+//! | s5378   | 2779   | 35     | 49      | 179        | 22   |
+//! | s9234   | 5597   | 36     | 39      | 211        | 32   |
+//! | s13207  | 8589   | 62     | 152     | 638        | 40   |
+//! | s15850  | 10306  | 77     | 150     | 534        | 44   |
+//!
+//! Row counts follow the same near-square aspect-ratio rule as the paper
+//! tier (rows ≈ 0.43·√cells, rounded to an even number), so layouts keep the
+//! standard-cell shape as the circuits grow.
+//!
+//! Because the real netlists cannot be redistributed, [`paper_circuit`] and
+//! [`extended_circuit`] generate deterministic synthetic circuits with these
+//! exact counts and ISCAS-like connectivity statistics (see
+//! [`crate::generator`]). The seed is derived from the circuit name, so the
+//! whole workspace always sees the same circuits. [`SuiteCircuit`] is the
+//! uniform handle over both tiers used by the scenario-matrix runner, and
+//! every suite circuit can be dumped to / reloaded from disk through
+//! [`crate::format`] or [`crate::bookshelf`] instead of being regenerated.
 
 use crate::generator::{CircuitGenerator, GeneratorConfig};
 use crate::Netlist;
 use serde::{Deserialize, Serialize};
+
+/// Derives the deterministic generator seed from a circuit name (shared by
+/// both suite tiers so a circuit's identity is exactly its name).
+fn name_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xC0FFEE_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+}
 
 /// Identifier of one of the five circuits used in the paper's tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -103,10 +130,6 @@ impl PaperCircuit {
     pub fn generator_config(self) -> GeneratorConfig {
         let (inputs, outputs, ffs) = self.io_counts();
         // Seed derived from the name so every build sees identical circuits.
-        let seed = self
-            .name()
-            .bytes()
-            .fold(0xC0FFEE_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
         GeneratorConfig {
             name: self.name().to_string(),
             num_cells: self.cell_count(),
@@ -115,7 +138,7 @@ impl PaperCircuit {
             num_flip_flops: ffs,
             logic_depth: if self == PaperCircuit::S3330 { 16 } else { 12 },
             avg_fanin: 2.3,
-            seed,
+            seed: name_seed(self.name()),
         }
     }
 }
@@ -136,6 +159,213 @@ pub fn paper_suite() -> Vec<(PaperCircuit, Netlist)> {
     PaperCircuit::ALL
         .iter()
         .map(|&c| (c, paper_circuit(c)))
+        .collect()
+}
+
+/// Identifier of one of the extended-tier ISCAS-89 circuits (larger than any
+/// circuit in the paper's tables; see the [module docs](self) for the size
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExtendedCircuit {
+    /// ISCAS-89 s5378 — 2779 cells.
+    S5378,
+    /// ISCAS-89 s9234 — 5597 cells.
+    S9234,
+    /// ISCAS-89 s13207 — 8589 cells.
+    S13207,
+    /// ISCAS-89 s15850 — 10306 cells.
+    S15850,
+}
+
+impl ExtendedCircuit {
+    /// All extended circuits, smallest first.
+    pub const ALL: [ExtendedCircuit; 4] = [
+        ExtendedCircuit::S5378,
+        ExtendedCircuit::S9234,
+        ExtendedCircuit::S13207,
+        ExtendedCircuit::S15850,
+    ];
+
+    /// Circuit name (the ISCAS-89 benchmark name).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtendedCircuit::S5378 => "s5378",
+            ExtendedCircuit::S9234 => "s9234",
+            ExtendedCircuit::S13207 => "s13207",
+            ExtendedCircuit::S15850 => "s15850",
+        }
+    }
+
+    /// Published ISCAS-89 cell count.
+    pub fn cell_count(self) -> usize {
+        match self {
+            ExtendedCircuit::S5378 => 2779,
+            ExtendedCircuit::S9234 => 5597,
+            ExtendedCircuit::S13207 => 8589,
+            ExtendedCircuit::S15850 => 10306,
+        }
+    }
+
+    /// Number of placement rows (near-square aspect-ratio rule, even counts
+    /// so the Type II strided pattern stays balanced).
+    pub fn num_rows(self) -> usize {
+        match self {
+            ExtendedCircuit::S5378 => 22,
+            ExtendedCircuit::S9234 => 32,
+            ExtendedCircuit::S13207 => 40,
+            ExtendedCircuit::S15850 => 44,
+        }
+    }
+
+    /// (inputs, outputs, flip-flops) of the original ISCAS-89 circuit.
+    pub fn io_counts(self) -> (usize, usize, usize) {
+        match self {
+            ExtendedCircuit::S5378 => (35, 49, 179),
+            ExtendedCircuit::S9234 => (36, 39, 211),
+            ExtendedCircuit::S13207 => (62, 152, 638),
+            ExtendedCircuit::S15850 => (77, 150, 534),
+        }
+    }
+
+    /// Parses an extended circuit from its benchmark name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Generator configuration used for the synthetic stand-in. Deeper logic
+    /// than the paper tier: the original circuits' combinational depth grows
+    /// with size, and deeper levelisation keeps the critical paths long
+    /// relative to the layout.
+    pub fn generator_config(self) -> GeneratorConfig {
+        let (inputs, outputs, ffs) = self.io_counts();
+        let logic_depth = match self {
+            ExtendedCircuit::S5378 => 20,
+            ExtendedCircuit::S9234 => 24,
+            ExtendedCircuit::S13207 => 28,
+            ExtendedCircuit::S15850 => 30,
+        };
+        GeneratorConfig {
+            name: self.name().to_string(),
+            num_cells: self.cell_count(),
+            num_inputs: inputs,
+            num_outputs: outputs,
+            num_flip_flops: ffs,
+            logic_depth,
+            avg_fanin: 2.3,
+            seed: name_seed(self.name()),
+        }
+    }
+}
+
+impl std::fmt::Display for ExtendedCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the synthetic stand-in for one extended-tier circuit.
+pub fn extended_circuit(circuit: ExtendedCircuit) -> Netlist {
+    CircuitGenerator::new(circuit.generator_config()).generate()
+}
+
+/// Generates the extended-tier suite, smallest circuit first.
+pub fn extended_suite() -> Vec<(ExtendedCircuit, Netlist)> {
+    ExtendedCircuit::ALL
+        .iter()
+        .map(|&c| (c, extended_circuit(c)))
+        .collect()
+}
+
+/// Uniform handle over both benchmark tiers: the paper's five circuits and
+/// the extended scaling tier. This is the circuit axis of the scenario
+/// matrix — every suite circuit resolves from its name, generates
+/// deterministically, and carries its own row count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteCircuit {
+    /// One of the paper's five Table-1 circuits.
+    Paper(PaperCircuit),
+    /// One of the extended-tier circuits.
+    Extended(ExtendedCircuit),
+}
+
+impl SuiteCircuit {
+    /// All nine suite circuits: the paper tier in Table-1 order, then the
+    /// extended tier smallest first.
+    pub const ALL: [SuiteCircuit; 9] = [
+        SuiteCircuit::Paper(PaperCircuit::S1196),
+        SuiteCircuit::Paper(PaperCircuit::S1488),
+        SuiteCircuit::Paper(PaperCircuit::S1494),
+        SuiteCircuit::Paper(PaperCircuit::S1238),
+        SuiteCircuit::Paper(PaperCircuit::S3330),
+        SuiteCircuit::Extended(ExtendedCircuit::S5378),
+        SuiteCircuit::Extended(ExtendedCircuit::S9234),
+        SuiteCircuit::Extended(ExtendedCircuit::S13207),
+        SuiteCircuit::Extended(ExtendedCircuit::S15850),
+    ];
+
+    /// Circuit name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteCircuit::Paper(c) => c.name(),
+            SuiteCircuit::Extended(c) => c.name(),
+        }
+    }
+
+    /// Published cell count.
+    pub fn cell_count(self) -> usize {
+        match self {
+            SuiteCircuit::Paper(c) => c.cell_count(),
+            SuiteCircuit::Extended(c) => c.cell_count(),
+        }
+    }
+
+    /// Number of placement rows used throughout the workspace.
+    pub fn num_rows(self) -> usize {
+        match self {
+            SuiteCircuit::Paper(c) => c.num_rows(),
+            SuiteCircuit::Extended(c) => c.num_rows(),
+        }
+    }
+
+    /// `true` for extended-tier circuits.
+    pub fn is_extended(self) -> bool {
+        matches!(self, SuiteCircuit::Extended(_))
+    }
+
+    /// Resolves a suite circuit from its name, searching both tiers.
+    pub fn from_name(name: &str) -> Option<Self> {
+        PaperCircuit::from_name(name)
+            .map(SuiteCircuit::Paper)
+            .or_else(|| ExtendedCircuit::from_name(name).map(SuiteCircuit::Extended))
+    }
+
+    /// Generator configuration for the synthetic stand-in.
+    pub fn generator_config(self) -> GeneratorConfig {
+        match self {
+            SuiteCircuit::Paper(c) => c.generator_config(),
+            SuiteCircuit::Extended(c) => c.generator_config(),
+        }
+    }
+
+    /// Generates the circuit.
+    pub fn generate(self) -> Netlist {
+        CircuitGenerator::new(self.generator_config()).generate()
+    }
+}
+
+impl std::fmt::Display for SuiteCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the full nine-circuit suite (both tiers), in [`SuiteCircuit::ALL`]
+/// order. The extended circuits take noticeably longer to generate; callers
+/// that only need the paper tier should use [`paper_suite`].
+pub fn full_suite() -> Vec<(SuiteCircuit, Netlist)> {
+    SuiteCircuit::ALL
+        .iter()
+        .map(|&c| (c, c.generate()))
         .collect()
 }
 
@@ -191,6 +421,64 @@ mod tests {
     fn rows_leave_room_for_five_partitions() {
         for c in PaperCircuit::ALL {
             assert!(c.num_rows() >= 10, "{c} must have at least 2 rows per processor at p=5");
+        }
+        for c in ExtendedCircuit::ALL {
+            assert!(c.num_rows() >= 10, "{c} must have at least 2 rows per processor at p=5");
+        }
+    }
+
+    #[test]
+    fn extended_cell_and_io_counts_match_iscas89() {
+        // Only the two smallest extended circuits are generated here to keep
+        // the unit-test budget small; the scenario-matrix runner exercises
+        // the full tier.
+        for c in [ExtendedCircuit::S5378, ExtendedCircuit::S9234] {
+            let nl = extended_circuit(c);
+            assert_eq!(nl.num_cells(), c.cell_count(), "circuit {c}");
+            assert_eq!(nl.name(), c.name());
+            let stats = nl.stats();
+            let (i, o, ff) = c.io_counts();
+            assert_eq!(stats.inputs, i, "{c} inputs");
+            assert_eq!(stats.outputs, o, "{c} outputs");
+            assert_eq!(stats.flip_flops, ff, "{c} flip-flops");
+            assert!(
+                stats.avg_fanout > 1.2 && stats.avg_fanout < 4.0,
+                "{c} average fanout {} outside the gate-level range",
+                stats.avg_fanout
+            );
+        }
+    }
+
+    #[test]
+    fn suite_circuit_resolves_both_tiers_by_name() {
+        assert_eq!(SuiteCircuit::ALL.len(), 9);
+        for c in SuiteCircuit::ALL {
+            assert_eq!(SuiteCircuit::from_name(c.name()), Some(c));
+            assert_eq!(c.generator_config().num_cells, c.cell_count());
+        }
+        assert_eq!(
+            SuiteCircuit::from_name("s1196"),
+            Some(SuiteCircuit::Paper(PaperCircuit::S1196))
+        );
+        assert_eq!(
+            SuiteCircuit::from_name("s13207"),
+            Some(SuiteCircuit::Extended(ExtendedCircuit::S13207))
+        );
+        assert!(SuiteCircuit::from_name("s9999").is_none());
+        assert!(SuiteCircuit::Extended(ExtendedCircuit::S5378).is_extended());
+        assert!(!SuiteCircuit::Paper(PaperCircuit::S3330).is_extended());
+    }
+
+    #[test]
+    fn extended_rows_follow_the_near_square_rule() {
+        for c in ExtendedCircuit::ALL {
+            let near_square = 0.43 * (c.cell_count() as f64).sqrt();
+            let rows = c.num_rows() as f64;
+            assert!(
+                (rows - near_square).abs() < 4.0,
+                "{c}: rows {rows} too far from the near-square rule {near_square:.1}"
+            );
+            assert_eq!(c.num_rows() % 2, 0, "{c} row count must be even");
         }
     }
 }

@@ -14,9 +14,15 @@
 //!   switching-probability distributions),
 //! * [`bench_suite`] — the five named circuits used throughout the paper
 //!   (`s1196`, `s1488`, `s1494`, `s1238`, `s3330`) regenerated with the paper's
-//!   published cell counts,
+//!   published cell counts, plus the extended scaling tier (`s5378`, `s9234`,
+//!   `s13207`, `s15850`) behind the uniform [`bench_suite::SuiteCircuit`]
+//!   handle,
 //! * [`mod@format`] — a simple line-oriented text netlist format with a parser and
-//!   writer, so circuits can be saved, inspected and reloaded.
+//!   writer, so circuits can be saved, inspected and reloaded,
+//! * [`bookshelf`] — a Bookshelf-style `.nodes`/`.nets` on-disk interchange
+//!   (UCLA-format core plus `#` annotations for the attributes the plain
+//!   format lacks), so circuits can be dumped, shipped and reloaded instead
+//!   of regenerated.
 //!
 //! The original paper evaluates on ISCAS-89 benchmark circuits. Those netlists
 //! are not redistributable here, so [`bench_suite`] builds synthetic stand-ins
@@ -32,6 +38,7 @@ mod net;
 mod netlist;
 
 pub mod bench_suite;
+pub mod bookshelf;
 pub mod format;
 pub mod generator;
 pub mod paths;
@@ -42,7 +49,13 @@ pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};
 
 /// Convenience prelude bringing the common netlist types into scope.
 pub mod prelude {
-    pub use crate::bench_suite::{paper_circuit, paper_suite, PaperCircuit};
+    pub use crate::bench_suite::{
+        extended_circuit, extended_suite, full_suite, paper_circuit, paper_suite,
+        ExtendedCircuit, PaperCircuit, SuiteCircuit,
+    };
+    pub use crate::bookshelf::{
+        load_bookshelf, parse_bookshelf, save_bookshelf, write_bookshelf, BookshelfPair,
+    };
     pub use crate::generator::{CircuitGenerator, GeneratorConfig};
     pub use crate::paths::{extract_paths, Path, PathExtractionConfig};
     pub use crate::{Cell, CellId, CellKind, Net, NetId, Netlist, NetlistBuilder};

@@ -1,0 +1,159 @@
+//! Round-trip properties of the two on-disk circuit representations: the
+//! line-oriented text format (`vlsi_netlist::format`) and the
+//! Bookshelf-style `.nodes`/`.nets` interchange (`vlsi_netlist::bookshelf`).
+//!
+//! The central property: `parse ∘ write` is the identity on every circuit
+//! the generator can produce — same name, bitwise-equal cell table (name,
+//! kind, width, switching delay) and net table (name, driver, sinks,
+//! switching probability). A second family of properties pins the error
+//! contract: parse errors carry correct 1-based line numbers no matter how
+//! much padding precedes the offending line.
+
+use proptest::prelude::*;
+use vlsi_netlist::bench_suite::SuiteCircuit;
+use vlsi_netlist::bookshelf::{
+    netlists_identical, parse_bookshelf, write_bookshelf, BookshelfError, BookshelfFile,
+};
+use vlsi_netlist::format::{parse_netlist, write_netlist, ParseError};
+use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
+use vlsi_netlist::Netlist;
+
+/// Strategy over generator configurations spanning tiny to mid-size
+/// circuits with varied I/O mixes and connectivity.
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (40usize..300, 4usize..20, 4usize..20, 2usize..30, 3usize..12, any::<u64>()).prop_map(
+        |(logic, inputs, outputs, ffs, depth, seed)| GeneratorConfig {
+            name: format!("rt_{seed}"),
+            num_cells: logic + inputs + outputs + ffs + depth + 2,
+            num_inputs: inputs,
+            num_outputs: outputs,
+            num_flip_flops: ffs,
+            logic_depth: depth,
+            avg_fanin: 2.2,
+            seed,
+        },
+    )
+}
+
+fn generate(cfg: &GeneratorConfig) -> Netlist {
+    CircuitGenerator::new(cfg.clone()).generate()
+}
+
+/// Field-level identity check shared by both formats (stricter failure
+/// messages than a bulk equality).
+fn assert_identical(original: &Netlist, parsed: &Netlist) {
+    assert_eq!(original.name(), parsed.name());
+    assert_eq!(original.num_cells(), parsed.num_cells());
+    assert_eq!(original.num_nets(), parsed.num_nets());
+    for (a, b) in original.cells().iter().zip(parsed.cells().iter()) {
+        assert_eq!(a, b, "cell mismatch");
+    }
+    for (a, b) in original.nets().iter().zip(parsed.nets().iter()) {
+        assert_eq!(a, b, "net mismatch");
+    }
+    assert!(netlists_identical(original, parsed));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// `parse_netlist ∘ write_netlist` is the identity on generated circuits.
+    #[test]
+    fn text_format_roundtrips(cfg in arb_config()) {
+        let original = generate(&cfg);
+        let parsed = parse_netlist(&write_netlist(&original)).unwrap();
+        assert_identical(&original, &parsed);
+    }
+
+    /// `parse_bookshelf ∘ write_bookshelf` is the identity on generated
+    /// circuits.
+    #[test]
+    fn bookshelf_roundtrips(cfg in arb_config()) {
+        let original = generate(&cfg);
+        let pair = write_bookshelf(&original);
+        let parsed = parse_bookshelf(&pair.nodes, &pair.nets).unwrap();
+        assert_identical(&original, &parsed);
+    }
+
+    /// Text-format parse errors report the exact 1-based line of the
+    /// offending line, regardless of how many comment/blank padding lines
+    /// precede it.
+    #[test]
+    fn text_parse_errors_carry_one_based_line_numbers(padding in 0usize..40) {
+        let mut text = String::from("circuit lines\n");
+        for i in 0..padding {
+            // Alternate blank and comment lines — both must count.
+            if i % 2 == 0 {
+                text.push('\n');
+            } else {
+                text.push_str("# padding\n");
+            }
+        }
+        text.push_str("cell a in 1 0.0\n");
+        text.push_str("net n1 a 0.5 ghost\n"); // unknown sink cell
+        text.push_str("end\n");
+        let expected_line = 1 + padding + 2;
+        match parse_netlist(&text).unwrap_err() {
+            ParseError::Syntax { line, reason } => {
+                prop_assert_eq!(line, expected_line);
+                prop_assert!(reason.contains("ghost"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected a syntax error, got {:?}", other),
+        }
+    }
+
+    /// Bookshelf parse errors name the right file and the exact 1-based
+    /// line within it.
+    #[test]
+    fn bookshelf_parse_errors_carry_file_and_line(padding in 0usize..40) {
+        let nodes = "UCLA nodes 1.0\n# circuit pad\n    a 1 1 # logic 0.1\n    b 1 1 # logic 0.1\n";
+        let mut nets = String::from("UCLA nets 1.0\n");
+        for _ in 0..padding {
+            nets.push_str("# padding\n");
+        }
+        nets.push_str("NetDegree : 2 n0 # 0.5\n");
+        nets.push_str("    a O\n");
+        nets.push_str("    ghost I\n"); // unknown cell
+        let expected_line = 1 + padding + 3;
+        match parse_bookshelf(nodes, &nets).unwrap_err() {
+            BookshelfError::Syntax { file, line, reason } => {
+                prop_assert_eq!(file, BookshelfFile::Nets);
+                prop_assert_eq!(line, expected_line);
+                prop_assert!(reason.contains("ghost"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected a syntax error, got {:?}", other),
+        }
+    }
+}
+
+/// The acceptance gate of the scenario-matrix PR: every suite circuit (both
+/// tiers, s1196 through s15850) dumps to the Bookshelf pair and reloads to
+/// an identical in-memory netlist.
+#[test]
+fn every_suite_circuit_roundtrips_through_bookshelf() {
+    for circuit in SuiteCircuit::ALL {
+        let original = circuit.generate();
+        let pair = write_bookshelf(&original);
+        let parsed = parse_bookshelf(&pair.nodes, &pair.nets)
+            .unwrap_or_else(|e| panic!("{circuit}: {e}"));
+        assert!(
+            netlists_identical(&original, &parsed),
+            "{circuit}: bookshelf round-trip is not the identity"
+        );
+    }
+}
+
+/// Same gate for the text format, so both interchange surfaces stay lossless
+/// as the suite grows.
+#[test]
+fn every_suite_circuit_roundtrips_through_the_text_format() {
+    for circuit in SuiteCircuit::ALL {
+        let original = circuit.generate();
+        let parsed = parse_netlist(&write_netlist(&original))
+            .unwrap_or_else(|e| panic!("{circuit}: {e}"));
+        assert!(
+            netlists_identical(&original, &parsed),
+            "{circuit}: text round-trip is not the identity"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Tour of the scenario subsystem: dump a suite circuit to the
+//! Bookshelf-style interchange, reload it, run one scenario cell on both
+//! execution backends through the batch driver, and print the golden
+//! trajectory fingerprint that proves the two runs are bitwise identical.
+//!
+//! ```bash
+//! cargo run --release --example scenario_tour
+//! cargo run --release --example scenario_tour -- --circuit s5378
+//! ```
+
+use sime_placement::prelude::*;
+use std::sync::Arc;
+use vlsi_netlist::bench_suite::SuiteCircuit;
+use vlsi_netlist::bookshelf::{load_bookshelf, netlists_identical, save_bookshelf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let circuit_name = args
+        .iter()
+        .position(|a| a == "--circuit")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "s1196".into());
+    let circuit = SuiteCircuit::from_name(&circuit_name).unwrap_or_else(|| {
+        eprintln!("unknown suite circuit `{circuit_name}` (try s1196 … s15850)");
+        std::process::exit(2);
+    });
+
+    // 1. Generate the circuit and dump it to `.nodes`/`.nets` on disk.
+    let netlist = Arc::new(circuit.generate());
+    let stats = netlist.stats();
+    println!(
+        "{}: {} cells, {} nets, {} pins, {} rows ({} tier)",
+        circuit,
+        stats.cells,
+        stats.nets,
+        stats.pins,
+        circuit.num_rows(),
+        if circuit.is_extended() { "extended" } else { "paper" }
+    );
+    let dir = std::env::temp_dir().join("sime_scenario_tour");
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    let stem = dir.join(circuit.name());
+    save_bookshelf(&netlist, &stem).expect("dump circuit");
+    println!("dumped to {}.nodes / .nets", stem.display());
+
+    // 2. Reload and verify the round-trip is the identity.
+    let reloaded = Arc::new(load_bookshelf(&stem).expect("reload circuit"));
+    assert!(
+        netlists_identical(&netlist, &reloaded),
+        "bookshelf round-trip must be lossless"
+    );
+    println!("reloaded: identical in-memory netlist ✓");
+
+    // 3. Run one scenario cell on both backends through the batch driver.
+    let spec = ScenarioSpec {
+        circuit: circuit.name().to_string(),
+        strategy: StrategyKind::Type2(RowPattern::Random),
+        ranks: 4,
+        iterations: if circuit.is_extended() { 4 } else { 8 },
+        objectives: Objectives::WirelengthPower,
+        workers: None,
+    };
+    // Register the *reloaded* netlist so the scenario really runs on the
+    // circuit that went through the dump/reload cycle (and the driver does
+    // not regenerate it from scratch).
+    let mut driver = BatchDriver::new();
+    driver.register_netlist(Arc::clone(&reloaded));
+    let modeled = driver.run_cell(&spec);
+    let threaded = driver.run_cell(&spec.on_workers(Some(4)));
+    println!(
+        "\nscenario {}:\n  modeled      µ={:.4} modeled_time={:.2}s wall={:.2}s\n  threaded(4)  µ={:.4} modeled_time={:.2}s wall={:.2}s",
+        spec.id(),
+        modeled.outcome.best_cost.mu,
+        modeled.outcome.modeled_seconds,
+        modeled.outcome.wall_seconds,
+        threaded.outcome.best_cost.mu,
+        threaded.outcome.modeled_seconds,
+        threaded.outcome.wall_seconds,
+    );
+
+    // 4. The determinism contract, made visible: one fingerprint.
+    assert_eq!(modeled.fingerprint, threaded.fingerprint);
+    println!("\nbackends agree bitwise; golden fingerprint:\n{}", modeled.fingerprint.to_text(&spec));
+}

@@ -114,6 +114,106 @@ fn type2_placements_stay_legal_for_both_patterns_and_objectives() {
 }
 
 #[test]
+fn threaded_backend_is_bitwise_identical_to_modeled_for_every_strategy() {
+    // The PR 3 determinism contract through the facade: for each strategy,
+    // the Threaded backend at 1, 2 and 4 workers reproduces the Modeled run
+    // bit for bit — best cost, modeled time, comm stats and the whole µ(s)
+    // trajectory. Only wall-clock may differ.
+    let engine = small_engine(Objectives::WirelengthPower, 6, 23);
+    let cluster = ClusterConfig::paper_cluster(4);
+    let runs: Vec<(&str, Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome>)> = vec![
+        (
+            "type1",
+            Box::new(|b: &dyn ExecBackend| {
+                run_type1_on(
+                    &engine,
+                    cluster,
+                    Type1Config {
+                        ranks: 4,
+                        iterations: 6,
+                    },
+                    b,
+                )
+            }),
+        ),
+        (
+            "type2",
+            Box::new(|b: &dyn ExecBackend| {
+                run_type2_on(
+                    &engine,
+                    cluster,
+                    Type2Config {
+                        ranks: 4,
+                        iterations: 6,
+                        pattern: RowPattern::Random,
+                    },
+                    b,
+                )
+            }),
+        ),
+        (
+            "type3",
+            Box::new(|b: &dyn ExecBackend| {
+                run_type3_on(
+                    &engine,
+                    cluster,
+                    Type3Config {
+                        ranks: 4,
+                        iterations: 6,
+                        retry_threshold: 3,
+                    },
+                    b,
+                )
+            }),
+        ),
+    ];
+    for (name, run) in &runs {
+        let modeled = run(&Modeled);
+        assert_eq!(modeled.backend, "modeled");
+        for workers in [1, 2, 4] {
+            let threaded = run(&Threaded::new(workers));
+            assert_eq!(threaded.backend, format!("threaded({workers})"));
+            assert_eq!(
+                modeled.best_cost.mu.to_bits(),
+                threaded.best_cost.mu.to_bits(),
+                "{name} best µ diverged at {workers} workers"
+            );
+            assert_eq!(
+                modeled.best_cost.wirelength.to_bits(),
+                threaded.best_cost.wirelength.to_bits(),
+                "{name} wirelength diverged at {workers} workers"
+            );
+            assert_eq!(
+                modeled.modeled_seconds.to_bits(),
+                threaded.modeled_seconds.to_bits(),
+                "{name} modeled time diverged at {workers} workers"
+            );
+            assert_eq!(modeled.comm, threaded.comm, "{name} comm stats diverged");
+            assert_eq!(modeled.mu_history.len(), threaded.mu_history.len());
+            for (i, (a, b)) in modeled
+                .mu_history
+                .iter()
+                .zip(&threaded.mu_history)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} µ history diverged at iteration {i}, {workers} workers"
+                );
+            }
+            for row in 0..modeled.best_placement.num_rows() {
+                assert_eq!(
+                    modeled.best_placement.row(row),
+                    threaded.best_placement.row(row),
+                    "{name} best placement diverged in row {row} at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn netlist_roundtrip_preserves_costs() {
     // Write a paper circuit to the text format, parse it back, and check the
     // cost of the same placement is identical.

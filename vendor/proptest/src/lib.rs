@@ -8,9 +8,11 @@
 //! * [`prelude::any`] for integers/bools, [`collection::vec()`], [`bool::ANY`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
-//! Compared to the real crate there is **no shrinking**: a failing case
-//! reports the case index and the derived RNG seed instead of a minimised
-//! input. Cases are generated from a ChaCha8 stream seeded from the test
+//! Compared to the real crate there is **no shrinking**, but a failing case
+//! is still actionable: the runner re-derives the case's RNG stream, prints
+//! the case index, the seed and the `Debug` rendering of every generated
+//! argument (truncated past [`MAX_INPUT_DEBUG_LEN`] bytes), then resumes the
+//! panic. Cases are generated from a ChaCha8 stream seeded from the test
 //! name, so failures are deterministic and reproducible.
 
 /// Test-runner configuration (the `ProptestConfig` of the real crate).
@@ -236,6 +238,40 @@ pub fn fnv1a_seed(name: &str) -> u64 {
     hash
 }
 
+/// Longest `Debug` rendering of one generated input printed on failure;
+/// anything longer (a whole netlist, a large vector) is truncated with a
+/// marker so CI logs stay readable.
+pub const MAX_INPUT_DEBUG_LEN: usize = 2048;
+
+/// Renders one generated value for the failure report, truncating oversized
+/// `Debug` output.
+pub fn render_input(name: &str, value: &dyn std::fmt::Debug) -> String {
+    let mut rendered = format!("{value:?}");
+    if rendered.len() > MAX_INPUT_DEBUG_LEN {
+        // Truncate on a char boundary, then mark the cut.
+        let mut cut = MAX_INPUT_DEBUG_LEN;
+        while !rendered.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        rendered.truncate(cut);
+        rendered.push_str("… <truncated>");
+    }
+    format!("    {name} = {rendered}\n")
+}
+
+/// Prints the failure report for one case: which case failed, under which
+/// derived seed, and the regenerated input values. Called by the
+/// [`proptest!`] runner after the body panicked, right before the panic is
+/// resumed — the assertion message (printed by the panic hook at unwind
+/// time) and this report together identify the failing input exactly.
+pub fn report_failure(test_name: &str, case: u64, seed: u64, inputs: &str) {
+    eprintln!(
+        "proptest failure in `{test_name}`, case {case} (derived seed {seed:#018x})\n\
+         regenerated inputs:\n{inputs}\
+         (deterministic: rerun the test to reproduce this exact case)"
+    );
+}
+
 /// Asserts a condition inside a property (plain `assert!` in this shim).
 #[macro_export]
 macro_rules! prop_assert {
@@ -281,7 +317,30 @@ macro_rules! proptest {
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )+
-                    $body
+                    // Run the body under catch_unwind so a failing case can
+                    // be reported with its inputs. The values were moved
+                    // into the body, so the report regenerates them from
+                    // the same derived seed — generation is deterministic.
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || { $body },
+                    ));
+                    if let Err(panic) = outcome {
+                        let mut rng = <$crate::strategy::TestRng as $crate::__SeedableRng>::seed_from_u64(seed);
+                        let mut inputs = ::std::string::String::new();
+                        $(
+                            {
+                                let value = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                                inputs.push_str(&$crate::render_input(stringify!($arg), &value));
+                            }
+                        )+
+                        $crate::report_failure(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            case,
+                            seed,
+                            &inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
                 }
             }
         )*
@@ -336,5 +395,58 @@ mod tests {
     #[test]
     fn seeds_differ_between_names() {
         assert_ne!(crate::fnv1a_seed("a"), crate::fnv1a_seed("b"));
+    }
+
+    #[test]
+    fn render_input_formats_and_truncates() {
+        assert_eq!(crate::render_input("n", &42u32), "    n = 42\n");
+        let rendered = crate::render_input("xs", &vec![7u64; 4096]);
+        assert!(rendered.len() < crate::MAX_INPUT_DEBUG_LEN + 64);
+        assert!(rendered.ends_with("… <truncated>\n"));
+        // Truncation must not split a multi-byte char.
+        let wide = "é".repeat(crate::MAX_INPUT_DEBUG_LEN);
+        let rendered = crate::render_input("s", &wide);
+        assert!(rendered.ends_with("… <truncated>\n"));
+    }
+
+    mod failing_case_reporting {
+        use crate::prelude::*;
+
+        // Expand a deliberately failing property without the #[test]
+        // attribute (the meta slot is used for a doc comment instead), so
+        // this module can call it and observe the panic.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// Always fails on the first case.
+            fn always_fails(n in 10usize..20, flag in prop::bool::ANY) {
+                let _ = flag;
+                assert!(n >= 20, "deliberate failure for n = {n}");
+            }
+        }
+
+        #[test]
+        fn failing_cases_still_panic_with_the_original_message() {
+            // The report itself goes to stderr (visible in CI logs); what
+            // must hold programmatically: the original panic is resumed
+            // unchanged, so the test harness sees the real assertion.
+            let err = std::panic::catch_unwind(always_fails).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("deliberate failure"), "{msg}");
+        }
+
+        #[test]
+        fn passing_properties_are_unaffected() {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn passes(n in 0usize..5) {
+                    prop_assert!(n < 5);
+                }
+            }
+            passes();
+        }
     }
 }
