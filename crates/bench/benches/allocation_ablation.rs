@@ -33,7 +33,9 @@ fn allocation_ablation(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("allocation_strategies_s1238");
-    group.measurement_time(Duration::from_secs(3)).sample_size(15);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(15);
     for (name, strategy) in strategies {
         let alloc_config = AllocationConfig {
             strategy,

@@ -27,7 +27,9 @@ fn bench_estimators(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("wirelength_estimators");
-    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(50);
     group.bench_function("single_trunk_steiner_8pin", |b| {
         b.iter(|| black_box(single_trunk_steiner(black_box(&pins))))
     });
@@ -40,7 +42,9 @@ fn bench_estimators(c: &mut Criterion) {
 fn bench_full_evaluation(c: &mut Criterion) {
     let netlist = Arc::new(paper_circuit(PaperCircuit::S1196));
     let mut group = c.benchmark_group("full_evaluation_s1196");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     for objectives in [
         Objectives::WirelengthPower,
         Objectives::WirelengthPowerDelay,
@@ -60,7 +64,9 @@ fn bench_goodness(c: &mut Criterion) {
     let goodness = GoodnessEvaluator::new(evaluator.clone());
     let placement = Placement::round_robin(&netlist, PaperCircuit::S1196.num_rows());
     let mut group = c.benchmark_group("goodness_s1196");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     group.bench_function("all_cells", |b| {
         b.iter_batched(
             || evaluator.net_lengths(&placement),
@@ -96,7 +102,9 @@ fn bench_naive_vs_kernel(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("naive_vs_kernel_s1196");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
 
     // -- Trial scoring: one ripped-up cell scored at 48 candidate slots.
     let mut ripped = placement.clone();

@@ -27,7 +27,9 @@ fn operators(c: &mut Criterion) {
     let (net_lengths, goodness) = engine.evaluate(&placement, &mut profile);
 
     let mut group = c.benchmark_group("sime_operators_s1196");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
 
     group.bench_function("evaluation", |b| {
         b.iter(|| {
@@ -49,7 +51,12 @@ fn operators(c: &mut Criterion) {
             || {
                 let mut r = ChaCha8Rng::seed_from_u64(7);
                 let selected = select(&goodness, SelectionScheme::Biasless, &mut r, &[]);
-                (placement.clone(), selected, r, AllocScratch::for_evaluator(engine.evaluator()))
+                (
+                    placement.clone(),
+                    selected,
+                    r,
+                    AllocScratch::for_evaluator(engine.evaluator()),
+                )
             },
             |(mut p, mut selected, mut r, mut scratch)| {
                 black_box(allocate_all(
@@ -69,7 +76,13 @@ fn operators(c: &mut Criterion) {
 
     group.bench_function("full_iteration", |b| {
         b.iter_batched(
-            || (placement.clone(), ChaCha8Rng::seed_from_u64(9), engine.new_scratch()),
+            || {
+                (
+                    placement.clone(),
+                    ChaCha8Rng::seed_from_u64(9),
+                    engine.new_scratch(),
+                )
+            },
             |(mut p, mut r, mut scratch)| {
                 let mut prof = ProfileReport::new();
                 black_box(engine.iterate(&mut p, &mut scratch, &mut r, &mut prof, &[], &[]))

@@ -12,6 +12,13 @@
 //! `perf_report` runs the same matrix at reduced scale and emits
 //! `BENCH_PR3.json` with the measured speedups plus the host's available
 //! parallelism, so CI archives the scaling trajectory per run.
+//!
+//! The matrix also carries an **intra-rank axis** (`threaded_w4_ev{2,4}`):
+//! the same runs with the `EvalParallelism` knob chunking each rank's
+//! goodness pass and trial scoring across the shared pool. On the paper tier
+//! the per-chunk work is small, so this axis mostly measures the fan-out
+//! overhead floor; the extended-tier numbers where the knob pays off live in
+//! `BENCH_PR5.json` (`perf_report --only pr5`).
 
 use cluster_sim::timeline::ClusterConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -35,13 +42,23 @@ fn scaling(c: &mut Criterion) {
     let engine = SimEEngine::new(netlist, config);
 
     let mut group = c.benchmark_group("parallel_scaling_s1196");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
 
     let backends: Vec<(&str, Box<dyn ExecBackend>)> = vec![
         ("modeled", Box::new(Modeled)),
         ("threaded_w1", Box::new(Threaded::new(1))),
         ("threaded_w2", Box::new(Threaded::new(2))),
         ("threaded_w4", Box::new(Threaded::new(4))),
+        (
+            "threaded_w4_ev2",
+            Box::new(Threaded::new(4).with_eval_chunks(2)),
+        ),
+        (
+            "threaded_w4_ev4",
+            Box::new(Threaded::new(4).with_eval_chunks(4)),
+        ),
     ];
 
     for (label, backend) in &backends {

@@ -4,8 +4,8 @@
 //! cluster runtimes come from the virtual-time model and are reported by the
 //! table binaries instead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::timeline::ClusterConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 use sime_core::engine::{SimEConfig, SimEEngine};
 use sime_parallel::type1::{run_type1, Type1Config};
 use sime_parallel::type2::{run_type2, RowPattern, Type2Config};
@@ -26,7 +26,9 @@ fn strategies(c: &mut Criterion) {
     let engine = SimEEngine::new(netlist, config);
 
     let mut group = c.benchmark_group("parallel_strategies_200cells_10iter");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
 
     group.bench_function("serial", |b| b.iter(|| black_box(engine.run())));
 

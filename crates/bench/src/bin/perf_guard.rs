@@ -1,0 +1,157 @@
+//! `perf_guard` — the perf-regression gate of the CI guardrail job.
+//!
+//! Compares a freshly generated `BENCH_PR2.json` (see `perf_report`) against
+//! the checked-in `BENCH_BASELINE.json` and fails (exit 1) when any guarded
+//! metric regressed beyond the relative tolerance.
+//!
+//! The guarded metrics are deliberately **machine-relative ratios**, not raw
+//! nanoseconds: both sides of each ratio are measured in the same process on
+//! the same host, so the comparison is stable across runner generations while
+//! still catching real regressions of the hot paths:
+//!
+//! * `head_to_head.trial_scoring_48slots.speedup` — the allocation kernel's
+//!   advantage over the naive trial scorer (higher is better);
+//! * `head_to_head.full_net_lengths.speedup` — the evaluation kernel's
+//!   advantage over the naive full evaluation (higher is better);
+//! * `head_to_head.goodness_pass.ratio_vs_naive_eval` — the per-cell goodness
+//!   pass cost relative to a naive full evaluation on the same host (lower is
+//!   better).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json]
+//!            [--tolerance 0.25]
+//! ```
+//!
+//! `--tolerance 0.25` (the default) fails on a > 25 % relative regression.
+//! A metric missing from the *fresh* report is a failure (the gate must not
+//! silently shrink); a metric missing from the *baseline* is skipped with a
+//! notice, so new metrics can be introduced before the baseline is re-pinned.
+//! Re-pin after an intentional perf change with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_report -- --only pr2 --out BENCH_BASELINE.json
+//! ```
+
+use bench::json::Json;
+
+/// Whether a guarded metric regresses when it moves up or down.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// One guarded metric: its dotted path in the report and its direction.
+const GUARDED: [(&str, Direction); 3] = [
+    (
+        "head_to_head.trial_scoring_48slots.speedup",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "head_to_head.full_net_lengths.speedup",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "head_to_head.goodness_pass.ratio_vs_naive_eval",
+        Direction::LowerIsBetter,
+    ),
+];
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_guard: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf_guard: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json] [--tolerance 0.25]"
+        );
+        return;
+    }
+    let arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_BASELINE.json".into());
+    let fresh_path = arg("--fresh").unwrap_or_else(|| "BENCH_PR2.json".into());
+    let tolerance: f64 = match arg("--tolerance") {
+        None => 0.25,
+        Some(v) => match v.parse::<f64>() {
+            Ok(t) if t > 0.0 && t < 1.0 => t,
+            _ => {
+                eprintln!("perf_guard: --tolerance must be a fraction in (0, 1), got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    println!(
+        "perf guard: {fresh_path} vs {baseline_path} (relative tolerance {:.0} %)",
+        tolerance * 100.0
+    );
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for (path, direction) in GUARDED {
+        let Some(base) = baseline.number(path) else {
+            println!("  SKIP {path}: not in the baseline yet (re-pin to start guarding it)");
+            continue;
+        };
+        let Some(current) = fresh.number(path) else {
+            eprintln!("  FAIL {path}: missing from the fresh report");
+            failures += 1;
+            continue;
+        };
+        if !(base.is_finite() && current.is_finite()) || base <= 0.0 {
+            eprintln!("  FAIL {path}: non-finite or non-positive values ({base} vs {current})");
+            failures += 1;
+            continue;
+        }
+        checked += 1;
+        let (bound, ok, movement) = match direction {
+            Direction::HigherIsBetter => {
+                let bound = base * (1.0 - tolerance);
+                (bound, current >= bound, "min allowed")
+            }
+            Direction::LowerIsBetter => {
+                let bound = base * (1.0 + tolerance);
+                (bound, current <= bound, "max allowed")
+            }
+        };
+        if ok {
+            println!("  PASS {path}: {current:.3} (baseline {base:.3}, {movement} {bound:.3})");
+        } else {
+            eprintln!("  FAIL {path}: {current:.3} regressed past {movement} {bound:.3} (baseline {base:.3})");
+            failures += 1;
+        }
+    }
+
+    if checked == 0 && failures == 0 {
+        eprintln!(
+            "perf_guard: no guarded metric was present in the baseline — the gate compared nothing"
+        );
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        eprintln!(
+            "perf_guard: {failures} metric(s) regressed beyond {:.0} %; if intentional, re-pin \
+             BENCH_BASELINE.json (see --help)",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf guard passed: {checked} metric(s) within tolerance");
+}

@@ -1,12 +1,15 @@
 //! `perf_report` — machine-readable performance snapshots of the SimE hot
 //! paths, written as JSON so CI can archive the perf trajectory PR over PR.
 //!
-//! Two reports per invocation:
+//! Three reports per invocation:
 //!
 //! * `BENCH_PR2.json` — the operator snapshot: a handful of full SimE
 //!   iterations on the paper's `s1196` circuit plus naive-vs-kernel
-//!   head-to-heads, with per-phase wall-clock nanoseconds, deterministic
-//!   work counts and derived net-evaluations/second rates.
+//!   head-to-heads (trial scoring, full evaluation, the per-cell goodness
+//!   pass), with per-phase wall-clock nanoseconds, deterministic work counts
+//!   and derived net-evaluations/second rates. The machine-relative ratios
+//!   in `head_to_head` are what the CI perf-guardrail job compares against
+//!   the checked-in `BENCH_BASELINE.json` (see the `perf_guard` binary).
 //! * `BENCH_PR3.json` — the execution-backend scaling snapshot: the
 //!   `parallel_scaling` matrix (Type III at p = 5, Type II random at p = 4)
 //!   on the `Modeled` backend and the `Threaded` backend at 1, 2 and 4 OS
@@ -14,16 +17,27 @@
 //!   over 1, the host's available parallelism (the speedup ceiling — on a
 //!   single-core host the honest number is ~1×), and a cross-check that
 //!   every backend/worker-count produced bitwise-identical results.
+//! * `BENCH_PR5.json` — the intra-rank scaling snapshot: one full SimE
+//!   iteration on the extended-tier `s15850` circuit (10.3k cells) with the
+//!   `EvalParallelism` knob at 1/2/4 chunks on a shared worker pool, with
+//!   per-chunk-count iteration and Evaluation-phase wall-clock, the speedup
+//!   over the serial path, and a bitwise cross-check. As with PR3, the
+//!   checked-in file from a single-core container honestly records ≈ 1×;
+//!   CI's perf-guardrail job regenerates it on multi-core runners.
 //!
 //! Usage:
-//! `perf_report [--only pr2|pr3] [--out PATH] [--out3 PATH] [--iters N] [--scaling-iters N]`
-//! (defaults: both reports, `BENCH_PR2.json`, `BENCH_PR3.json`, 10 and 8
-//! iterations; `--only` lets a CI job generate just the half it archives).
+//! `perf_report [--only pr2|pr3|pr5] [--out PATH] [--out3 PATH] [--out5 PATH]
+//! [--iters N] [--scaling-iters N]`
+//! (defaults: all three reports, `BENCH_PR2.json`, `BENCH_PR3.json`,
+//! `BENCH_PR5.json`, 10 and 8 iterations; `--only` lets a CI job generate
+//! just the part it archives).
 
+use cluster_sim::comm::WorkerPool;
 use cluster_sim::timeline::ClusterConfig;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sime_core::engine::{SimEConfig, SimEEngine};
+use sime_core::parallel::EvalContext;
 use sime_core::profile::{Phase, ProfileReport};
 use sime_parallel::exec::{ExecBackend, Modeled, Threaded};
 use sime_parallel::type2::{run_type2_on, RowPattern, Type2Config};
@@ -32,7 +46,7 @@ use sime_parallel::StrategyOutcome;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
-use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
+use vlsi_netlist::bench_suite::{paper_circuit, ExtendedCircuit, PaperCircuit, SuiteCircuit};
 use vlsi_place::cost::Objectives;
 use vlsi_place::kernel::{NetLengthCache, TrialScorer};
 use vlsi_place::layout::Slot;
@@ -45,6 +59,10 @@ fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u128 {
     }
     t0.elapsed().as_nanos()
 }
+
+/// A boxed strategy launcher, parameterised over the execution backend (used
+/// by the parallel-scaling matrix).
+type StrategyRunner<'a> = Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome + 'a>;
 
 fn evals_per_sec(net_evals: u64, total_ns: u128) -> f64 {
     if total_ns == 0 {
@@ -71,7 +89,7 @@ fn parallel_scaling_report(iters: usize) -> String {
         ("threaded".into(), 2, Box::new(Threaded::new(2))),
         ("threaded".into(), 4, Box::new(Threaded::new(4))),
     ];
-    let strategies: Vec<(&str, Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome>)> = vec![
+    let strategies: Vec<(&str, StrategyRunner<'_>)> = vec![
         (
             "type3_p5",
             Box::new(|backend: &dyn ExecBackend| {
@@ -184,6 +202,147 @@ fn parallel_scaling_report(iters: usize) -> String {
     )
 }
 
+/// Runs the intra-rank scaling matrix and assembles the `BENCH_PR5` JSON:
+/// one full SimE iteration on `s15850` at 1/2/4 evaluation chunks — the
+/// serial path inline, the chunked paths on a 4-worker pool — with
+/// per-chunk-count wall-clock (best of `REPS` from identical seeded starts),
+/// the Evaluation-phase share, and a bitwise cross-check of the resulting
+/// cost and trajectory.
+///
+/// Two allocation configurations span the knob's envelope:
+///
+/// * `windowed` — the paper's default windowed best fit (48 candidate slots
+///   per cell). Trial scoring stays below the fan-out threshold, so only the
+///   per-cell goodness pass chunks; the iteration-level gain is bounded by
+///   the Evaluation phase's share.
+/// * `exhaustive_s8` — exhaustive best fit at trial stride 8 (~1.3k
+///   candidates per cell on s15850's ≈ 166-slot rows), the extended-tier
+///   stress shape where the chunked trial-scoring loop carries most of the
+///   iteration and the speedup approaches the pool's parallelism on a
+///   multi-core host.
+fn intra_rank_report() -> String {
+    let circuit = SuiteCircuit::Extended(ExtendedCircuit::S15850);
+    let netlist = Arc::new(circuit.generate());
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    const POOL_WORKERS: usize = 4;
+    const REPS: usize = 2;
+    let pool = WorkerPool::new(POOL_WORKERS);
+
+    let configs: Vec<(&str, SimEConfig)> = vec![
+        (
+            "windowed",
+            SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1),
+        ),
+        ("exhaustive_s8", {
+            let mut config =
+                SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+            config.allocation = sime_core::allocation::AllocationConfig {
+                strategy: sime_core::allocation::AllocationStrategy::SortedBestFit,
+                trial_stride: 8,
+                ..Default::default()
+            };
+            config
+        }),
+    ];
+
+    let mut rows = String::new();
+    let mut bitwise_ok = true;
+    let mut headline_speedup = f64::NAN;
+    let mut first_row = true;
+    for (alloc_label, config) in configs {
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        // One seeded iteration from a fixed initial placement per run; every
+        // chunk count replays the identical start so wall-clock is the only
+        // degree of freedom and the end states compare bit for bit.
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(1);
+        let initial = engine.initial_placement(&mut seed_rng);
+
+        let mut reference_bits: Option<(u64, u64, u64)> = None;
+        let mut serial_ns = 0u128;
+        for &chunks in &[1usize, 2, 4] {
+            let mut best_iter_ns = u128::MAX;
+            let mut best_eval_ns = u128::MAX;
+            let mut end_bits = (0u64, 0u64, 0u64);
+            for _ in 0..REPS {
+                let ctx = if chunks > 1 {
+                    EvalContext::chunked(&pool, chunks)
+                } else {
+                    EvalContext::serial()
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                let mut placement = initial.clone();
+                let mut scratch = engine.new_scratch();
+                let mut profile = ProfileReport::new();
+                let t0 = Instant::now();
+                let (avg, _selected, _stats) = black_box(engine.iterate_on(
+                    &mut placement,
+                    &mut scratch,
+                    &mut rng,
+                    &mut profile,
+                    &[],
+                    &[],
+                    &ctx,
+                ));
+                best_iter_ns = best_iter_ns.min(t0.elapsed().as_nanos());
+                best_eval_ns = best_eval_ns.min(
+                    profile.time(Phase::CostCalculation).as_nanos()
+                        + profile.time(Phase::GoodnessEvaluation).as_nanos(),
+                );
+                let cost = engine.cost_with(&placement, &mut scratch);
+                end_bits = (cost.mu.to_bits(), cost.wirelength.to_bits(), avg.to_bits());
+            }
+            match reference_bits {
+                None => reference_bits = Some(end_bits),
+                Some(reference) => bitwise_ok &= reference == end_bits,
+            }
+            if chunks == 1 {
+                serial_ns = best_iter_ns;
+            }
+            let speedup = if serial_ns > 0 {
+                serial_ns as f64 / best_iter_ns as f64
+            } else {
+                f64::NAN
+            };
+            if alloc_label == "exhaustive_s8" && chunks == 4 {
+                headline_speedup = speedup;
+            }
+            if !first_row {
+                rows.push_str(",\n");
+            }
+            first_row = false;
+            rows.push_str(&format!(
+                "    {{\"allocation\": \"{alloc_label}\", \"eval_chunks\": {chunks}, \
+                 \"reps\": {REPS}, \"iteration_wall_ns\": {best_iter_ns}, \
+                 \"evaluation_wall_ns\": {best_eval_ns}, \"speedup_vs_serial\": {speedup:.2}}}",
+            ));
+        }
+    }
+
+    format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"report\": \"BENCH_PR5\",\n\
+         \x20 \"bench\": \"intra_rank_scaling\",\n\
+         \x20 \"circuit\": \"s15850\",\n\
+         \x20 \"cells\": {cells},\n\
+         \x20 \"nets\": {nets},\n\
+         \x20 \"iterations_per_run\": 1,\n\
+         \x20 \"pool_workers\": {POOL_WORKERS},\n\
+         \x20 \"host_parallelism\": {host_parallelism},\n\
+         \x20 \"bitwise_identical_across_chunk_counts\": {bitwise_ok},\n\
+         \x20 \"exhaustive_speedup_4_chunks_vs_serial\": {speedup},\n\
+         \x20 \"runs\": [\n{rows}\n  ]\n\
+         }}\n",
+        cells = netlist.num_cells(),
+        nets = netlist.num_nets(),
+        speedup = if headline_speedup.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{headline_speedup:.2}")
+        },
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg = |flag: &str| {
@@ -193,26 +352,36 @@ fn main() {
     };
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_PR2.json".into());
     let out3_path = arg("--out3").unwrap_or_else(|| "BENCH_PR3.json".into());
+    let out5_path = arg("--out5").unwrap_or_else(|| "BENCH_PR5.json".into());
     let iters: usize = arg("--iters").and_then(|v| v.parse().ok()).unwrap_or(10);
     let scaling_iters: usize = arg("--scaling-iters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let only = arg("--only");
-    let (run_pr2, run_pr3) = match only.as_deref() {
-        None => (true, true),
-        Some("pr2") => (true, false),
-        Some("pr3") => (false, true),
+    let (run_pr2, run_pr3, run_pr5) = match only.as_deref() {
+        None => (true, true, true),
+        Some("pr2") => (true, false, false),
+        Some("pr3") => (false, true, false),
+        Some("pr5") => (false, false, true),
         Some(other) => {
-            eprintln!("unknown --only value '{other}' (expected 'pr2' or 'pr3')");
+            eprintln!("unknown --only value '{other}' (expected 'pr2', 'pr3' or 'pr5')");
             std::process::exit(2);
         }
     };
     if !run_pr2 {
-        // Backend-scaling snapshot only; skip the operator benchmarks.
-        let json3 = parallel_scaling_report(scaling_iters);
-        std::fs::write(&out3_path, &json3).expect("write parallel-scaling report");
-        println!("wrote {out3_path}");
-        print!("{json3}");
+        // Scaling snapshots only; skip the operator benchmarks.
+        if run_pr3 {
+            let json3 = parallel_scaling_report(scaling_iters);
+            std::fs::write(&out3_path, &json3).expect("write parallel-scaling report");
+            println!("wrote {out3_path}");
+            print!("{json3}");
+        }
+        if run_pr5 {
+            let json5 = intra_rank_report();
+            std::fs::write(&out5_path, &json5).expect("write intra-rank scaling report");
+            println!("wrote {out5_path}");
+            print!("{json5}");
+        }
         return;
     }
 
@@ -290,6 +459,18 @@ fn main() {
         black_box(cache.refresh(&evaluator, &mut scorer, &placement).len());
     });
 
+    // -- The per-cell goodness pass (the Evaluation-phase cost the intra-rank
+    //    fan-out targets), measured serially against the naive full
+    //    evaluation so the guardrail ratio is machine-relative.
+    let goodness_lengths = evaluator.net_lengths(&placement);
+    let mut goodness_buf = Vec::new();
+    let goodness_ns = time_ns(REPS, || {
+        engine
+            .goodness()
+            .all_goodness_into(&goodness_lengths, &mut goodness_buf);
+        black_box(goodness_buf.len());
+    });
+
     // -- Assemble JSON (hand-rolled: the vendored serde is a no-op shim).
     let mut phases = String::new();
     for (i, phase) in Phase::ALL.iter().enumerate() {
@@ -322,7 +503,8 @@ fn main() {
          \x20 \"head_to_head\": {{\n\
          \x20   \"trial_scoring_48slots\": {{\"reps\": {reps}, \"naive_ns\": {ntr}, \"kernel_ns\": {ktr}, \"speedup\": {str:.2}}},\n\
          \x20   \"full_net_lengths\": {{\"reps\": {reps}, \"naive_ns\": {nev}, \"kernel_ns\": {kev}, \"speedup\": {sev:.2}}},\n\
-         \x20   \"refresh_unchanged\": {{\"reps\": {reps}, \"kernel_ns\": {cev}}}\n\
+         \x20   \"refresh_unchanged\": {{\"reps\": {reps}, \"kernel_ns\": {cev}}},\n\
+         \x20   \"goodness_pass\": {{\"reps\": {reps}, \"ns\": {gns}, \"ratio_vs_naive_eval\": {grat:.3}}}\n\
          \x20 }}\n\
          }}\n",
         cells = netlist.num_cells(),
@@ -341,6 +523,8 @@ fn main() {
         kev = kernel_eval_ns,
         sev = naive_eval_ns as f64 / kernel_eval_ns.max(1) as f64,
         cev = cached_eval_ns,
+        gns = goodness_ns,
+        grat = goodness_ns as f64 / naive_eval_ns.max(1) as f64,
     );
 
     std::fs::write(&out_path, &json).expect("write perf report");
@@ -353,5 +537,12 @@ fn main() {
         std::fs::write(&out3_path, &json3).expect("write parallel-scaling report");
         println!("wrote {out3_path}");
         print!("{json3}");
+    }
+    if run_pr5 {
+        // -- Intra-rank scaling snapshot (PR 5).
+        let json5 = intra_rank_report();
+        std::fs::write(&out5_path, &json5).expect("write intra-rank scaling report");
+        println!("wrote {out5_path}");
+        print!("{json5}");
     }
 }

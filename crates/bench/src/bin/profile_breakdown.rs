@@ -26,7 +26,10 @@ fn main() {
         Objectives::WirelengthPowerDelay,
     ] {
         let iterations = scaled_iterations(500, scale.max(0.1));
-        println!("\n-- objectives: {} ({iterations} iterations on s1196) --", objectives.label());
+        println!(
+            "\n-- objectives: {} ({iterations} iterations on s1196) --",
+            objectives.label()
+        );
         let engine = paper_engine(PaperCircuit::S1196, objectives, iterations);
         let result = engine.run();
         println!("{}", result.profile.to_table());

@@ -56,7 +56,10 @@ fn parse_workers(arg: Option<String>) -> Vec<usize> {
         .map(|t| match t.trim().parse::<usize>() {
             Ok(w) if w >= 1 => w,
             _ => {
-                eprintln!("--workers: invalid worker count `{}` (need integers >= 1)", t.trim());
+                eprintln!(
+                    "--workers: invalid worker count `{}` (need integers >= 1)",
+                    t.trim()
+                );
                 std::process::exit(2);
             }
         })
@@ -81,9 +84,18 @@ fn circuit_axis(arg: Option<String>, full: bool) -> Vec<SuiteCircuit> {
             })
             .collect();
     }
-    let mut axis: Vec<SuiteCircuit> = PaperCircuit::ALL.iter().copied().map(SuiteCircuit::Paper).collect();
+    let mut axis: Vec<SuiteCircuit> = PaperCircuit::ALL
+        .iter()
+        .copied()
+        .map(SuiteCircuit::Paper)
+        .collect();
     if full {
-        axis.extend(ExtendedCircuit::ALL.iter().copied().map(SuiteCircuit::Extended));
+        axis.extend(
+            ExtendedCircuit::ALL
+                .iter()
+                .copied()
+                .map(SuiteCircuit::Extended),
+        );
     } else {
         axis.push(SuiteCircuit::Extended(ExtendedCircuit::S5378));
         axis.push(SuiteCircuit::Extended(ExtendedCircuit::S9234));
@@ -93,7 +105,11 @@ fn circuit_axis(arg: Option<String>, full: bool) -> Vec<SuiteCircuit> {
 
 /// Builds the grid of scenario specs (one per matrix cell, Modeled backend;
 /// the runner fans each cell out across the backend axis itself).
-fn build_grid(circuits: &[SuiteCircuit], iterations: Option<usize>, full: bool) -> Vec<ScenarioSpec> {
+fn build_grid(
+    circuits: &[SuiteCircuit],
+    iterations: Option<usize>,
+    full: bool,
+) -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     for &circuit in circuits {
         // Extended circuits get a smaller default budget: one cell of the
@@ -105,7 +121,10 @@ fn build_grid(circuits: &[SuiteCircuit], iterations: Option<usize>, full: bool) 
             (true, true) => 8,
         });
         let objective_axis: &[Objectives] = if full || !circuit.is_extended() {
-            &[Objectives::WirelengthPower, Objectives::WirelengthPowerDelay]
+            &[
+                Objectives::WirelengthPower,
+                Objectives::WirelengthPowerDelay,
+            ]
         } else {
             &[Objectives::WirelengthPower]
         };
@@ -118,6 +137,7 @@ fn build_grid(circuits: &[SuiteCircuit], iterations: Option<usize>, full: bool) 
                     iterations: iters,
                     objectives,
                     workers: None,
+                    eval_chunks: 1,
                 });
             }
         }
@@ -125,14 +145,26 @@ fn build_grid(circuits: &[SuiteCircuit], iterations: Option<usize>, full: bool) 
     specs
 }
 
-/// Runs one cell across the whole backend axis, asserting fingerprint
-/// equality, and returns the records (Modeled first).
+/// Whether the backend sweep adds an intra-rank-parallel run for this cell:
+/// one `EvalParallelism` cell per extended circuit (the tier where the
+/// intra-rank fan-out has real work to chunk), on the cheapest strategy mix.
+fn wants_intra_rank_cell(spec: &ScenarioSpec) -> bool {
+    SuiteCircuit::from_name(&spec.circuit).is_some_and(|c| c.is_extended())
+        && spec.strategy == StrategyKind::Type2(sime_parallel::RowPattern::Random)
+        && spec.objectives == Objectives::WirelengthPower
+}
+
+/// Runs one cell across the whole backend axis — Modeled, Threaded at each
+/// worker count, plus (for the designated extended-tier cells) one
+/// intra-rank-parallel run — asserting fingerprint equality throughout, and
+/// returns the records (Modeled first).
 fn run_cell_all_backends(
     driver: &mut BatchDriver,
     spec: &ScenarioSpec,
     workers: &[usize],
+    eval_chunks: usize,
 ) -> (Vec<ScenarioRecord>, bool) {
-    let mut records = Vec::with_capacity(1 + workers.len());
+    let mut records = Vec::with_capacity(2 + workers.len());
     let modeled = driver.run_cell(spec);
     let mut stable = true;
     for &w in workers {
@@ -145,6 +177,21 @@ fn run_cell_all_backends(
             stable = false;
         }
         records.push(threaded);
+    }
+    if eval_chunks > 1 && wants_intra_rank_cell(spec) {
+        // Two pool workers are enough to exercise the nested fan-out; more
+        // only changes wall-clock.
+        let workers = workers.iter().copied().max().unwrap_or(1).min(2);
+        let intra = driver.run_cell(&spec.on_workers(Some(workers)).with_eval_chunks(eval_chunks));
+        if intra.fingerprint != modeled.fingerprint {
+            eprintln!(
+                "DETERMINISM VIOLATION: {} differs between modeled and {}",
+                spec.id(),
+                intra.outcome.backend
+            );
+            stable = false;
+        }
+        records.push(intra);
     }
     records.insert(0, modeled);
     (records, stable)
@@ -159,6 +206,30 @@ fn bless(dir: &Path, driver: &mut BatchDriver, specs: &[ScenarioSpec]) {
     for spec in specs {
         let record = driver.run_cell(spec);
         let path = dir.join(format!("{}.golden", spec.id()));
+        // Diff-and-explain before overwriting: an intentional re-bless must
+        // document which fingerprint fields moved (old vs new bits), not
+        // silently replace the pinned trajectory.
+        match std::fs::read_to_string(&path) {
+            Ok(old_text) => match TrajectoryFingerprint::parse_text(&old_text) {
+                Ok((_, old)) => {
+                    let changes = old.diff(&record.fingerprint);
+                    if changes.is_empty() {
+                        println!("unchanged {}", path.display());
+                        continue;
+                    }
+                    println!(
+                        "re-blessing {} ({} field(s) changed):",
+                        path.display(),
+                        changes.len()
+                    );
+                    for line in &changes {
+                        println!("    {line}");
+                    }
+                }
+                Err(e) => println!("re-blessing {} (old file unparsable: {e})", path.display()),
+            },
+            Err(_) => println!("new golden {}", path.display()),
+        }
         std::fs::write(&path, record.fingerprint.to_text(spec)).unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(2);
@@ -223,7 +294,10 @@ fn check_against_goldens(dir: &Path, by_id: &BTreeMap<String, TrajectoryFingerpr
             }
         }
     }
-    println!("checked {checked} scenarios against goldens in {}", dir.display());
+    println!(
+        "checked {checked} scenarios against goldens in {}",
+        dir.display()
+    );
     if checked == 0 {
         eprintln!(
             "--check: no run scenario matched any golden in {} — the gate compared nothing",
@@ -238,7 +312,15 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     // Reject unknown flags up front: a typo like `--ful` must not silently
     // run a different grid than the one asked for.
-    const VALUE_FLAGS: [&str; 6] = ["--circuits", "--iterations", "--workers", "--out", "--bless", "--check"];
+    const VALUE_FLAGS: [&str; 7] = [
+        "--circuits",
+        "--iterations",
+        "--workers",
+        "--eval-chunks",
+        "--out",
+        "--bless",
+        "--check",
+    ];
     const BOOL_FLAGS: [&str; 5] = ["--quick", "--full", "--golden-subset", "--help", "-h"];
     let mut i = 1;
     while i < args.len() {
@@ -269,8 +351,12 @@ fn main() {
     if flag("--help") || flag("-h") {
         println!(
             "scenario_matrix [--quick | --full] [--circuits a,b,c] [--iterations N]\n\
-             \x20               [--workers 1,2,4] [--out PATH]\n\
-             \x20               [--bless DIR] [--check DIR] [--golden-subset]"
+             \x20               [--workers 1,2,4] [--eval-chunks N] [--out PATH]\n\
+             \x20               [--bless DIR] [--check DIR] [--golden-subset]\n\
+             \n\
+             --eval-chunks N sets the intra-rank EvalParallelism of the one\n\
+             intra-rank cell the sweep adds per extended circuit (default 2;\n\
+             0 disables the intra-rank runs)."
         );
         return;
     }
@@ -278,6 +364,13 @@ fn main() {
     let full = flag("--full");
     let out_path = value("--out").unwrap_or_else(|| "SCENARIO_MATRIX.json".into());
     let workers = parse_workers(value("--workers"));
+    let eval_chunks = match value("--eval-chunks") {
+        None => 2,
+        Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--eval-chunks: invalid chunk count `{v}` (need an integer >= 0)");
+            std::process::exit(2);
+        }),
+    };
     let iterations = value("--iterations").map(|v| match v.parse::<usize>() {
         Ok(n) if n >= 1 => n,
         _ => {
@@ -311,10 +404,16 @@ fn main() {
     }
     let grid = grid;
     println!(
-        "scenario matrix: {} circuits × strategies/objectives = {} cells, backends = modeled + threaded{:?}",
+        "scenario matrix: {} circuits × strategies/objectives = {} cells, backends = modeled + \
+         threaded{:?}{}",
         circuits.len(),
         grid.len(),
-        workers
+        workers,
+        if eval_chunks > 1 {
+            format!(" + intra-rank ev{eval_chunks} on extended-tier cells")
+        } else {
+            String::new()
+        }
     );
 
     let started = std::time::Instant::now();
@@ -322,7 +421,7 @@ fn main() {
     let mut by_id: BTreeMap<String, TrajectoryFingerprint> = BTreeMap::new();
     let mut all_stable = true;
     for (i, spec) in grid.iter().enumerate() {
-        let (records, stable) = run_cell_all_backends(&mut driver, spec, &workers);
+        let (records, stable) = run_cell_all_backends(&mut driver, spec, &workers, eval_chunks);
         all_stable &= stable;
         println!(
             "[{}/{}] {} µ={:.4} modeled={:.1}s {}",

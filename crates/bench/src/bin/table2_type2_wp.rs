@@ -10,8 +10,7 @@
 //! Usage: `cargo run --release -p bench --bin table2_type2_wp [--full]`
 
 use bench::{
-    fmt_parallel_entry, fmt_seconds, iteration_scale, paper_engine, print_header,
-    scaled_iterations,
+    fmt_parallel_entry, fmt_seconds, iteration_scale, paper_engine, print_header, scaled_iterations,
 };
 use cluster_sim::timeline::ClusterConfig;
 use sime_parallel::report::run_serial_baseline;

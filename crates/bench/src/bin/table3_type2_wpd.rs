@@ -8,8 +8,7 @@
 //! Usage: `cargo run --release -p bench --bin table3_type2_wpd [--full]`
 
 use bench::{
-    fmt_parallel_entry, fmt_seconds, iteration_scale, paper_engine, print_header,
-    scaled_iterations,
+    fmt_parallel_entry, fmt_seconds, iteration_scale, paper_engine, print_header, scaled_iterations,
 };
 use cluster_sim::timeline::ClusterConfig;
 use sime_parallel::report::run_serial_baseline;
@@ -68,5 +67,7 @@ fn main() {
     println!("\nexpected shape: as Table 2, with larger absolute runtimes (the delay objective");
     println!("adds path evaluation work) and somewhat lower quality fractions — the delay");
     println!("objective is the hardest to recover under restricted cell mobility.");
-    println!("paper reference (s3330): seq 13007 s; fixed 4676(90)...1336(80); random 3171...1031(86)");
+    println!(
+        "paper reference (s3330): seq 13007 s; fixed 4676(90)...1336(80); random 3171...1031(86)"
+    );
 }

@@ -30,7 +30,11 @@ fn main() {
         "\n{:<8} {:>10} {:>10} {:>10} {:>10}",
         "Ckt", "SimE", "SA", "GA", "TS"
     );
-    for circuit in [PaperCircuit::S1196, PaperCircuit::S1238, PaperCircuit::S1494] {
+    for circuit in [
+        PaperCircuit::S1196,
+        PaperCircuit::S1238,
+        PaperCircuit::S1494,
+    ] {
         let iterations = scaled_iterations(1500, scale);
         let engine = paper_engine(circuit, Objectives::WirelengthPower, iterations);
         let evaluator = engine.evaluator().clone();

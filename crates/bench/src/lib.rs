@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use sime_core::engine::{SimEConfig, SimEEngine};
 use std::sync::Arc;
 use vlsi_netlist::bench_suite::{paper_circuit, PaperCircuit};
@@ -79,9 +81,7 @@ pub fn print_header(title: &str, scale: f64) {
     if (scale - 1.0).abs() < 1e-9 {
         println!("(full paper iteration schedule)");
     } else {
-        println!(
-            "(iteration schedule scaled by {scale}; pass --full for the paper's schedule)"
-        );
+        println!("(iteration schedule scaled by {scale}; pass --full for the paper's schedule)");
     }
 }
 

@@ -15,8 +15,9 @@
 //! wall-clock measurements of threads on one shared-memory machine cannot
 //! reproduce a fast-Ethernet cluster's communication behaviour.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 /// A point-to-point message: source rank, tag, payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,9 +79,8 @@ impl RankHandle {
     /// Receives the next message matching the given source and/or tag,
     /// buffering any other messages that arrive in the meantime.
     pub fn recv_matching(&mut self, from: Option<usize>, tag: Option<u64>) -> Message {
-        let matches = |m: &Message| {
-            from.map_or(true, |f| m.from == f) && tag.map_or(true, |t| m.tag == t)
-        };
+        let matches =
+            |m: &Message| from.is_none_or(|f| m.from == f) && tag.is_none_or(|t| m.tag == t);
         if let Some(pos) = self.pending.iter().position(matches) {
             return self.pending.remove(pos);
         }
@@ -95,9 +95,8 @@ impl RankHandle {
 
     /// Non-blocking receive of a matching message, if one is already queued.
     pub fn try_recv_matching(&mut self, from: Option<usize>, tag: Option<u64>) -> Option<Message> {
-        let matches = |m: &Message| {
-            from.map_or(true, |f| m.from == f) && tag.map_or(true, |t| m.tag == t)
-        };
+        let matches =
+            |m: &Message| from.is_none_or(|f| m.from == f) && tag.is_none_or(|t| m.tag == t);
         if let Some(pos) = self.pending.iter().position(matches) {
             return Some(self.pending.remove(pos));
         }
@@ -152,6 +151,16 @@ impl RankHandle {
 /// An opaque unit of work executed by a [`WorkerPool`] thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+std::thread_local! {
+    /// Whether the current thread is a [`WorkerPool`] worker. Gates the
+    /// help-while-waiting path: a *worker* blocked on a nested batch must
+    /// execute queued jobs (or the pool could deadlock with every worker
+    /// waiting), while an *external* caller blocks passively — it neither
+    /// burns a spare core the benchmark did not ask for (the worker count
+    /// stays an honest throughput knob) nor busy-polls.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// A persistent pool of OS worker threads fed through a crossbeam MPMC
 /// channel — the execution substrate of the `Threaded` backend in
 /// `sime-parallel`.
@@ -165,6 +174,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// deterministic — see `DESIGN.md` §4 ("Execution backends & the determinism
 /// contract").
 ///
+/// One pool serves both *rank-level* jobs (one task per simulated rank) and
+/// *intra-rank* jobs (the chunked goodness / trial-scoring fan-out inside one
+/// rank's task): a pool **worker** blocked in [`WorkerPool::run_tasks`] or
+/// [`WorkerPool::run_scoped_tasks`] **helps** by executing queued jobs from
+/// the shared channel while it waits, so a rank task running *on* a pool
+/// worker can submit sub-jobs to the same pool without risking deadlock even
+/// at one worker. Nested sub-jobs jump the job queue so a helping worker
+/// never picks up a long queued top-level job ahead of the short chunk work
+/// its barrier is waiting on. External (non-worker) callers block passively —
+/// the worker count stays an honest throughput knob for the scaling
+/// benchmarks.
+///
 /// ```
 /// use cluster_sim::comm::WorkerPool;
 ///
@@ -175,9 +196,22 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// // Results come back in submission order regardless of which worker ran
 /// // which task.
 /// assert_eq!(pool.run_tasks(tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+///
+/// // Scoped tasks may borrow from the caller's stack: the call blocks until
+/// // every task has finished, so the borrows cannot dangle.
+/// let data = vec![1u64, 2, 3, 4];
+/// let sums: Vec<u64> = pool.run_scoped_tasks(
+///     data.chunks(2)
+///         .map(|c| Box::new(move || c.iter().sum()) as Box<dyn FnOnce() -> u64 + Send + '_>)
+///         .collect(),
+/// );
+/// assert_eq!(sums, vec![3, 7]);
 /// ```
 pub struct WorkerPool {
     jobs: Option<Sender<Job>>,
+    /// Receiver clone of the shared job channel, used by blocked callers to
+    /// help execute queued jobs while they wait for their own batch.
+    steal: Receiver<Job>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -195,6 +229,7 @@ impl WorkerPool {
             .map(|_| {
                 let rx = rx.clone();
                 std::thread::spawn(move || {
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
                     while let Ok(job) = rx.recv() {
                         job();
                     }
@@ -203,6 +238,7 @@ impl WorkerPool {
             .collect();
         WorkerPool {
             jobs: Some(tx),
+            steal: rx,
             handles,
         }
     }
@@ -215,47 +251,147 @@ impl WorkerPool {
     /// Executes `tasks` on the pool and returns their results **in
     /// submission (index) order** — the deterministic merge barrier.
     ///
-    /// The calling thread blocks until every task has completed. Tasks may
-    /// finish in any order on any worker; the index carried alongside each
-    /// result re-establishes the submission order at the merge.
+    /// The calling thread blocks until every task has completed. An external
+    /// caller blocks passively (the pool's `workers` count stays an honest
+    /// throughput knob); a pool *worker* calling in — a task fanning
+    /// sub-tasks out on its own pool — instead *helps* by executing queued
+    /// jobs while it waits, which is what makes the nesting deadlock-free
+    /// (see the [type docs](WorkerPool)). Tasks may finish in any order on
+    /// any worker; the index carried alongside each result re-establishes
+    /// the submission order at the merge.
     ///
     /// # Panics
     ///
     /// A panic inside a task is caught on the worker (which stays alive for
-    /// later batches) and re-raised on the calling thread once the merge
-    /// loop receives it — at any worker count, with no hang.
+    /// later batches) and re-raised on the calling thread once **every** task
+    /// of the batch has finished — at any worker count, with no hang.
     pub fn run_tasks<T: Send + 'static>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
     ) -> Vec<T> {
+        self.run_scoped_tasks(tasks)
+    }
+
+    /// [`WorkerPool::run_tasks`] for tasks that borrow from the caller's
+    /// stack (lifetime `'env`), the substrate of the intra-rank evaluation
+    /// fan-out: chunk tasks borrow the shared engine state and per-chunk
+    /// output buffers instead of cloning them behind `Arc`s.
+    ///
+    /// # Safety argument
+    ///
+    /// The task closures are lifetime-erased to `'static` so they can travel
+    /// through the pool's job channel, which is sound because this method
+    /// does not return — not even by unwinding — until every submitted task
+    /// has run to completion and sent its result back (panics included: they
+    /// are caught in the job wrapper, collected at the merge, and re-raised
+    /// only after the whole batch has been drained). No borrow can therefore
+    /// outlive the frame it was taken from.
+    pub fn run_scoped_tasks<'env, T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
         let n = tasks.len();
         let (tx, rx) = unbounded::<(usize, std::thread::Result<T>)>();
-        let jobs = self
-            .jobs
-            .as_ref()
-            .expect("worker pool already shut down");
+        let jobs = self.jobs.as_ref().expect("worker pool already shut down");
+        // A batch submitted *from a worker thread* is a nested fan-out: its
+        // sub-jobs jump the queue (send_front) so that neither the submitting
+        // worker nor a helping sibling picks up a long queued top-level job
+        // ahead of the short chunk work the barrier is waiting on. Sub-jobs
+        // may execute in any order; the merge below re-establishes index
+        // order.
+        let on_worker = IS_POOL_WORKER.with(|flag| flag.get());
+        let mut submitted = 0usize;
+        let mut submit_failed = false;
         for (index, task) in tasks.into_iter().enumerate() {
             let tx = tx.clone();
-            let job: Job = Box::new(move || {
+            let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                 // AssertUnwindSafe: on Err the caller re-raises the panic and
                 // never observes the task's captured state again.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                 let _ = tx.send((index, result));
             });
-            if jobs.send(job).is_err() {
-                panic!("worker pool threads have exited");
+            // SAFETY: lifetime erasure only — layout of a boxed trait object
+            // is lifetime-independent, and the merge loop below guarantees
+            // the job has finished before any `'env` borrow can expire (see
+            // the safety argument in the doc comment).
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            let sent = if on_worker {
+                jobs.send_front(job)
+            } else {
+                jobs.send(job)
+            };
+            if sent.is_err() {
+                // Workers are gone; stop submitting, but still drain what is
+                // already in flight before panicking so no borrow dangles.
+                submit_failed = true;
+                break;
             }
+            submitted += 1;
         }
         drop(tx);
+
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (index, result) = rx
-                .recv()
-                .expect("worker pool dropped a task result");
-            match result {
-                Ok(value) => slots[index] = Some(value),
-                Err(payload) => std::panic::resume_unwind(payload),
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut received = 0usize;
+        let absorb =
+            |index: usize,
+             result: std::thread::Result<T>,
+             slots: &mut Vec<Option<T>>,
+             first_panic: &mut Option<Box<dyn std::any::Any + Send>>| {
+                match result {
+                    Ok(value) => slots[index] = Some(value),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            *first_panic = Some(payload);
+                        }
+                    }
+                }
+            };
+        if on_worker {
+            // Help while waiting: this thread occupies a worker slot, so it
+            // must keep executing queued jobs (its own front-queued sub-jobs
+            // first, by construction) or the pool could starve with every
+            // worker blocked on a nested merge.
+            while received < submitted {
+                match rx.try_recv() {
+                    Ok((index, result)) => {
+                        received += 1;
+                        absorb(index, result, &mut slots, &mut first_panic);
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        panic!("worker pool dropped a task result")
+                    }
+                    Err(TryRecvError::Empty) => match self.steal.try_recv() {
+                        Ok(job) => job(),
+                        Err(_) => match rx.recv_timeout(Duration::from_micros(100)) {
+                            Ok((index, result)) => {
+                                received += 1;
+                                absorb(index, result, &mut slots, &mut first_panic);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => {
+                                panic!("worker pool dropped a task result")
+                            }
+                        },
+                    },
+                }
             }
+        } else {
+            // External caller: block passively. The pool's workers do all the
+            // work, so `workers` remains an honest throughput knob for the
+            // scaling benchmarks and no cycles are burnt polling.
+            while received < submitted {
+                let (index, result) = rx.recv().expect("worker pool dropped a task result");
+                received += 1;
+                absorb(index, result, &mut slots, &mut first_panic);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if submit_failed {
+            panic!("worker pool threads have exited");
         }
         slots
             .into_iter()
@@ -491,13 +627,10 @@ mod tests {
         // pool with further tasks queued behind it (no silent hang) — and the
         // worker must stay usable for the next batch.
         let pool = WorkerPool::new(1);
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
-            Box::new(|| panic!("task exploded")),
-            Box::new(|| 7),
-        ];
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run_tasks(tasks)
-        }));
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| panic!("task exploded")), Box::new(|| 7)];
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run_tasks(tasks)));
         let payload = caught.expect_err("the task panic must propagate");
         let message = payload
             .downcast_ref::<&str>()
@@ -510,6 +643,77 @@ mod tests {
         let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
             (0usize..4).map(|i| Box::new(move || i) as _).collect();
         assert_eq!(pool.run_tasks(tasks), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_from_the_caller() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(7).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = chunks
+            .iter()
+            .map(|c| {
+                let c: &[u64] = c;
+                Box::new(move || c.iter().sum::<u64>()) as Box<dyn FnOnce() -> u64 + Send + '_>
+            })
+            .collect();
+        let sums = pool.run_scoped_tasks(tasks);
+        assert_eq!(sums.len(), chunks.len());
+        assert_eq!(sums.iter().sum::<u64>(), (0..100).sum::<u64>());
+        // Chunk order is submission order.
+        assert_eq!(sums[0], (0..7).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock_even_on_one_worker() {
+        // A task running on the pool's only worker fans sub-tasks out to the
+        // same pool; the blocked merge loops (both the outer caller's and the
+        // worker's) must help execute queued jobs or this hangs forever.
+        for workers in [1, 2] {
+            let pool = Arc::new(WorkerPool::new(workers));
+            let outer: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..4u64)
+                .map(|i| {
+                    let pool = Arc::clone(&pool);
+                    Box::new(move || {
+                        let inner: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..3u64)
+                            .map(|j| {
+                                Box::new(move || i * 10 + j) as Box<dyn FnOnce() -> u64 + Send>
+                            })
+                            .collect();
+                        pool.run_tasks(inner).into_iter().sum()
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            let totals = pool.run_tasks(outer);
+            assert_eq!(totals, vec![3, 33, 63, 93], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scoped_panic_is_raised_only_after_the_batch_drains() {
+        // The scoped safety argument hinges on every task finishing before
+        // the call unwinds; observe that the non-panicking sibling ran.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| panic!("scoped task exploded")),
+            Box::new(|| {
+                completed.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(|| {
+                completed.fetch_add(1, Ordering::SeqCst);
+            }),
+        ];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_scoped_tasks(tasks)
+        }));
+        assert!(caught.is_err(), "the task panic must propagate");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            2,
+            "every non-panicking task must have completed before the unwind"
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
         let m = ComputeModel::pentium4_2ghz();
         let net_evals = (0.3 * 561.0 * 48.0 * 3.3 * 3500.0) as u64;
         let t = m.seconds(&Workload::net_evals(net_evals));
-        assert!(t > 45.0 && t < 200.0, "modeled serial time {t} s is off scale");
+        assert!(
+            t > 45.0 && t < 200.0,
+            "modeled serial time {t} s is off scale"
+        );
     }
 
     #[test]

@@ -187,11 +187,11 @@ impl ClusterTimeline {
     pub fn gather(&mut self, root: usize, bytes_per_rank: &[u64]) {
         assert_eq!(bytes_per_rank.len(), self.config.ranks);
         let mut root_clock = self.clocks[root];
-        for rank in 0..self.config.ranks {
+        for (rank, &bytes) in bytes_per_rank.iter().enumerate() {
             if rank == root {
                 continue;
             }
-            let t = self.config.network.message_time(bytes_per_rank[rank]);
+            let t = self.config.network.message_time(bytes);
             // The root can start receiving this peer's data only once both
             // the peer has reached its send point and the root has finished
             // with the previous peer.

@@ -92,7 +92,12 @@ impl GeneticPlacer {
     /// they appear after position `j`, wrapping around. Public so the
     /// operator's invariants (the child is always a permutation; genes
     /// inside the cut come from `a`) can be tested directly.
-    pub fn crossover<R: Rng + ?Sized>(&self, a: &[CellId], b: &[CellId], rng: &mut R) -> Vec<CellId> {
+    pub fn crossover<R: Rng + ?Sized>(
+        &self,
+        a: &[CellId],
+        b: &[CellId],
+        rng: &mut R,
+    ) -> Vec<CellId> {
         let n = a.len();
         if n < 2 {
             return a.to_vec();
@@ -117,7 +122,10 @@ impl GeneticPlacer {
                 fill = (fill + 1) % n;
             }
         }
-        child.into_iter().map(|c| c.expect("OX1 fills every slot")).collect()
+        child
+            .into_iter()
+            .map(|c| c.expect("OX1 fills every slot"))
+            .collect()
     }
 
     /// Swap mutation: with probability `mutation_rate`, swaps two uniformly
@@ -224,9 +232,8 @@ mod tests {
     use vlsi_place::cost::Objectives;
 
     fn setup() -> (CostEvaluator, Placement) {
-        let nl = Arc::new(
-            CircuitGenerator::new(GeneratorConfig::sized("ga_test", 90, 5)).generate(),
-        );
+        let nl =
+            Arc::new(CircuitGenerator::new(GeneratorConfig::sized("ga_test", 90, 5)).generate());
         let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
         let p = Placement::round_robin(&nl, 6);
         (eval, p)

@@ -132,9 +132,8 @@ mod tests {
     use vlsi_place::cost::Objectives;
 
     fn setup() -> (CostEvaluator, Placement) {
-        let nl = Arc::new(
-            CircuitGenerator::new(GeneratorConfig::sized("sa_test", 110, 5)).generate(),
-        );
+        let nl =
+            Arc::new(CircuitGenerator::new(GeneratorConfig::sized("sa_test", 110, 5)).generate());
         let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
         let p = Placement::round_robin(&nl, 6);
         (eval, p)
@@ -147,10 +146,7 @@ mod tests {
         let placer = SimulatedAnnealingPlacer::new(eval.clone(), SaConfig::fast(3));
         let result = placer.run(p);
         assert!(result.best_mu() + 1e-12 >= initial_mu);
-        result
-            .best_placement
-            .validate(eval.netlist())
-            .unwrap();
+        result.best_placement.validate(eval.netlist()).unwrap();
     }
 
     #[test]

@@ -46,7 +46,6 @@ impl TabuConfig {
             tenure: 6,
             iterations: 60,
             seed,
-            ..Default::default()
         }
     }
 }
@@ -147,7 +146,7 @@ impl TabuSearchPlacer {
                 if tabu.is_tabu(&moved_cells) && !aspires {
                     continue;
                 }
-                if best_candidate.map_or(true, |(_, mu)| candidate.mu > mu) {
+                if best_candidate.is_none_or(|(_, mu)| candidate.mu > mu) {
                     best_candidate = Some((mv, candidate.mu));
                 }
             }
@@ -186,9 +185,8 @@ mod tests {
     use vlsi_place::cost::Objectives;
 
     fn setup() -> (CostEvaluator, Placement) {
-        let nl = Arc::new(
-            CircuitGenerator::new(GeneratorConfig::sized("tabu_test", 100, 5)).generate(),
-        );
+        let nl =
+            Arc::new(CircuitGenerator::new(GeneratorConfig::sized("tabu_test", 100, 5)).generate());
         let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
         let p = Placement::round_robin(&nl, 6);
         (eval, p)

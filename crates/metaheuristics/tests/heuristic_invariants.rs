@@ -152,7 +152,10 @@ fn tabu_membership_covers_every_cell_of_a_move() {
     assert!(tabu.is_empty());
     tabu.admit(&[CellId(1), CellId(2)]);
     assert!(tabu.is_tabu(&[CellId(1)]));
-    assert!(tabu.is_tabu(&[CellId(9), CellId(2)]), "any tabu cell taints the move");
+    assert!(
+        tabu.is_tabu(&[CellId(9), CellId(2)]),
+        "any tabu cell taints the move"
+    );
     assert!(!tabu.is_tabu(&[CellId(9), CellId(8)]));
 
     // A multi-cell admission that overflows the tenure evicts the oldest.

@@ -18,6 +18,7 @@
 //! the ablation study (experiment E6 in `DESIGN.md`) and as building blocks
 //! for the search-diversification ideas discussed in Section 7 of the paper.
 
+use crate::parallel::{chunk_ranges, EvalContext};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -25,6 +26,13 @@ use vlsi_netlist::CellId;
 use vlsi_place::cost::CostEvaluator;
 use vlsi_place::kernel::TrialScorer;
 use vlsi_place::layout::{Placement, Slot};
+
+/// Minimum candidate count before the trial-scoring loop fans out across
+/// the worker pool: below this, the per-task dispatch overhead exceeds the
+/// scoring work (the default windowed search examines ~48 slots and stays
+/// serial; the exhaustive extended-tier searches examine thousands and
+/// parallelise well).
+const PARALLEL_TRIAL_THRESHOLD: usize = 256;
 
 /// Reusable buffers for the allocation operator. Everything the former
 /// implementation allocated per cell (candidate lists, row orderings, the
@@ -82,7 +90,7 @@ impl AllocScratch {
 }
 
 /// Which allocation method re-inserts the selected cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum AllocationStrategy {
     /// The paper's method, as used for the reproduced experiments: compute
     /// the cell's *optimal* position (median of its connected cells), then
@@ -90,6 +98,7 @@ pub enum AllocationStrategy {
     /// best. The window keeps the per-cell allocation cost independent of the
     /// layout size, which is what makes the paper's Type II per-iteration
     /// speed-up roughly proportional to the processor count.
+    #[default]
     WindowedBestFit,
     /// Exhaustive best fit: examine every candidate slot in every allowed row
     /// and take the best (the most greedy and most expensive variant; kept
@@ -100,12 +109,6 @@ pub enum AllocationStrategy {
     FirstFit,
     /// Examine a bounded random sample of slots and take the best of those.
     RandomWindow,
-}
-
-impl Default for AllocationStrategy {
-    fn default() -> Self {
-        AllocationStrategy::WindowedBestFit
-    }
 }
 
 /// Configuration of the allocation operator.
@@ -200,6 +203,38 @@ pub fn allocate_cell<R: Rng + ?Sized>(
     allowed_rows: &[usize],
     rng: &mut R,
 ) -> AllocationStats {
+    allocate_cell_on(
+        evaluator,
+        scratch,
+        placement,
+        cell,
+        config,
+        allowed_rows,
+        rng,
+        &EvalContext::serial(),
+    )
+}
+
+/// [`allocate_cell`] under an explicit [`EvalContext`]: with a chunked
+/// context and enough candidate slots, the trial-scoring loop fans out over
+/// the context's worker pool in index-contiguous chunks. Each chunk scans its
+/// slots in index order with the serial strictly-less comparison and reports
+/// its local best; the chunk-ordered merge then keeps the earliest strict
+/// winner, which reproduces the serial left-to-right argmin — and therefore
+/// the chosen slot, the resulting placement and the work counts — bitwise for
+/// any chunk count. [`AllocationStrategy::FirstFit`] always runs serially
+/// (its early exit depends on scan order).
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_cell_on<R: Rng + ?Sized>(
+    evaluator: &CostEvaluator,
+    scratch: &mut AllocScratch,
+    placement: &mut Placement,
+    cell: CellId,
+    config: &AllocationConfig,
+    allowed_rows: &[usize],
+    rng: &mut R,
+    ctx: &EvalContext<'_>,
+) -> AllocationStats {
     let nets_of_cell = evaluator.netlist().nets_of_cell(cell).len();
     let stride = config.trial_stride.max(1);
 
@@ -219,7 +254,7 @@ pub fn allocate_cell<R: Rng + ?Sized>(
                 index += stride;
             }
             // Always consider appending at the end of the row.
-            if (slots - 1) % stride != 0 {
+            if !(slots - 1).is_multiple_of(stride) {
                 scratch.candidates.push(Slot {
                     row,
                     index: slots - 1,
@@ -245,21 +280,71 @@ pub fn allocate_cell<R: Rng + ?Sized>(
     // One pass over the cell's pins up front; every candidate slot below is
     // then scored from the per-net summaries in O(distinct rows).
     scratch.scorer.prepare_cell(evaluator, placement, cell);
-    for i in 0..scratch.candidates.len() {
-        let slot = scratch.candidates[i];
-        let pos = placement.trial_position(cell, slot);
-        let cost = scratch.scorer.prepared_cost_at(pos);
-        let score = evaluator.allocation_score(&cost);
-        stats.trial_positions += 1;
-        stats.net_evaluations += nets_of_cell;
-        let better = score < best_score;
-        if better {
-            best_score = score;
-            best_slot = Some(slot);
+    let fan_out = match ctx.fan_out() {
+        Some((pool, chunks))
+            if config.strategy != AllocationStrategy::FirstFit
+                && scratch.candidates.len() >= PARALLEL_TRIAL_THRESHOLD.max(2 * chunks) =>
+        {
+            Some((pool, chunks))
         }
-        if config.strategy == AllocationStrategy::FirstFit && better && stats.trial_positions > 1 {
-            // First fit: stop at the first slot that beats the initial one.
-            break;
+        _ => None,
+    };
+    if let Some((pool, chunks)) = fan_out {
+        // Chunked scan: candidates are full-scanned either way (no FirstFit
+        // early exit), so the work counts equal the serial loop's exactly.
+        let scorer = &scratch.scorer;
+        let candidates = &scratch.candidates;
+        let placement = &*placement;
+        let tasks: Vec<Box<dyn FnOnce() -> (f64, usize) + Send + '_>> =
+            chunk_ranges(candidates.len(), chunks)
+                .into_iter()
+                .map(|range| {
+                    Box::new(move || {
+                        let mut local_score = f64::INFINITY;
+                        let mut local_index = usize::MAX;
+                        for i in range {
+                            let pos = placement.trial_position(cell, candidates[i]);
+                            let cost = scorer.prepared_cost_at(pos);
+                            let score = evaluator.allocation_score(&cost);
+                            if score < local_score {
+                                local_score = score;
+                                local_index = i;
+                            }
+                        }
+                        (local_score, local_index)
+                    }) as Box<dyn FnOnce() -> (f64, usize) + Send + '_>
+                })
+                .collect();
+        // Chunk-ordered merge with the same strictly-less rule as the serial
+        // scan: the earliest index achieving the global minimum wins.
+        for (score, index) in pool.run_scoped_tasks(tasks) {
+            if index != usize::MAX && score < best_score {
+                best_score = score;
+                best_slot = Some(candidates[index]);
+            }
+        }
+        stats.trial_positions += candidates.len();
+        stats.net_evaluations += candidates.len() * nets_of_cell;
+    } else {
+        for i in 0..scratch.candidates.len() {
+            let slot = scratch.candidates[i];
+            let pos = placement.trial_position(cell, slot);
+            let cost = scratch.scorer.prepared_cost_at(pos);
+            let score = evaluator.allocation_score(&cost);
+            stats.trial_positions += 1;
+            stats.net_evaluations += nets_of_cell;
+            let better = score < best_score;
+            if better {
+                best_score = score;
+                best_slot = Some(slot);
+            }
+            if config.strategy == AllocationStrategy::FirstFit
+                && better
+                && stats.trial_positions > 1
+            {
+                // First fit: stop at the first slot that beats the initial one.
+                break;
+            }
         }
     }
 
@@ -319,7 +404,9 @@ fn windowed_candidates(
         let db = ((b as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
         da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
     });
-    scratch.rows_by_distance.truncate(config.best_fit_rows.max(1));
+    scratch
+        .rows_by_distance
+        .truncate(config.best_fit_rows.max(1));
 
     let per_row = (config.best_fit_window.max(1) / scratch.rows_by_distance.len()).max(1);
     for &row in &scratch.rows_by_distance {
@@ -364,15 +451,46 @@ pub(crate) fn row_height() -> f64 {
 /// cell from the placement, and re-inserts them one at a time with
 /// [`allocate_cell`]. `allowed_rows` restricts the target rows (used by the
 /// Type II row decomposition); pass an empty slice to allow every row.
+#[allow(clippy::too_many_arguments)]
 pub fn allocate_all<R: Rng + ?Sized>(
     evaluator: &CostEvaluator,
     scratch: &mut AllocScratch,
     placement: &mut Placement,
-    selected: &mut Vec<CellId>,
+    selected: &mut [CellId],
     goodness: &[f64],
     config: &AllocationConfig,
     allowed_rows: &[usize],
     rng: &mut R,
+) -> AllocationStats {
+    allocate_all_on(
+        evaluator,
+        scratch,
+        placement,
+        selected,
+        goodness,
+        config,
+        allowed_rows,
+        rng,
+        &EvalContext::serial(),
+    )
+}
+
+/// [`allocate_all`] under an explicit [`EvalContext`] — the cells are still
+/// re-inserted strictly one at a time (allocation is inherently sequential:
+/// every insertion changes the partial solution the next cell scores
+/// against); the context only parallelises each cell's *trial-scoring* loop
+/// via [`allocate_cell_on`], which is bitwise-neutral.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_all_on<R: Rng + ?Sized>(
+    evaluator: &CostEvaluator,
+    scratch: &mut AllocScratch,
+    placement: &mut Placement,
+    selected: &mut [CellId],
+    goodness: &[f64],
+    config: &AllocationConfig,
+    allowed_rows: &[usize],
+    rng: &mut R,
+    ctx: &EvalContext<'_>,
 ) -> AllocationStats {
     sort_selection(selected, goodness);
     // Rip up all selected cells first: allocation operates on the partial
@@ -382,7 +500,16 @@ pub fn allocate_all<R: Rng + ?Sized>(
     }
     let mut stats = AllocationStats::default();
     for &cell in selected.iter() {
-        let s = allocate_cell(evaluator, scratch, placement, cell, config, allowed_rows, rng);
+        let s = allocate_cell_on(
+            evaluator,
+            scratch,
+            placement,
+            cell,
+            config,
+            allowed_rows,
+            rng,
+            ctx,
+        );
         stats.merge(&s);
     }
     stats
@@ -628,8 +755,15 @@ mod tests {
                 let mut scratch = AllocScratch::for_evaluator(&eval);
                 let mut rng = ChaCha8Rng::seed_from_u64(8);
                 p.remove_cell(cell);
-                let stats =
-                    allocate_cell(&eval, &mut scratch, &mut p, cell, &config, allowed, &mut rng);
+                let stats = allocate_cell(
+                    &eval,
+                    &mut scratch,
+                    &mut p,
+                    cell,
+                    &config,
+                    allowed,
+                    &mut rng,
+                );
                 (stats, p.slot_of(cell))
             };
             let (clean, slot_clean) = run(&[2, 3, 4]);
@@ -640,6 +774,63 @@ mod tests {
             );
             assert_eq!(clean.net_evaluations, dup.net_evaluations);
             assert_eq!(slot_clean, slot_dup, "{strategy:?}: same best slot");
+        }
+    }
+
+    #[test]
+    fn chunked_trial_scoring_is_bitwise_serial() {
+        // The intra-rank fan-out may only change *where* slots are scored:
+        // the chosen slots, the resulting placement and the work counts must
+        // equal the serial scan for every chunk count. Exhaustive best fit on
+        // a single-row layout gives a candidate list long past the fan-out
+        // threshold with a small circuit.
+        use cluster_sim::comm::WorkerPool;
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("alloc_par_test", 400, 19)).generate(),
+        );
+        let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
+        let ge = GoodnessEvaluator::new(eval.clone());
+        let placement = Placement::round_robin(&nl, 2);
+        let goodness = ge.all_goodness(&placement);
+        let config = AllocationConfig::exhaustive();
+
+        let run = |ctx: &EvalContext<'_>| {
+            let mut p = placement.clone();
+            let mut selected: Vec<CellId> = nl.cell_ids().take(12).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let stats = allocate_all_on(
+                &eval,
+                &mut AllocScratch::for_evaluator(&eval),
+                &mut p,
+                &mut selected,
+                &goodness,
+                &config,
+                &[],
+                &mut rng,
+                ctx,
+            );
+            (stats, p)
+        };
+
+        let (serial_stats, serial_placement) = run(&EvalContext::serial());
+        assert!(
+            serial_stats.trial_positions / serial_stats.cells_allocated >= PARALLEL_TRIAL_THRESHOLD,
+            "test must exercise the fan-out path"
+        );
+        let pool = WorkerPool::new(2);
+        for chunks in [2usize, 3, 4, 7] {
+            let (stats, p) = run(&EvalContext::chunked(&pool, chunks));
+            assert_eq!(
+                serial_stats, stats,
+                "chunks={chunks}: work counts must match"
+            );
+            for row in 0..p.num_rows() {
+                assert_eq!(
+                    serial_placement.row(row),
+                    p.row(row),
+                    "chunks={chunks}: placement must be bitwise serial"
+                );
+            }
         }
     }
 

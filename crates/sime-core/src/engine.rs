@@ -1,6 +1,7 @@
 //! The SimE main loop (Figure 1 of the paper).
 
-use crate::allocation::{allocate_all, AllocScratch, AllocationConfig, AllocationStats};
+use crate::allocation::{allocate_all_on, AllocScratch, AllocationConfig, AllocationStats};
+use crate::parallel::{chunk_ranges, EvalContext};
 use crate::profile::{Phase, ProfileReport};
 use crate::selection::{select, SelectionScheme};
 use rand::{Rng, SeedableRng};
@@ -33,6 +34,11 @@ pub struct SimEScratch {
     pub cache: NetLengthCache,
     /// Reused per-cell goodness buffer.
     goodness: Vec<f64>,
+    /// Per-chunk goodness output buffers of the intra-rank parallel
+    /// Evaluation path ([`SimEEngine::evaluate_goodness_on`]): one buffer per
+    /// chunk, reused across iterations so the chunked pass stays
+    /// allocation-free after warm-up.
+    chunk_goodness: Vec<Vec<f64>>,
 }
 
 impl SimEScratch {
@@ -42,6 +48,7 @@ impl SimEScratch {
             alloc: AllocScratch::for_evaluator(engine.evaluator()),
             cache: NetLengthCache::new(),
             goodness: Vec::new(),
+            chunk_goodness: Vec::new(),
         }
     }
 }
@@ -276,6 +283,29 @@ impl SimEEngine {
         scratch: &'s mut SimEScratch,
         profile: &mut ProfileReport,
     ) -> (&'s [f64], &'s [f64]) {
+        self.evaluate_goodness_on(placement, scratch, profile, &EvalContext::serial())
+    }
+
+    /// The Evaluation step under an explicit [`EvalContext`]: the net-length
+    /// refresh stays serial (it is a delta pass over `scratch.cache`), and
+    /// the per-cell goodness pass — the dominant Evaluation cost on the
+    /// extended tier — fans out over the context's worker pool in
+    /// index-contiguous cell chunks. Chunk boundaries depend only on the cell
+    /// count and the chunk count, each chunk computes exactly the serial
+    /// per-cell values into its own buffer, and the merge concatenates the
+    /// buffers in chunk order, so the resulting goodness vector is **bitwise
+    /// identical** to [`SimEEngine::evaluate_with`] for every chunk count
+    /// (the intra-rank extension of the DESIGN.md §4 determinism contract).
+    ///
+    /// Profile work counts are the nominal algorithmic counts either way;
+    /// only wall-clock changes.
+    pub fn evaluate_goodness_on<'s>(
+        &self,
+        placement: &Placement,
+        scratch: &'s mut SimEScratch,
+        profile: &mut ProfileReport,
+        ctx: &EvalContext<'_>,
+    ) -> (&'s [f64], &'s [f64]) {
         let t0 = Instant::now();
         scratch
             .cache
@@ -284,8 +314,38 @@ impl SimEEngine {
         profile.add_net_evals(Phase::CostCalculation, scratch.cache.lengths().len() as u64);
 
         let t1 = Instant::now();
-        self.goodness
-            .all_goodness_into(scratch.cache.lengths(), &mut scratch.goodness);
+        match ctx.fan_out() {
+            None => {
+                self.goodness
+                    .all_goodness_into(scratch.cache.lengths(), &mut scratch.goodness);
+            }
+            Some((pool, chunks)) => {
+                let num_cells = self.evaluator.netlist().num_cells();
+                let ranges = chunk_ranges(num_cells, chunks);
+                if scratch.chunk_goodness.len() < ranges.len() {
+                    scratch.chunk_goodness.resize_with(ranges.len(), Vec::new);
+                }
+                // Split borrows: the chunk tasks read the shared net lengths
+                // and each writes its own output buffer.
+                let lengths: &[f64] = scratch.cache.lengths();
+                let goodness = &self.goodness;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = scratch.chunk_goodness
+                    [..ranges.len()]
+                    .iter_mut()
+                    .zip(ranges)
+                    .map(|(buf, range)| {
+                        Box::new(move || goodness.goodness_range_into(lengths, range, buf))
+                            as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                let chunks_used = tasks.len();
+                pool.run_scoped_tasks(tasks);
+                scratch.goodness.clear();
+                for buf in &scratch.chunk_goodness[..chunks_used] {
+                    scratch.goodness.extend_from_slice(buf);
+                }
+            }
+        }
         profile.add_time(Phase::GoodnessEvaluation, t1.elapsed());
         profile.add_net_evals(Phase::GoodnessEvaluation, self.pins);
 
@@ -326,11 +386,46 @@ impl SimEEngine {
         frozen: &[bool],
         allowed_rows: &[usize],
     ) -> (f64, usize, AllocationStats) {
-        let (_net_lengths, goodness) = self.evaluate_with(placement, scratch, profile);
-        let avg_goodness =
-            goodness.iter().sum::<f64>() / goodness.len().max(1) as f64;
-        let (selected, alloc_stats) =
-            self.select_allocate_from_scratch(placement, scratch, rng, profile, frozen, allowed_rows);
+        self.iterate_on(
+            placement,
+            scratch,
+            rng,
+            profile,
+            frozen,
+            allowed_rows,
+            &EvalContext::serial(),
+        )
+    }
+
+    /// [`SimEEngine::iterate`] under an explicit [`EvalContext`]: the
+    /// goodness pass ([`SimEEngine::evaluate_goodness_on`]) and the
+    /// allocation trial-scoring loop
+    /// ([`crate::allocation::allocate_cell_on`]) fan out over the context's
+    /// worker pool. Bitwise identical to the serial iteration for every chunk
+    /// count — the RNG stream, the selection set, every chosen slot and all
+    /// work counts are unchanged; only wall-clock differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn iterate_on<R: Rng + ?Sized>(
+        &self,
+        placement: &mut Placement,
+        scratch: &mut SimEScratch,
+        rng: &mut R,
+        profile: &mut ProfileReport,
+        frozen: &[bool],
+        allowed_rows: &[usize],
+        ctx: &EvalContext<'_>,
+    ) -> (f64, usize, AllocationStats) {
+        let (_net_lengths, goodness) = self.evaluate_goodness_on(placement, scratch, profile, ctx);
+        let avg_goodness = goodness.iter().sum::<f64>() / goodness.len().max(1) as f64;
+        let (selected, alloc_stats) = self.select_allocate_from_scratch(
+            placement,
+            scratch,
+            rng,
+            profile,
+            frozen,
+            allowed_rows,
+            ctx,
+        );
         (avg_goodness, selected, alloc_stats)
     }
 
@@ -350,6 +445,7 @@ impl SimEEngine {
     /// Consumes exactly the same RNG stream as the selection/allocation half
     /// of [`SimEEngine::iterate`]. Returns the selection-set size and the
     /// allocation work counts.
+    #[allow(clippy::too_many_arguments)]
     pub fn select_and_allocate<R: Rng + ?Sized>(
         &self,
         placement: &mut Placement,
@@ -360,6 +456,34 @@ impl SimEEngine {
         frozen: &[bool],
         allowed_rows: &[usize],
     ) -> (usize, AllocationStats) {
+        self.select_and_allocate_on(
+            placement,
+            scratch,
+            goodness,
+            rng,
+            profile,
+            frozen,
+            allowed_rows,
+            &EvalContext::serial(),
+        )
+    }
+
+    /// [`SimEEngine::select_and_allocate`] under an explicit [`EvalContext`]
+    /// (the Type I master consumes the gathered goodness vector and may still
+    /// fan its allocation trial scoring out intra-rank). Bitwise identical to
+    /// the serial variant for every chunk count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_and_allocate_on<R: Rng + ?Sized>(
+        &self,
+        placement: &mut Placement,
+        scratch: &mut SimEScratch,
+        goodness: &[f64],
+        rng: &mut R,
+        profile: &mut ProfileReport,
+        frozen: &[bool],
+        allowed_rows: &[usize],
+        ctx: &EvalContext<'_>,
+    ) -> (usize, AllocationStats) {
         assert_eq!(
             goodness.len(),
             self.evaluator.netlist().num_cells(),
@@ -367,12 +491,21 @@ impl SimEEngine {
         );
         scratch.goodness.clear();
         scratch.goodness.extend_from_slice(goodness);
-        self.select_allocate_from_scratch(placement, scratch, rng, profile, frozen, allowed_rows)
+        self.select_allocate_from_scratch(
+            placement,
+            scratch,
+            rng,
+            profile,
+            frozen,
+            allowed_rows,
+            ctx,
+        )
     }
 
-    /// Shared Selection → Allocation tail of [`SimEEngine::iterate`] and
-    /// [`SimEEngine::select_and_allocate`]; reads the goodness vector already
-    /// staged in `scratch.goodness`.
+    /// Shared Selection → Allocation tail of [`SimEEngine::iterate_on`] and
+    /// [`SimEEngine::select_and_allocate_on`]; reads the goodness vector
+    /// already staged in `scratch.goodness`.
+    #[allow(clippy::too_many_arguments)]
     fn select_allocate_from_scratch<R: Rng + ?Sized>(
         &self,
         placement: &mut Placement,
@@ -381,13 +514,14 @@ impl SimEEngine {
         profile: &mut ProfileReport,
         frozen: &[bool],
         allowed_rows: &[usize],
+        ctx: &EvalContext<'_>,
     ) -> (usize, AllocationStats) {
         let t0 = Instant::now();
         let mut selected = select(&scratch.goodness, self.config.selection, rng, frozen);
         profile.add_time(Phase::Selection, t0.elapsed());
 
         let t1 = Instant::now();
-        let alloc_stats = allocate_all(
+        let alloc_stats = allocate_all_on(
             &self.evaluator,
             &mut scratch.alloc,
             placement,
@@ -396,6 +530,7 @@ impl SimEEngine {
             &self.config.allocation,
             allowed_rows,
             rng,
+            ctx,
         );
         profile.add_time(Phase::Allocation, t1.elapsed());
         profile.add_net_evals(Phase::Allocation, alloc_stats.net_evaluations as u64);
@@ -498,7 +633,9 @@ mod tests {
     use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig};
 
     fn netlist(cells: usize, seed: u64) -> Arc<Netlist> {
-        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("engine_test", cells, seed)).generate())
+        Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("engine_test", cells, seed)).generate(),
+        )
     }
 
     #[test]
@@ -635,6 +772,50 @@ mod tests {
     }
 
     #[test]
+    fn chunked_iteration_is_bitwise_serial() {
+        // The intra-rank context must not change a single bit of the search:
+        // run the same seeded multi-iteration trajectory serially and at
+        // several chunk counts and compare costs per iteration.
+        use cluster_sim::comm::WorkerPool;
+        let nl = netlist(160, 31);
+        let config = SimEConfig::fast(Objectives::WirelengthPowerDelay, 8, 1);
+        let engine = SimEEngine::new(nl, config);
+        let pool = WorkerPool::new(2);
+
+        let run = |ctx: &EvalContext<'_>| -> Vec<u64> {
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let mut placement = engine.initial_placement(&mut rng);
+            let mut scratch = engine.new_scratch();
+            let mut profile = ProfileReport::new();
+            let mut trace = Vec::new();
+            for _ in 0..6 {
+                let (avg, selected, stats) = engine.iterate_on(
+                    &mut placement,
+                    &mut scratch,
+                    &mut rng,
+                    &mut profile,
+                    &[],
+                    &[],
+                    ctx,
+                );
+                let cost = engine.cost_with(&placement, &mut scratch);
+                trace.push(avg.to_bits());
+                trace.push(selected as u64);
+                trace.push(stats.net_evaluations as u64);
+                trace.push(cost.mu.to_bits());
+                trace.push(cost.wirelength.to_bits());
+            }
+            trace
+        };
+
+        let serial = run(&EvalContext::serial());
+        for chunks in [2usize, 3, 4] {
+            let chunked = run(&EvalContext::chunked(&pool, chunks));
+            assert_eq!(serial, chunked, "chunks={chunks}");
+        }
+    }
+
+    #[test]
     fn scratch_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimEScratch>();
@@ -747,7 +928,10 @@ mod tests {
 
         // Freeze every cell except those currently in row 0; allocation may
         // only target rows 0 and 1.
-        let owned: Vec<CellId> = nl.cell_ids().filter(|&c| placement.row_of(c) == 0).collect();
+        let owned: Vec<CellId> = nl
+            .cell_ids()
+            .filter(|&c| placement.row_of(c) == 0)
+            .collect();
         let frozen = engine.frozen_mask_from_owned(&owned);
         let mut profile = ProfileReport::new();
         let mut scratch = engine.new_scratch();

@@ -30,6 +30,7 @@
 
 pub mod allocation;
 pub mod engine;
+pub mod parallel;
 pub mod profile;
 pub mod selection;
 
@@ -37,6 +38,7 @@ pub use allocation::{AllocScratch, AllocationConfig, AllocationStats, Allocation
 pub use engine::{
     IterationStats, SimEConfig, SimEEngine, SimEResult, SimEScratch, StoppingCriteria,
 };
+pub use parallel::{chunk_ranges, EvalContext};
 pub use profile::{Phase, ProfileReport};
 pub use selection::{select, SelectionScheme};
 
@@ -44,6 +46,7 @@ pub use selection::{select, SelectionScheme};
 pub mod prelude {
     pub use crate::allocation::{AllocScratch, AllocationConfig, AllocationStrategy};
     pub use crate::engine::{SimEConfig, SimEEngine, SimEResult, SimEScratch, StoppingCriteria};
+    pub use crate::parallel::EvalContext;
     pub use crate::profile::ProfileReport;
     pub use crate::selection::SelectionScheme;
 }

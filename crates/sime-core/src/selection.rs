@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use vlsi_netlist::CellId;
 
 /// How the selection bias `B` is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SelectionScheme {
     /// Classical SimE selection with a fixed bias `B` (may be negative).
     FixedBias(f64),
@@ -27,13 +27,8 @@ pub enum SelectionScheme {
     /// `B = −(1 − ḡ)` where `ḡ` is the current average goodness, so that the
     /// expected selection-set size tracks how far the solution is from
     /// convergence without manual tuning.
+    #[default]
     Biasless,
-}
-
-impl Default for SelectionScheme {
-    fn default() -> Self {
-        SelectionScheme::Biasless
-    }
 }
 
 impl SelectionScheme {
@@ -161,11 +156,14 @@ mod tests {
     fn frozen_cells_are_never_selected() {
         let goodness = vec![0.0; 100];
         let mut frozen = vec![false; 100];
-        for i in 0..50 {
-            frozen[i] = true;
-        }
+        frozen[..50].fill(true);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let selected = select(&goodness, SelectionScheme::FixedBias(0.0), &mut rng, &frozen);
+        let selected = select(
+            &goodness,
+            SelectionScheme::FixedBias(0.0),
+            &mut rng,
+            &frozen,
+        );
         assert!(!selected.is_empty());
         assert!(selected.iter().all(|c| c.index() >= 50));
     }
@@ -177,7 +175,12 @@ mod tests {
         let mut rng_b = ChaCha8Rng::seed_from_u64(9);
         let via_mask = {
             let frozen: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
-            select(&goodness, SelectionScheme::FixedBias(0.0), &mut rng_a, &frozen)
+            select(
+                &goodness,
+                SelectionScheme::FixedBias(0.0),
+                &mut rng_a,
+                &frozen,
+            )
         };
         let via_subset = select_subset(
             &goodness,

@@ -18,8 +18,12 @@ use vlsi_place::layout::Placement;
 fn arb_netlist() -> impl Strategy<Value = Arc<Netlist>> {
     (70usize..220, any::<u64>()).prop_map(|(cells, seed)| {
         Arc::new(
-            CircuitGenerator::new(GeneratorConfig::sized(format!("sime_prop_{seed}"), cells, seed))
-                .generate(),
+            CircuitGenerator::new(GeneratorConfig::sized(
+                format!("sime_prop_{seed}"),
+                cells,
+                seed,
+            ))
+            .generate(),
         )
     })
 }

@@ -127,11 +127,18 @@ pub struct ScenarioSpec {
     /// with `n` OS workers. Not part of the scenario identity — see the
     /// [module docs](self).
     pub workers: Option<usize>,
+    /// Intra-rank `EvalParallelism` chunks (1 = serial; only consulted on the
+    /// threaded backend). Like `workers`, **not** part of the scenario
+    /// identity: the intra-rank determinism contract promises chunk counts
+    /// change nothing but wall-clock, and the golden suite checks exactly
+    /// that promise.
+    pub eval_chunks: usize,
 }
 
 impl ScenarioSpec {
-    /// Stable scenario identity: every field except the execution backend.
-    /// Used as the golden-file stem and the JSON record key.
+    /// Stable scenario identity: every field except the execution backend
+    /// (worker count *and* intra-rank chunk count). Used as the golden-file
+    /// stem and the JSON record key.
     pub fn id(&self) -> String {
         format!(
             "{}.{}.r{}.i{}.{}",
@@ -147,7 +154,7 @@ impl ScenarioSpec {
     pub fn backend(&self) -> Box<dyn ExecBackend> {
         match self.workers {
             None => Box::new(Modeled),
-            Some(n) => Box::new(Threaded::new(n)),
+            Some(n) => Box::new(Threaded::new(n).with_eval_chunks(self.eval_chunks)),
         }
     }
 
@@ -156,6 +163,16 @@ impl ScenarioSpec {
     pub fn on_workers(&self, workers: Option<usize>) -> ScenarioSpec {
         ScenarioSpec {
             workers,
+            ..self.clone()
+        }
+    }
+
+    /// The same scenario with a different intra-rank chunk count (same
+    /// identity, same golden fingerprint under the intra-rank determinism
+    /// contract). Only meaningful together with a threaded backend.
+    pub fn with_eval_chunks(&self, eval_chunks: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            eval_chunks: eval_chunks.max(1),
             ..self.clone()
         }
     }
@@ -260,13 +277,73 @@ impl TrajectoryFingerprint {
             "final_wirelength_bits {:#018x}\n",
             self.final_wirelength_bits
         ));
-        out.push_str(&format!("final_power_bits {:#018x}\n", self.final_power_bits));
-        out.push_str(&format!("final_delay_bits {:#018x}\n", self.final_delay_bits));
+        out.push_str(&format!(
+            "final_power_bits {:#018x}\n",
+            self.final_power_bits
+        ));
+        out.push_str(&format!(
+            "final_delay_bits {:#018x}\n",
+            self.final_delay_bits
+        ));
         for (iter, bits) in &self.mu_checkpoints {
             out.push_str(&format!("mu_bits {iter} {bits:#018x}\n"));
         }
         out.push_str(&format!("trajectory_hash {:#018x}\n", self.trajectory_hash));
         out.push_str(&format!("placement_hash {:#018x}\n", self.placement_hash));
+        out
+    }
+
+    /// Field-by-field difference against another fingerprint: one line per
+    /// changed field, `<field>: <old> -> <new>` (bits in hex). Empty when the
+    /// fingerprints are equal. This is what `scenario_matrix --bless` prints
+    /// before overwriting a golden, so an intentional re-bless documents
+    /// exactly which parts of the trajectory moved instead of silently
+    /// replacing the file.
+    pub fn diff(&self, new: &TrajectoryFingerprint) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut field = |name: &str, old: u64, new: u64| {
+            if old != new {
+                out.push(format!("{name}: {old:#018x} -> {new:#018x}"));
+            }
+        };
+        field("final_mu_bits", self.final_mu_bits, new.final_mu_bits);
+        field(
+            "final_wirelength_bits",
+            self.final_wirelength_bits,
+            new.final_wirelength_bits,
+        );
+        field(
+            "final_power_bits",
+            self.final_power_bits,
+            new.final_power_bits,
+        );
+        field(
+            "final_delay_bits",
+            self.final_delay_bits,
+            new.final_delay_bits,
+        );
+        field("trajectory_hash", self.trajectory_hash, new.trajectory_hash);
+        field("placement_hash", self.placement_hash, new.placement_hash);
+        if self.mu_checkpoints.len() != new.mu_checkpoints.len() {
+            out.push(format!(
+                "mu_checkpoints: {} entries -> {} entries",
+                self.mu_checkpoints.len(),
+                new.mu_checkpoints.len()
+            ));
+        }
+        for ((old_iter, old_bits), (new_iter, new_bits)) in
+            self.mu_checkpoints.iter().zip(&new.mu_checkpoints)
+        {
+            if old_iter != new_iter {
+                out.push(format!(
+                    "mu_bits checkpoint moved: iteration {old_iter} -> {new_iter}"
+                ));
+            } else if old_bits != new_bits {
+                out.push(format!(
+                    "mu_bits[{old_iter}]: {old_bits:#018x} -> {new_bits:#018x}"
+                ));
+            }
+        }
         out
     }
 
@@ -291,7 +368,8 @@ impl TrajectoryFingerprint {
             if let Some(hex) = tok.strip_prefix("0x") {
                 u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex `{tok}`: {e}"))
             } else {
-                tok.parse::<u64>().map_err(|e| format!("bad number `{tok}`: {e}"))
+                tok.parse::<u64>()
+                    .map_err(|e| format!("bad number `{tok}`: {e}"))
             }
         };
 
@@ -336,7 +414,9 @@ impl TrajectoryFingerprint {
                         .split_once(char::is_whitespace)
                         .ok_or_else(|| ctx("mu_bits needs `<iteration> <bits>`".into()))?;
                     mu_checkpoints.push((
-                        iter.trim().parse().map_err(|_| ctx("bad iteration".into()))?,
+                        iter.trim()
+                            .parse()
+                            .map_err(|_| ctx("bad iteration".into()))?,
                         parse_u64(bits).map_err(ctx)?,
                     ));
                 }
@@ -356,6 +436,7 @@ impl TrajectoryFingerprint {
             iterations: require("iterations", iterations)?,
             objectives: require("objectives", objectives)?,
             workers: None,
+            eval_chunks: 1,
         };
         let fingerprint = TrajectoryFingerprint {
             final_mu_bits: require("final_mu_bits", final_mu_bits)?,
@@ -389,7 +470,8 @@ impl ScenarioRecord {
             "{{\"scenario\": \"{id}\", \"circuit\": \"{circuit}\", \
              \"strategy\": \"{strategy}\", \"ranks\": {ranks}, \
              \"iterations\": {iters}, \"objectives\": \"{obj}\", \
-             \"backend\": \"{backend}\", \"best_mu\": {mu:.6}, \
+             \"backend\": \"{backend}\", \"eval_chunks\": {chunks}, \
+             \"best_mu\": {mu:.6}, \
              \"modeled_seconds\": {modeled:.4}, \"wall_seconds\": {wall:.4}, \
              \"comm_messages\": {msgs}, \"comm_bytes\": {bytes}, \
              \"final_mu_bits\": \"{mubits:#018x}\", \
@@ -402,6 +484,7 @@ impl ScenarioRecord {
             iters = self.spec.iterations,
             obj = objectives_tag(self.spec.objectives),
             backend = self.outcome.backend,
+            chunks = self.outcome.eval_chunks,
             mu = self.outcome.best_cost.mu,
             modeled = self.outcome.modeled_seconds,
             wall = self.outcome.wall_seconds,
@@ -527,8 +610,9 @@ impl BatchDriver {
 /// The pinned golden subset: the scenarios whose fingerprints are checked
 /// into `tests/golden/` and replayed by the `golden_suite` integration test
 /// on every push. Small circuits and short runs — the gate must stay cheap —
-/// but covering all three strategies, both objective mixes and one
-/// extended-tier circuit.
+/// but covering all three strategies, both objective mixes and two
+/// extended-tier circuits (the `s9234` entry is additionally replayed with
+/// intra-rank parallelism at 1/2/4 chunks by the golden suite).
 pub fn golden_subset() -> Vec<ScenarioSpec> {
     let wp = Objectives::WirelengthPower;
     let wpd = Objectives::WirelengthPowerDelay;
@@ -540,6 +624,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             iterations: 5,
             objectives: wp,
             workers: None,
+            eval_chunks: 1,
         },
         ScenarioSpec {
             circuit: "s1196".into(),
@@ -548,6 +633,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             iterations: 5,
             objectives: wp,
             workers: None,
+            eval_chunks: 1,
         },
         ScenarioSpec {
             circuit: "s1196".into(),
@@ -556,6 +642,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             iterations: 5,
             objectives: wp,
             workers: None,
+            eval_chunks: 1,
         },
         ScenarioSpec {
             circuit: "s1238".into(),
@@ -564,6 +651,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             iterations: 5,
             objectives: wpd,
             workers: None,
+            eval_chunks: 1,
         },
         ScenarioSpec {
             circuit: "s5378".into(),
@@ -572,8 +660,32 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             iterations: 3,
             objectives: wp,
             workers: None,
+            eval_chunks: 1,
+        },
+        ScenarioSpec {
+            circuit: "s9234".into(),
+            strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 4,
+            iterations: 2,
+            objectives: wp,
+            workers: None,
+            eval_chunks: 1,
         },
     ]
+}
+
+/// The golden scenarios the suite replays with intra-rank parallelism
+/// (chunks 1/2/4 on the threaded backend) in addition to the plain backend
+/// sweep: the extended-tier entries, where the intra-rank fan-out actually
+/// has work to chunk.
+pub fn intra_rank_golden_subset() -> Vec<ScenarioSpec> {
+    golden_subset()
+        .into_iter()
+        .filter(|spec| {
+            vlsi_netlist::bench_suite::SuiteCircuit::from_name(&spec.circuit)
+                .is_some_and(|c| c.is_extended())
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -588,6 +700,7 @@ mod tests {
             iterations: 3,
             objectives: Objectives::WirelengthPower,
             workers: None,
+            eval_chunks: 1,
         }
     }
 
@@ -596,6 +709,7 @@ mod tests {
         let spec = small_spec();
         assert_eq!(spec.id(), "s1196.type2_random.r3.i3.wp");
         assert_eq!(spec.on_workers(Some(4)).id(), spec.id());
+        assert_eq!(spec.on_workers(Some(4)).with_eval_chunks(2).id(), spec.id());
     }
 
     #[test]
@@ -613,7 +727,10 @@ mod tests {
 
     #[test]
     fn objectives_tags_roundtrip() {
-        for o in [Objectives::WirelengthPower, Objectives::WirelengthPowerDelay] {
+        for o in [
+            Objectives::WirelengthPower,
+            Objectives::WirelengthPowerDelay,
+        ] {
             assert_eq!(objectives_from_tag(objectives_tag(o)), Some(o));
             assert_eq!(objectives_from_tag(o.label()), Some(o));
         }
@@ -646,12 +763,63 @@ mod tests {
         let spec = small_spec();
         let a = driver.run_cell(&spec);
         let b = driver.run_cell(&spec);
-        assert_eq!(a.fingerprint, b.fingerprint, "rerun must not change the fingerprint");
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "rerun must not change the fingerprint"
+        );
         let threaded = driver.run_cell(&spec.on_workers(Some(2)));
         assert_eq!(
             a.fingerprint, threaded.fingerprint,
             "backend must not change the fingerprint"
         );
+        let intra = driver.run_cell(&spec.on_workers(Some(2)).with_eval_chunks(4));
+        assert_eq!(
+            a.fingerprint, intra.fingerprint,
+            "intra-rank chunk count must not change the fingerprint"
+        );
+        assert_eq!(intra.outcome.eval_chunks, 4);
+        assert_eq!(intra.outcome.backend, "threaded(2,ev4)");
+    }
+
+    #[test]
+    fn fingerprint_diff_names_exactly_the_changed_fields() {
+        let mut driver = BatchDriver::new();
+        let record = driver.run_cell(&small_spec());
+        let fp = record.fingerprint.clone();
+        assert!(
+            fp.diff(&fp).is_empty(),
+            "equal fingerprints must diff empty"
+        );
+
+        let mut moved = fp.clone();
+        moved.final_mu_bits ^= 1;
+        moved.placement_hash ^= 0xdead;
+        if let Some(last) = moved.mu_checkpoints.last_mut() {
+            last.1 ^= 7;
+        }
+        let lines = fp.diff(&moved);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines.iter().any(|l| l.starts_with("final_mu_bits: ")));
+        assert!(lines.iter().any(|l| l.starts_with("placement_hash: ")));
+        assert!(lines.iter().any(|l| l.starts_with("mu_bits[")));
+        for line in &lines {
+            assert!(
+                line.contains(" -> "),
+                "diff line must show old and new: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_rank_golden_subset_is_the_extended_tier() {
+        let intra = intra_rank_golden_subset();
+        assert!(!intra.is_empty());
+        for spec in &intra {
+            let circuit =
+                vlsi_netlist::bench_suite::SuiteCircuit::from_name(&spec.circuit).unwrap();
+            assert!(circuit.is_extended(), "{}", spec.circuit);
+            assert!(golden_subset().iter().any(|g| g.id() == spec.id()));
+        }
     }
 
     #[test]
@@ -671,7 +839,11 @@ mod tests {
         let mut other = small_spec();
         other.strategy = StrategyKind::Type1;
         driver.run_cell(&other);
-        assert_eq!(driver.engines.len(), 1, "same circuit+objectives → one engine");
+        assert_eq!(
+            driver.engines.len(),
+            1,
+            "same circuit+objectives → one engine"
+        );
         assert_eq!(driver.netlists.len(), 1);
     }
 
@@ -684,9 +856,20 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), before, "golden scenario ids must be unique");
         for spec in &subset {
-            assert!(SuiteCircuit::from_name(&spec.circuit).is_some(), "{}", spec.circuit);
+            assert!(
+                SuiteCircuit::from_name(&spec.circuit).is_some(),
+                "{}",
+                spec.circuit
+            );
             assert!(spec.ranks >= spec.strategy.min_ranks());
-            assert!(spec.workers.is_none(), "goldens are blessed on the modeled backend");
+            assert!(
+                spec.workers.is_none(),
+                "goldens are blessed on the modeled backend"
+            );
+            assert_eq!(
+                spec.eval_chunks, 1,
+                "goldens are blessed on the serial eval path"
+            );
         }
     }
 

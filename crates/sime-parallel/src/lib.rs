@@ -61,9 +61,10 @@ pub mod type2;
 pub mod type3;
 
 pub use batch::{
-    golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec, StrategyKind, TrajectoryFingerprint,
+    golden_subset, intra_rank_golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec,
+    StrategyKind, TrajectoryFingerprint,
 };
-pub use exec::{backend_from_name, ExecBackend, Modeled, Threaded};
+pub use exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, Threaded};
 pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
 pub use type1::{run_type1, run_type1_on, Type1Config};
 pub use type2::{run_type2, run_type2_on, RowPattern, Type2Config};
@@ -72,10 +73,10 @@ pub use type3::{run_type3, run_type3_on, Type3Config};
 /// Convenience prelude bringing the parallel-strategy API into scope.
 pub mod prelude {
     pub use crate::batch::{
-        golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec, StrategyKind,
-        TrajectoryFingerprint,
+        golden_subset, intra_rank_golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec,
+        StrategyKind, TrajectoryFingerprint,
     };
-    pub use crate::exec::{backend_from_name, ExecBackend, Modeled, Threaded};
+    pub use crate::exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, Threaded};
     pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
     pub use crate::type1::{run_type1, run_type1_on, Type1Config};
     pub use crate::type2::{run_type2, run_type2_on, RowPattern, Type2Config};

@@ -55,6 +55,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sime_core::allocation::AllocationStats;
 use sime_core::engine::{SimEEngine, SimEScratch};
+use sime_core::parallel::EvalContext;
 use sime_core::profile::ProfileReport;
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,7 +106,7 @@ pub fn row_assignment<RNG: rand::Rng + ?Sized>(
     let mut assignment = vec![Vec::new(); ranks];
     match pattern {
         RowPattern::Fixed => {
-            if iteration % 2 == 0 {
+            if iteration.is_multiple_of(2) {
                 // balanced contiguous slices of ~K/m rows
                 for row in 0..num_rows {
                     assignment[row * ranks / num_rows].push(row);
@@ -176,6 +177,8 @@ pub fn run_type2_on(
     );
     let started = Instant::now();
     let executor = backend.executor();
+    let pool = executor.pool();
+    let eval_chunks = executor.effective_eval_chunks(backend);
 
     let netlist = engine.evaluator().netlist().clone();
     let num_cells = netlist.num_cells();
@@ -240,15 +243,18 @@ pub fn run_type2_on(
             let engine = Arc::clone(&shared);
             let mut local = placement.clone();
             let rows = rows.clone();
+            let pool = pool.clone();
             tasks.push(Box::new(move || {
+                let ctx = EvalContext::from_pool(pool.as_deref(), eval_chunks);
                 let mut profile = ProfileReport::new();
-                let (_avg, _selected, alloc_stats) = engine.iterate(
+                let (_avg, _selected, alloc_stats) = engine.iterate_on(
                     &mut local,
                     &mut state.scratch,
                     &mut state.rng,
                     &mut profile,
                     &frozen,
                     &rows,
+                    &ctx,
                 );
                 let out_rows = rows.iter().map(|&r| (r, local.row(r).to_vec())).collect();
                 (state, out_rows, alloc_stats)
@@ -299,6 +305,7 @@ pub fn run_type2_on(
         mu_history,
         wall_seconds: started.elapsed().as_secs_f64(),
         backend: backend.label(),
+        eval_chunks,
     }
 }
 
@@ -343,7 +350,11 @@ mod tests {
                     assert_eq!(a.len(), ranks);
                     let mut all: Vec<usize> = a.iter().flatten().copied().collect();
                     all.sort_unstable();
-                    assert_eq!(all, (0..11).collect::<Vec<_>>(), "{pattern:?} it={iteration} p={ranks}");
+                    assert_eq!(
+                        all,
+                        (0..11).collect::<Vec<_>>(),
+                        "{pattern:?} it={iteration} p={ranks}"
+                    );
                 }
             }
         }
@@ -410,6 +421,38 @@ mod tests {
                         threaded.best_placement.row(row)
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn type2_intra_rank_chunks_agree_bitwise() {
+        let engine = engine(4);
+        let config = Type2Config {
+            ranks: 3,
+            iterations: 4,
+            pattern: RowPattern::Random,
+        };
+        let modeled = run_type2(&engine, ClusterConfig::paper_cluster(3), config);
+        for chunks in [2, 3] {
+            let intra = run_type2_on(
+                &engine,
+                ClusterConfig::paper_cluster(3),
+                config,
+                &Threaded::new(2).with_eval_chunks(chunks),
+            );
+            assert_eq!(intra.eval_chunks, chunks);
+            assert_eq!(
+                modeled.best_cost.wirelength.to_bits(),
+                intra.best_cost.wirelength.to_bits()
+            );
+            assert_eq!(modeled.modeled_seconds, intra.modeled_seconds);
+            assert_eq!(modeled.comm, intra.comm);
+            for row in 0..engine.config().num_rows {
+                assert_eq!(
+                    modeled.best_placement.row(row),
+                    intra.best_placement.row(row)
+                );
             }
         }
     }

@@ -115,6 +115,75 @@ proptest! {
             "type3",
         );
     }
+
+    /// The intra-rank `EvalParallelism` knob is bitwise-neutral on seeded
+    /// paper-tier netlists: chunked goodness/trial-scoring reproduces the
+    /// serial (modeled) trajectory for every strategy and chunk count.
+    #[test]
+    fn intra_rank_chunks_match_serial(
+        (netlist, seed) in arb_netlist(),
+        iterations in 3usize..5,
+        chunks in 2usize..5,
+    ) {
+        let engine = engine_for(netlist, seed, iterations);
+        let ranks = 4;
+        let cluster = ClusterConfig::paper_cluster(ranks);
+        let intra = Threaded::new(2).with_eval_chunks(chunks);
+
+        let t1_cfg = Type1Config { ranks, iterations };
+        assert_bitwise_equal(
+            &run_type1(&engine, cluster, t1_cfg),
+            &run_type1_on(&engine, cluster, t1_cfg, &intra),
+            &format!("type1 ev{chunks}"),
+        );
+
+        let t2_cfg = Type2Config { ranks, iterations, pattern: RowPattern::Random };
+        assert_bitwise_equal(
+            &run_type2(&engine, cluster, t2_cfg),
+            &run_type2_on(&engine, cluster, t2_cfg, &intra),
+            &format!("type2 ev{chunks}"),
+        );
+
+        let t3_cfg = Type3Config { ranks, iterations, retry_threshold: 1 };
+        assert_bitwise_equal(
+            &run_type3(&engine, cluster, t3_cfg),
+            &run_type3_on(&engine, cluster, t3_cfg, &intra),
+            &format!("type3 ev{chunks}"),
+        );
+    }
+}
+
+/// The intra-rank contract at extended-tier scale: one engine on the s5378
+/// suite circuit, Type II random replayed with 2 and 4 chunks against the
+/// modeled baseline. (The golden suite additionally pins s9234 this way; the
+/// quick scenario matrix sweeps the remaining extended circuits.)
+#[test]
+fn intra_rank_chunks_match_serial_on_s5378() {
+    use vlsi_netlist::bench_suite::SuiteCircuit;
+    let circuit = SuiteCircuit::from_name("s5378").expect("suite circuit");
+    let netlist = Arc::new(circuit.generate());
+    let iterations = 2;
+    let config =
+        SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iterations);
+    let engine = SimEEngine::new(netlist, config);
+    let ranks = 4;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+    let t2_cfg = Type2Config {
+        ranks,
+        iterations,
+        pattern: RowPattern::Random,
+    };
+    let modeled = run_type2(&engine, cluster, t2_cfg);
+    for chunks in [2, 4] {
+        let intra = run_type2_on(
+            &engine,
+            cluster,
+            t2_cfg,
+            &Threaded::new(2).with_eval_chunks(chunks),
+        );
+        assert_eq!(intra.eval_chunks, chunks);
+        assert_bitwise_equal(&modeled, &intra, &format!("s5378 type2 ev{chunks}"));
+    }
 }
 
 /// Rerunning the Threaded backend with the same seed and worker count is
@@ -122,9 +191,8 @@ proptest! {
 /// (1, 2 and 4 OS workers) — scheduling never leaks into results.
 #[test]
 fn threaded_rerun_determinism_at_1_2_and_4_workers() {
-    let netlist = Arc::new(
-        CircuitGenerator::new(GeneratorConfig::sized("beq_rerun", 561, 42)).generate(),
-    );
+    let netlist =
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("beq_rerun", 561, 42)).generate());
     let iterations = 5;
     let engine = engine_for(netlist, 42, iterations);
     let ranks = 4;
@@ -170,9 +238,8 @@ fn threaded_rerun_determinism_at_1_2_and_4_workers() {
 /// search trajectory" claim, held to the strictest possible standard.
 #[test]
 fn type1_trajectory_equals_serial_on_both_backends() {
-    let netlist = Arc::new(
-        CircuitGenerator::new(GeneratorConfig::sized("beq_type1", 561, 7)).generate(),
-    );
+    let netlist =
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("beq_type1", 561, 7)).generate());
     let iterations = 4;
     let engine = engine_for(netlist, 7, iterations);
     let serial = engine.run();

@@ -46,8 +46,9 @@ use serde::{Deserialize, Serialize};
 /// Derives the deterministic generator seed from a circuit name (shared by
 /// both suite tiers so a circuit's identity is exactly its name).
 fn name_seed(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xC0FFEE_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+    name.bytes().fold(0xC0FFEE_u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(b as u64)
+    })
 }
 
 /// Identifier of one of the five circuits used in the paper's tables.
@@ -420,10 +421,16 @@ mod tests {
     #[test]
     fn rows_leave_room_for_five_partitions() {
         for c in PaperCircuit::ALL {
-            assert!(c.num_rows() >= 10, "{c} must have at least 2 rows per processor at p=5");
+            assert!(
+                c.num_rows() >= 10,
+                "{c} must have at least 2 rows per processor at p=5"
+            );
         }
         for c in ExtendedCircuit::ALL {
-            assert!(c.num_rows() >= 10, "{c} must have at least 2 rows per processor at p=5");
+            assert!(
+                c.num_rows() >= 10,
+                "{c} must have at least 2 rows per processor at p=5"
+            );
         }
     }
 

@@ -120,7 +120,10 @@ pub fn write_nodes(netlist: &Netlist) -> String {
     out.push_str("# annotation per node: '# <kind> <switching_delay>'\n");
     out.push('\n');
     out.push_str(&format!("NumNodes : {}\n", netlist.num_cells()));
-    out.push_str(&format!("NumTerminals : {}\n", stats.inputs + stats.outputs));
+    out.push_str(&format!(
+        "NumTerminals : {}\n",
+        stats.inputs + stats.outputs
+    ));
     for cell in netlist.cells() {
         let terminal = match cell.kind {
             CellKind::Input | CellKind::Output => " terminal",
@@ -367,30 +370,28 @@ fn parse_nets_into(
     let mut group: Option<Group> = None;
     let mut nets = 0usize;
 
-    let finish_group = |g: Group,
-                        builder: &mut NetlistBuilder,
-                        nets: &mut usize|
-     -> Result<(), BookshelfError> {
-        let total = g.sinks.len() + usize::from(g.driver.is_some());
-        if total != g.degree {
-            return Err(BookshelfError::Syntax {
+    let finish_group =
+        |g: Group, builder: &mut NetlistBuilder, nets: &mut usize| -> Result<(), BookshelfError> {
+            let total = g.sinks.len() + usize::from(g.driver.is_some());
+            if total != g.degree {
+                return Err(BookshelfError::Syntax {
+                    file: BookshelfFile::Nets,
+                    line: g.header_line,
+                    reason: format!(
+                        "net `{}` declares degree {} but has {} pins",
+                        g.name, g.degree, total
+                    ),
+                });
+            }
+            let driver = g.driver.ok_or(BookshelfError::Syntax {
                 file: BookshelfFile::Nets,
                 line: g.header_line,
-                reason: format!(
-                    "net `{}` declares degree {} but has {} pins",
-                    g.name, g.degree, total
-                ),
-            });
-        }
-        let driver = g.driver.ok_or(BookshelfError::Syntax {
-            file: BookshelfFile::Nets,
-            line: g.header_line,
-            reason: format!("net `{}` has no output (`O`) pin", g.name),
-        })?;
-        builder.add_net(Net::new(g.name, driver, g.sinks, g.sprob));
-        *nets += 1;
-        Ok(())
-    };
+                reason: format!("net `{}` has no output (`O`) pin", g.name),
+            })?;
+            builder.add_net(Net::new(g.name, driver, g.sinks, g.sprob));
+            *nets += 1;
+            Ok(())
+        };
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -434,7 +435,10 @@ fn parse_nets_into(
                 0.5
             } else {
                 note.parse().map_err(|_| {
-                    syntax(lineno, format!("invalid switching-prob annotation `{note}`"))
+                    syntax(
+                        lineno,
+                        format!("invalid switching-prob annotation `{note}`"),
+                    )
                 })?
             };
             group = Some(Group {
@@ -472,7 +476,10 @@ fn parse_nets_into(
             other => {
                 return Err(syntax(
                     lineno,
-                    format!("expected pin direction `I` or `O`, got `{}`", other.unwrap_or("")),
+                    format!(
+                        "expected pin direction `I` or `O`, got `{}`",
+                        other.unwrap_or("")
+                    ),
                 ));
             }
         }
@@ -616,7 +623,8 @@ mod tests {
         );
 
         // Line 4 of the nets file references an unknown cell.
-        let nodes = "UCLA nodes 1.0\n# circuit x\n    a 1 1 terminal # in 0\n    b 1 1 # logic 0.1\n";
+        let nodes =
+            "UCLA nodes 1.0\n# circuit x\n    a 1 1 terminal # in 0\n    b 1 1 # logic 0.1\n";
         let nets = "UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n0 # 0.5\n    bogus O\n    b I\n";
         let err = parse_bookshelf(nodes, nets).unwrap_err();
         assert!(

@@ -110,7 +110,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseError> {
         };
         match keyword {
             "circuit" => {
-                let n = tokens.next().ok_or_else(|| syntax("missing circuit name"))?;
+                let n = tokens
+                    .next()
+                    .ok_or_else(|| syntax("missing circuit name"))?;
                 name = Some(n.to_string());
                 builder = Some(NetlistBuilder::new(n));
             }

@@ -91,7 +91,8 @@ impl CircuitGenerator {
     pub fn generate(&self) -> Netlist {
         let cfg = &self.config;
         assert!(
-            cfg.num_cells >= cfg.num_inputs + cfg.num_outputs + cfg.num_flip_flops + cfg.logic_depth,
+            cfg.num_cells
+                >= cfg.num_inputs + cfg.num_outputs + cfg.num_flip_flops + cfg.logic_depth,
             "configuration does not leave room for logic cells"
         );
         assert!(cfg.logic_depth >= 1, "logic depth must be at least 1");
@@ -124,7 +125,11 @@ impl CircuitGenerator {
                 ff_left -= 1;
                 (CellKind::FlipFlop, format!("ff{i}"), 0.20)
             } else {
-                (CellKind::Logic, format!("g{i}"), 0.05 + rng.gen::<f64>() * 0.15)
+                (
+                    CellKind::Logic,
+                    format!("g{i}"),
+                    0.05 + rng.gen::<f64>() * 0.15,
+                )
             };
             let width = rng.gen_range(2..=8u32);
             let id = builder.add_cell(Cell::new(name, kind, width, delay));
@@ -156,6 +161,9 @@ impl CircuitGenerator {
         }
         pool_start_of_level[out_level + 1] = pool.len();
 
+        // Indexing (not iterating) `level_of` keeps the bounds check that
+        // guards the builder/level bookkeeping staying in sync.
+        #[allow(clippy::needless_range_loop)]
         for cell_idx in 0..total_cells {
             let id = CellId::from(cell_idx);
             let level = level_of[cell_idx];
@@ -171,7 +179,7 @@ impl CircuitGenerator {
                 if r < 0.25 {
                     1
                 } else if r < 0.25 + (cfg.avg_fanin - 1.5).clamp(0.0, 1.0) * 0.5 {
-                    3.min(4)
+                    3
                 } else if r > 0.95 {
                     4
                 } else {
@@ -222,11 +230,11 @@ impl CircuitGenerator {
         }
 
         // Build the nets: one net per driving cell.
-        for cell_idx in 0..total_cells {
-            if sinks_of[cell_idx].is_empty() {
+        for (cell_idx, sink_slot) in sinks_of.iter_mut().enumerate() {
+            if sink_slot.is_empty() {
                 continue;
             }
-            let mut sinks = std::mem::take(&mut sinks_of[cell_idx]);
+            let mut sinks = std::mem::take(sink_slot);
             sinks.sort_unstable();
             sinks.dedup();
             // Switching probability: skewed towards low activity with a few

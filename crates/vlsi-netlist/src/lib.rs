@@ -50,8 +50,8 @@ pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};
 /// Convenience prelude bringing the common netlist types into scope.
 pub mod prelude {
     pub use crate::bench_suite::{
-        extended_circuit, extended_suite, full_suite, paper_circuit, paper_suite,
-        ExtendedCircuit, PaperCircuit, SuiteCircuit,
+        extended_circuit, extended_suite, full_suite, paper_circuit, paper_suite, ExtendedCircuit,
+        PaperCircuit, SuiteCircuit,
     };
     pub use crate::bookshelf::{
         load_bookshelf, parse_bookshelf, save_bookshelf, write_bookshelf, BookshelfPair,

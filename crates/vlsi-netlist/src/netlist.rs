@@ -41,7 +41,10 @@ impl std::fmt::Display for NetlistError {
             NetlistError::DuplicateNetName(n) => write!(f, "duplicate net name `{n}`"),
             NetlistError::EmptyNet(n) => write!(f, "net `{n}` has no sinks"),
             NetlistError::InvalidSwitchingProbability { net, value } => {
-                write!(f, "net `{net}` has switching probability {value} outside [0,1]")
+                write!(
+                    f,
+                    "net `{net}` has switching probability {value} outside [0,1]"
+                )
             }
             NetlistError::ZeroWidthCell(n) => write!(f, "cell `{n}` has zero width"),
         }
@@ -156,16 +159,14 @@ impl Netlist {
     #[inline]
     pub fn nets_driven_by(&self, cell: CellId) -> &[NetId] {
         let i = cell.index();
-        &self.cell_net_arena
-            [self.cell_net_split[i] as usize..self.cell_net_offsets[i + 1] as usize]
+        &self.cell_net_arena[self.cell_net_split[i] as usize..self.cell_net_offsets[i + 1] as usize]
     }
 
     /// Nets for which `cell` is a sink (the cell's fan-in nets).
     #[inline]
     pub fn nets_feeding(&self, cell: CellId) -> &[NetId] {
         let i = cell.index();
-        &self.cell_net_arena
-            [self.cell_net_offsets[i] as usize..self.cell_net_split[i] as usize]
+        &self.cell_net_arena[self.cell_net_offsets[i] as usize..self.cell_net_split[i] as usize]
     }
 
     /// All nets touching `cell` in either role (fan-in first, then driven),

@@ -180,7 +180,7 @@ pub fn extract_paths(netlist: &Netlist, config: &PathExtractionConfig) -> Vec<Pa
             expansions += 1;
             let last = *p.cells.last().expect("path always has a head");
             let kind = netlist.cell(last).kind;
-            let terminal = kind.is_path_sink() && p.len() > 0;
+            let terminal = kind.is_path_sink() && !p.is_empty();
             if terminal {
                 if p.len() >= config.min_depth {
                     completed.push(p);
@@ -214,7 +214,7 @@ pub fn extract_paths(netlist: &Netlist, config: &PathExtractionConfig) -> Vec<Pa
                 frontier.push(np);
             }
         }
-        completed.sort_by(|a, b| b.len().cmp(&a.len()));
+        completed.sort_by_key(|p| std::cmp::Reverse(p.len()));
         paths.extend(completed.into_iter().take(4));
     }
 

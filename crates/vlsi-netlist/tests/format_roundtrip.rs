@@ -21,18 +21,26 @@ use vlsi_netlist::Netlist;
 /// Strategy over generator configurations spanning tiny to mid-size
 /// circuits with varied I/O mixes and connectivity.
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (40usize..300, 4usize..20, 4usize..20, 2usize..30, 3usize..12, any::<u64>()).prop_map(
-        |(logic, inputs, outputs, ffs, depth, seed)| GeneratorConfig {
-            name: format!("rt_{seed}"),
-            num_cells: logic + inputs + outputs + ffs + depth + 2,
-            num_inputs: inputs,
-            num_outputs: outputs,
-            num_flip_flops: ffs,
-            logic_depth: depth,
-            avg_fanin: 2.2,
-            seed,
-        },
+    (
+        40usize..300,
+        4usize..20,
+        4usize..20,
+        2usize..30,
+        3usize..12,
+        any::<u64>(),
     )
+        .prop_map(
+            |(logic, inputs, outputs, ffs, depth, seed)| GeneratorConfig {
+                name: format!("rt_{seed}"),
+                num_cells: logic + inputs + outputs + ffs + depth + 2,
+                num_inputs: inputs,
+                num_outputs: outputs,
+                num_flip_flops: ffs,
+                logic_depth: depth,
+                avg_fanin: 2.2,
+                seed,
+            },
+        )
 }
 
 fn generate(cfg: &GeneratorConfig) -> Netlist {
@@ -134,8 +142,8 @@ fn every_suite_circuit_roundtrips_through_bookshelf() {
     for circuit in SuiteCircuit::ALL {
         let original = circuit.generate();
         let pair = write_bookshelf(&original);
-        let parsed = parse_bookshelf(&pair.nodes, &pair.nets)
-            .unwrap_or_else(|e| panic!("{circuit}: {e}"));
+        let parsed =
+            parse_bookshelf(&pair.nodes, &pair.nets).unwrap_or_else(|e| panic!("{circuit}: {e}"));
         assert!(
             netlists_identical(&original, &parsed),
             "{circuit}: bookshelf round-trip is not the identity"
@@ -149,8 +157,8 @@ fn every_suite_circuit_roundtrips_through_bookshelf() {
 fn every_suite_circuit_roundtrips_through_the_text_format() {
     for circuit in SuiteCircuit::ALL {
         let original = circuit.generate();
-        let parsed = parse_netlist(&write_netlist(&original))
-            .unwrap_or_else(|e| panic!("{circuit}: {e}"));
+        let parsed =
+            parse_netlist(&write_netlist(&original)).unwrap_or_else(|e| panic!("{circuit}: {e}"));
         assert!(
             netlists_identical(&original, &parsed),
             "{circuit}: text round-trip is not the identity"

@@ -8,8 +8,15 @@ use vlsi_netlist::{CellKind, Netlist};
 
 /// Strategy producing a wide range of generator configurations.
 fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
-    (60usize..400, 4usize..16, 4usize..16, 2usize..24, 4usize..14, any::<u64>()).prop_map(
-        |(cells, inputs, outputs, ffs, depth, seed)| {
+    (
+        60usize..400,
+        4usize..16,
+        4usize..16,
+        2usize..24,
+        4usize..14,
+        any::<u64>(),
+    )
+        .prop_map(|(cells, inputs, outputs, ffs, depth, seed)| {
             let num_cells = cells + inputs + outputs + ffs + depth + 4;
             GeneratorConfig {
                 name: format!("prop_{seed}"),
@@ -21,8 +28,7 @@ fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
                 avg_fanin: 2.2,
                 seed,
             }
-        },
-    )
+        })
 }
 
 fn generate(cfg: &GeneratorConfig) -> Netlist {

@@ -224,7 +224,13 @@ impl CostEvaluator {
         }
         let pins: Vec<(f64, f64)> = cells
             .iter()
-            .map(|&c| if c == cell { pos } else { placement.position(c) })
+            .map(|&c| {
+                if c == cell {
+                    pos
+                } else {
+                    placement.position(c)
+                }
+            })
             .collect();
         self.wl_model.estimate(&pins)
     }
@@ -483,7 +489,10 @@ mod tests {
     fn cell_cost_sums_incident_nets() {
         let (eval, placement) = evaluator(Objectives::WirelengthPowerDelay);
         let nl = Arc::clone(eval.netlist());
-        let cell = nl.cell_ids().find(|&c| nl.nets_of_cell(c).len() > 1).unwrap();
+        let cell = nl
+            .cell_ids()
+            .find(|&c| nl.nets_of_cell(c).len() > 1)
+            .unwrap();
         let cost = eval.cell_cost(&placement, cell);
         let expected: f64 = nl
             .nets_of_cell(cell)

@@ -241,12 +241,7 @@ impl TrialScorer {
     /// summaries stay valid while no cell other than `cell` moves — exactly
     /// the situation inside one allocation trial loop, where `cell` is ripped
     /// up and only hypothetically placed.
-    pub fn prepare_cell(
-        &mut self,
-        evaluator: &CostEvaluator,
-        placement: &Placement,
-        cell: CellId,
-    ) {
+    pub fn prepare_cell(&mut self, evaluator: &CostEvaluator, placement: &Placement, cell: CellId) {
         let netlist = evaluator.netlist();
         self.prepared.clear();
         self.hist.clear();
@@ -297,6 +292,12 @@ impl TrialScorer {
     /// row-lattice position). Requires a preceding
     /// [`TrialScorer::prepare_cell`] for this cell under the current
     /// placement; bitwise identical to [`CostEvaluator::cell_cost_at`].
+    ///
+    /// Takes `&self`: the prepared summaries are immutable once built, so one
+    /// prepared scorer can be **shared across worker threads** (`TrialScorer`
+    /// is `Sync`) and the candidate slots of one allocation scored in
+    /// parallel chunks — the intra-rank trial-scoring fan-out of
+    /// `sime_core::allocation`.
     pub fn prepared_cost_at(&self, pos: (f64, f64)) -> CellCost {
         let row = row_of_lattice_y(pos.1);
         let mut cost = CellCost::default();
@@ -314,15 +315,13 @@ impl TrialScorer {
                 }
                 WirelengthModel::SingleTrunkSteiner => {
                     let hist = &self.hist[s.hist_start as usize..s.hist_end as usize];
-                    let median_row =
-                        merged_median_row(hist, row, s.total_pins as usize / 2);
+                    let median_row = merged_median_row(hist, row, s.total_pins as usize / 2);
                     // All vertical distances are exact multiples of
                     // ROW_HEIGHT, so this reduction is exact and matches the
                     // oracle's pin-order sum bit for bit.
                     let mut branches = 0.0f64;
                     for &(r, c) in hist {
-                        branches += c as f64
-                            * ((r as f64 - median_row as f64) * ROW_HEIGHT).abs();
+                        branches += c as f64 * ((r as f64 - median_row as f64) * ROW_HEIGHT).abs();
                     }
                     branches += ((row as f64 - median_row as f64) * ROW_HEIGHT).abs();
                     (max_x - min_x) + branches
@@ -553,6 +552,51 @@ mod tests {
     }
 
     #[test]
+    fn prepared_scorer_is_shareable_across_threads() {
+        // The intra-rank trial-scoring fan-out scores candidate slots of one
+        // prepared cell from several worker threads at once; the prepared
+        // state must be readable through `&TrialScorer` (Sync) and produce
+        // the serial bits from every thread.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<TrialScorer>();
+
+        let (eval, mut placement) = setup(WirelengthModel::SingleTrunkSteiner);
+        let cell = eval
+            .netlist()
+            .cell_ids()
+            .max_by_key(|&c| eval.netlist().nets_of_cell(c).len())
+            .unwrap();
+        placement.remove_cell(cell);
+        let mut scorer = TrialScorer::for_evaluator(&eval);
+        scorer.prepare_cell(&eval, &placement, cell);
+        let positions: Vec<(f64, f64)> = (0..placement.num_rows())
+            .map(|row| placement.trial_position(cell, Slot { row, index: 0 }))
+            .collect();
+        let serial: Vec<CellCost> = positions
+            .iter()
+            .map(|&p| scorer.prepared_cost_at(p))
+            .collect();
+        let shared = &scorer;
+        let parallel: Vec<CellCost> = std::thread::scope(|scope| {
+            positions
+                .iter()
+                .map(|&p| scope.spawn(move || shared.prepared_cost_at(p)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.wirelength.to_bits(), b.wirelength.to_bits());
+            assert_eq!(a.power.to_bits(), b.power.to_bits());
+            assert_eq!(
+                a.critical_wirelength.to_bits(),
+                b.critical_wirelength.to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn scorer_matches_oracle_trial_scores_bitwise() {
         let (eval, mut placement) = setup(WirelengthModel::SingleTrunkSteiner);
         let mut scorer = TrialScorer::for_evaluator(&eval);
@@ -596,14 +640,24 @@ mod tests {
                     let pos = placement.trial_position(cell, Slot { row, index });
                     let naive = eval.cell_cost_at(&placement, cell, pos);
                     let fast = scorer.prepared_cost_at(pos);
-                    assert_eq!(naive.wirelength.to_bits(), fast.wirelength.to_bits(), "{model:?}");
+                    assert_eq!(
+                        naive.wirelength.to_bits(),
+                        fast.wirelength.to_bits(),
+                        "{model:?}"
+                    );
                     assert_eq!(naive.power.to_bits(), fast.power.to_bits());
                     assert_eq!(
                         naive.critical_wirelength.to_bits(),
                         fast.critical_wirelength.to_bits()
                     );
                 }
-                placement.insert_cell(cell, Slot { row: back, index: 0 });
+                placement.insert_cell(
+                    cell,
+                    Slot {
+                        row: back,
+                        index: 0,
+                    },
+                );
             }
         }
     }
@@ -628,7 +682,11 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "round {round} net {n}");
             }
         }
-        assert_eq!(cache.full_refreshes(), 1, "mutations must take the delta path");
+        assert_eq!(
+            cache.full_refreshes(),
+            1,
+            "mutations must take the delta path"
+        );
         assert!(cache.delta_refreshes() > 0);
     }
 

@@ -37,9 +37,9 @@ pub mod layout;
 pub mod wirelength;
 
 pub use cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
-pub use kernel::{NetLengthCache, TrialScorer};
 pub use fuzzy::{FuzzyConfig, FuzzyLevel};
 pub use goodness::{GoodnessEvaluator, GoodnessVector};
+pub use kernel::{NetLengthCache, TrialScorer};
 pub use layout::{Placement, PlacementError, Slot};
 pub use wirelength::{hpwl, single_trunk_steiner, WirelengthModel};
 

@@ -11,18 +11,13 @@
 use serde::{Deserialize, Serialize};
 
 /// Which per-net estimator the cost model uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum WirelengthModel {
     /// Single-trunk Steiner approximation (the paper's estimator).
+    #[default]
     SingleTrunkSteiner,
     /// Half-perimeter of the pin bounding box.
     HalfPerimeter,
-}
-
-impl Default for WirelengthModel {
-    fn default() -> Self {
-        WirelengthModel::SingleTrunkSteiner
-    }
 }
 
 impl WirelengthModel {
@@ -119,14 +114,14 @@ mod tests {
     #[test]
     fn model_dispatch() {
         let pins = [(0.0, 0.0), (10.0, 8.0), (5.0, 16.0)];
-        assert_eq!(
-            WirelengthModel::HalfPerimeter.estimate(&pins),
-            hpwl(&pins)
-        );
+        assert_eq!(WirelengthModel::HalfPerimeter.estimate(&pins), hpwl(&pins));
         assert_eq!(
             WirelengthModel::SingleTrunkSteiner.estimate(&pins),
             single_trunk_steiner(&pins)
         );
-        assert_eq!(WirelengthModel::default(), WirelengthModel::SingleTrunkSteiner);
+        assert_eq!(
+            WirelengthModel::default(),
+            WirelengthModel::SingleTrunkSteiner
+        );
     }
 }

@@ -24,7 +24,11 @@ fn arb_netlist() -> impl Strategy<Value = (Arc<Netlist>, u64)> {
     })
 }
 
-fn evaluator(netlist: &Arc<Netlist>, model: WirelengthModel, objectives: Objectives) -> CostEvaluator {
+fn evaluator(
+    netlist: &Arc<Netlist>,
+    model: WirelengthModel,
+    objectives: Objectives,
+) -> CostEvaluator {
     CostEvaluator::with_models(
         Arc::clone(netlist),
         objectives,

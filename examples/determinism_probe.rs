@@ -17,14 +17,22 @@ fn main() {
         (150, 5, Objectives::WirelengthPower),
         (130, 7, Objectives::WirelengthPowerDelay),
     ] {
-        let nl = Arc::new(CircuitGenerator::new(GeneratorConfig::sized("probe", cells, seed)).generate());
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("probe", cells, seed)).generate(),
+        );
         let mut config = SimEConfig::fast(obj, 6, 15);
         config.seed = seed;
         let r = SimEEngine::new(nl, config).run();
         println!("cells={cells} seed={seed} obj={:?}", obj);
         for h in &r.history {
-            println!("  it={} mu={:.17e} wl={:.17e} sel={} tp={}", h.iteration, h.mu, h.cost.wirelength, h.selected, h.allocation.trial_positions);
+            println!(
+                "  it={} mu={:.17e} wl={:.17e} sel={} tp={}",
+                h.iteration, h.mu, h.cost.wirelength, h.selected, h.allocation.trial_positions
+            );
         }
-        println!("  best mu={:.17e} wl={:.17e}", r.best_cost.mu, r.best_cost.wirelength);
+        println!(
+            "  best mu={:.17e} wl={:.17e}",
+            r.best_cost.mu, r.best_cost.wirelength
+        );
     }
 }

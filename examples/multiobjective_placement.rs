@@ -9,7 +9,9 @@ use sime_placement::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s1238".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s1238".to_string());
     let circuit = PaperCircuit::from_name(&name).unwrap_or_else(|| {
         eprintln!("unknown circuit `{name}`, falling back to s1238");
         PaperCircuit::S1238
@@ -23,7 +25,10 @@ fn main() {
     );
 
     let iterations = 150;
-    for objectives in [Objectives::WirelengthPower, Objectives::WirelengthPowerDelay] {
+    for objectives in [
+        Objectives::WirelengthPower,
+        Objectives::WirelengthPowerDelay,
+    ] {
         println!("\n=== objectives: {} ===", objectives.label());
         let config = SimEConfig::paper_defaults(objectives, circuit.num_rows(), iterations);
         let engine = SimEEngine::new(Arc::clone(&netlist), config);

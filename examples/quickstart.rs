@@ -8,9 +8,8 @@ use std::sync::Arc;
 
 fn main() {
     // 1. A small synthetic circuit (200 cells, deterministic seed).
-    let netlist = Arc::new(
-        CircuitGenerator::new(GeneratorConfig::sized("quickstart", 200, 7)).generate(),
-    );
+    let netlist =
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("quickstart", 200, 7)).generate());
     let stats = netlist.stats();
     println!(
         "circuit `{}`: {} cells, {} nets, avg fanout {:.2}, {} flip-flops",

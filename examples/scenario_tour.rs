@@ -35,7 +35,11 @@ fn main() {
         stats.nets,
         stats.pins,
         circuit.num_rows(),
-        if circuit.is_extended() { "extended" } else { "paper" }
+        if circuit.is_extended() {
+            "extended"
+        } else {
+            "paper"
+        }
     );
     let dir = std::env::temp_dir().join("sime_scenario_tour");
     std::fs::create_dir_all(&dir).expect("create dump dir");
@@ -59,6 +63,7 @@ fn main() {
         iterations: if circuit.is_extended() { 4 } else { 8 },
         objectives: Objectives::WirelengthPower,
         workers: None,
+        eval_chunks: 1,
     };
     // Register the *reloaded* netlist so the scenario really runs on the
     // circuit that went through the dump/reload cycle (and the driver does
@@ -80,5 +85,8 @@ fn main() {
 
     // 4. The determinism contract, made visible: one fingerprint.
     assert_eq!(modeled.fingerprint, threaded.fingerprint);
-    println!("\nbackends agree bitwise; golden fingerprint:\n{}", modeled.fingerprint.to_text(&spec));
+    println!(
+        "\nbackends agree bitwise; golden fingerprint:\n{}",
+        modeled.fingerprint.to_text(&spec)
+    );
 }

@@ -6,9 +6,8 @@ use sime_placement::prelude::*;
 use std::sync::Arc;
 
 fn small_engine(objectives: Objectives, iterations: usize, seed: u64) -> SimEEngine {
-    let netlist = Arc::new(
-        CircuitGenerator::new(GeneratorConfig::sized("e2e", 180, seed)).generate(),
-    );
+    let netlist =
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("e2e", 180, seed)).generate());
     let mut config = SimEConfig::paper_defaults(objectives, 10, iterations);
     config.seed = seed;
     SimEEngine::new(netlist, config)
@@ -92,7 +91,10 @@ fn the_three_strategies_reproduce_the_papers_relative_ordering() {
 
 #[test]
 fn type2_placements_stay_legal_for_both_patterns_and_objectives() {
-    for objectives in [Objectives::WirelengthPower, Objectives::WirelengthPowerDelay] {
+    for objectives in [
+        Objectives::WirelengthPower,
+        Objectives::WirelengthPowerDelay,
+    ] {
         let engine = small_engine(objectives, 5, 11);
         for pattern in [RowPattern::Fixed, RowPattern::Random] {
             let outcome = run_type2(
@@ -113,15 +115,20 @@ fn type2_placements_stay_legal_for_both_patterns_and_objectives() {
     }
 }
 
+/// A boxed strategy launcher, parameterised over the execution backend (used
+/// by the backend-equivalence sweep below).
+type StrategyRunner<'a> = Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome + 'a>;
+
 #[test]
 fn threaded_backend_is_bitwise_identical_to_modeled_for_every_strategy() {
     // The PR 3 determinism contract through the facade: for each strategy,
     // the Threaded backend at 1, 2 and 4 workers reproduces the Modeled run
     // bit for bit — best cost, modeled time, comm stats and the whole µ(s)
-    // trajectory. Only wall-clock may differ.
+    // trajectory — and so does the intra-rank EvalParallelism path (PR 5).
+    // Only wall-clock may differ.
     let engine = small_engine(Objectives::WirelengthPower, 6, 23);
     let cluster = ClusterConfig::paper_cluster(4);
-    let runs: Vec<(&str, Box<dyn Fn(&dyn ExecBackend) -> StrategyOutcome>)> = vec![
+    let runs: Vec<(&str, StrategyRunner<'_>)> = vec![
         (
             "type1",
             Box::new(|b: &dyn ExecBackend| {
@@ -210,6 +217,21 @@ fn threaded_backend_is_bitwise_identical_to_modeled_for_every_strategy() {
                 );
             }
         }
+        for chunks in [2, 4] {
+            let intra = run(&Threaded::new(2).with_eval_chunks(chunks));
+            assert_eq!(intra.backend, format!("threaded(2,ev{chunks})"));
+            assert_eq!(intra.eval_chunks, chunks);
+            assert_eq!(
+                modeled.best_cost.mu.to_bits(),
+                intra.best_cost.mu.to_bits(),
+                "{name} best µ diverged at {chunks} intra-rank chunks"
+            );
+            assert_eq!(
+                modeled.modeled_seconds.to_bits(),
+                intra.modeled_seconds.to_bits(),
+                "{name} modeled time diverged at {chunks} intra-rank chunks"
+            );
+        }
     }
 }
 
@@ -233,14 +255,14 @@ fn netlist_roundtrip_preserves_costs() {
 
 #[test]
 fn baseline_heuristics_run_on_the_same_cost_model_as_sime() {
-    let netlist = Arc::new(
-        CircuitGenerator::new(GeneratorConfig::sized("e2e_baselines", 120, 5)).generate(),
-    );
+    let netlist =
+        Arc::new(CircuitGenerator::new(GeneratorConfig::sized("e2e_baselines", 120, 5)).generate());
     let evaluator = CostEvaluator::new(Arc::clone(&netlist), Objectives::WirelengthPower);
     let initial = Placement::round_robin(&netlist, 8);
     let initial_mu = evaluator.mu(&initial);
 
-    let sa = SimulatedAnnealingPlacer::new(evaluator.clone(), SaConfig::fast(1)).run(initial.clone());
+    let sa =
+        SimulatedAnnealingPlacer::new(evaluator.clone(), SaConfig::fast(1)).run(initial.clone());
     let ga = GeneticPlacer::new(evaluator.clone(), GaConfig::fast(8, 1)).run(initial.clone());
     let ts = TabuSearchPlacer::new(evaluator.clone(), TabuConfig::fast(1)).run(initial);
 
@@ -265,11 +287,7 @@ fn thread_backed_cluster_agrees_with_a_serial_reduction() {
     let values: Vec<u64> = (0..64).collect();
     let total: u64 = values.iter().sum();
     let per_rank: Vec<u64> = Cluster::run(4, |mut h| {
-        let share: u64 = values
-            .iter()
-            .skip(h.rank())
-            .step_by(h.ranks())
-            .sum();
+        let share: u64 = values.iter().skip(h.rank()).step_by(h.ranks()).sum();
         let gathered = h.gather_to(0, share.to_le_bytes().to_vec(), 1);
         match gathered {
             Some(parts) => parts

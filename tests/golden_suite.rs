@@ -18,11 +18,32 @@
 //!
 //! and the re-bless must be called out in the PR description.
 
-use sime_parallel::batch::{golden_subset, BatchDriver, ScenarioSpec, TrajectoryFingerprint};
+use sime_parallel::batch::{
+    golden_subset, intra_rank_golden_subset, BatchDriver, ScenarioSpec, TrajectoryFingerprint,
+};
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Worker counts the threaded replay sweeps. CI's golden-suite matrix sets
+/// `SIME_GOLDEN_WORKERS` to pin one count per matrix leg; locally the full
+/// 1/2/4 sweep runs in one process.
+fn replay_worker_counts() -> Vec<usize> {
+    match std::env::var("SIME_GOLDEN_WORKERS") {
+        Ok(v) => {
+            let workers: usize = v.trim().parse().unwrap_or_else(|_| {
+                panic!("SIME_GOLDEN_WORKERS must be an integer >= 1, got `{v}`")
+            });
+            assert!(
+                workers >= 1,
+                "SIME_GOLDEN_WORKERS must be >= 1, got {workers}"
+            );
+            vec![workers]
+        }
+        Err(_) => vec![1, 2, 4],
+    }
 }
 
 /// Loads every golden file (spec + pinned fingerprint), sorted by filename
@@ -41,7 +62,11 @@ fn load_goldens() -> Vec<(String, ScenarioSpec, TrajectoryFingerprint)> {
             let text = std::fs::read_to_string(&path).unwrap();
             let (spec, fingerprint) = TrajectoryFingerprint::parse_text(&text)
                 .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
-            (path.file_name().unwrap().to_string_lossy().into_owned(), spec, fingerprint)
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                spec,
+                fingerprint,
+            )
         })
         .collect()
 }
@@ -89,14 +114,48 @@ fn golden_trajectories_replay_bitwise_on_the_threaded_backend() {
     // fingerprint must come out of the threaded backend at every worker
     // count, too. Engines are shared across worker counts through the
     // driver, so this stays a seconds-scale gate; the scenario_matrix
-    // binary additionally sweeps the full grid in CI.
+    // binary additionally sweeps the full grid in CI, and CI's worker-count
+    // matrix pins each leg via SIME_GOLDEN_WORKERS.
     let mut driver = BatchDriver::new();
     for (file, spec, pinned) in load_goldens() {
-        for workers in [1, 2, 4] {
+        for &workers in &replay_worker_counts() {
             let record = driver.run_cell(&spec.on_workers(Some(workers)));
             assert_eq!(
                 record.fingerprint, pinned,
                 "threaded({workers}) diverged from the pinned fingerprint of {file}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extended_tier_goldens_replay_bitwise_with_intra_rank_parallelism() {
+    // The intra-rank extension of the contract, file-backed: the pinned
+    // extended-tier scenarios (currently s9234 and s5378) replayed with the
+    // EvalParallelism knob at 1, 2 and 4 chunks must reproduce the pinned
+    // serial fingerprints to the bit. 1 chunk doubles as the plain threaded
+    // control; 2 and 4 exercise the chunked goodness pass and trial scoring
+    // at two different boundary layouts.
+    let dir = golden_dir();
+    let mut driver = BatchDriver::new();
+    let intra = intra_rank_golden_subset();
+    assert!(
+        !intra.is_empty(),
+        "the intra-rank golden subset must pin at least one extended-tier scenario"
+    );
+    for spec in intra {
+        let path = dir.join(format!("{}.golden", spec.id()));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let (_, pinned) = TrajectoryFingerprint::parse_text(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+        for chunks in [1usize, 2, 4] {
+            let record = driver.run_cell(&spec.on_workers(Some(2)).with_eval_chunks(chunks));
+            assert_eq!(
+                record.fingerprint,
+                pinned,
+                "threaded(2,ev{chunks}) diverged from the pinned fingerprint of {}",
+                spec.id()
             );
         }
     }

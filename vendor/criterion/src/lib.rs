@@ -117,7 +117,8 @@ impl BenchmarkGroup<'_> {
             .measurement_time
             .unwrap_or(self.criterion.measurement_time);
         let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
-        self.criterion.run_one(&full_id, measurement_time, sample_size, f);
+        self.criterion
+            .run_one(&full_id, measurement_time, sample_size, f);
         self
     }
 

@@ -72,6 +72,28 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// The sending half of an unbounded MPMC channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -112,6 +134,21 @@ pub mod channel {
             self.shared.ready.notify_one();
             Ok(())
         }
+
+        /// Enqueues `value` at the **front** of the queue, waking one blocked
+        /// receiver. A crossbeam extension (real crossbeam has no priority
+        /// lane): the worker pool uses it to keep nested sub-jobs ahead of
+        /// queued top-level jobs.
+        pub fn send_front(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_front(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -147,6 +184,33 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Blocks until a value is available, every sender is dropped, or
+        /// `timeout` elapses, whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self.shared.ready.wait_timeout(state, remaining).unwrap();
+                state = guard;
+                if result.timed_out() && state.items.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -213,6 +277,19 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_front_jumps_the_queue() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send_front(9).unwrap();
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(rx);
+        assert!(tx.send_front(0).is_err());
     }
 
     #[test]

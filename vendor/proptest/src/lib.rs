@@ -60,7 +60,10 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> O,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
     }
 
@@ -388,7 +391,7 @@ mod tests {
         #[test]
         fn prop_map_applies((n, _b) in arb_pair()) {
             prop_assert_eq!(n % 2, 0);
-            prop_assert!(n >= 2 && n < 100);
+            prop_assert!((2..100).contains(&n));
         }
     }
 
@@ -431,10 +434,7 @@ mod tests {
             // must hold programmatically: the original panic is resumed
             // unchanged, so the test harness sees the real assertion.
             let err = std::panic::catch_unwind(always_fails).unwrap_err();
-            let msg = err
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
             assert!(msg.contains("deliberate failure"), "{msg}");
         }
 

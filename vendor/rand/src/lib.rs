@@ -201,7 +201,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         <f64 as StandardSample>::sample_standard(self) < p
     }
 
@@ -212,7 +215,10 @@ pub trait Rng: RngCore {
     /// Panics if `denominator` is zero or `numerator > denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
         assert!(denominator > 0, "gen_ratio denominator must be non-zero");
-        assert!(numerator <= denominator, "gen_ratio numerator > denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator > denominator"
+        );
         uniform_u64_below(self, denominator as u64) < numerator as u64
     }
 }

@@ -146,7 +146,10 @@ mod tests {
         let mut sorted = words.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert!(sorted.len() > 12, "block words should be almost all distinct");
+        assert!(
+            sorted.len() > 12,
+            "block words should be almost all distinct"
+        );
     }
 
     #[test]
