@@ -1,27 +1,38 @@
 //! `perf_guard` — the perf-regression gate of the CI guardrail job.
 //!
-//! Compares a freshly generated `BENCH_PR2.json` (see `perf_report`) against
-//! the checked-in `BENCH_BASELINE.json` and fails (exit 1) when any guarded
-//! metric regressed beyond the relative tolerance.
+//! Two modes:
 //!
-//! The guarded metrics are deliberately **machine-relative ratios**, not raw
-//! nanoseconds: both sides of each ratio are measured in the same process on
-//! the same host, so the comparison is stable across runner generations while
-//! still catching real regressions of the hot paths:
+//! * **Baseline mode** (the default): compares a freshly generated
+//!   `BENCH_PR2.json` (see `perf_report`) against the checked-in
+//!   `BENCH_BASELINE.json` and fails (exit 1) when any guarded metric
+//!   regressed beyond the relative tolerance. The guarded metrics are
+//!   deliberately **machine-relative ratios**, not raw nanoseconds: both
+//!   sides of each ratio are measured in the same process on the same host,
+//!   so the comparison is stable across runner generations while still
+//!   catching real regressions of the hot paths:
 //!
-//! * `head_to_head.trial_scoring_48slots.speedup` — the allocation kernel's
-//!   advantage over the naive trial scorer (higher is better);
-//! * `head_to_head.full_net_lengths.speedup` — the evaluation kernel's
-//!   advantage over the naive full evaluation (higher is better);
-//! * `head_to_head.goodness_pass.ratio_vs_naive_eval` — the per-cell goodness
-//!   pass cost relative to a naive full evaluation on the same host (lower is
-//!   better).
+//!   * `head_to_head.trial_scoring_48slots.speedup` — the allocation
+//!     kernel's advantage over the naive trial scorer (higher is better);
+//!   * `head_to_head.full_net_lengths.speedup` — the evaluation kernel's
+//!     advantage over the naive full evaluation (higher is better);
+//!   * `head_to_head.goodness_pass.ratio_vs_naive_eval` — the per-cell
+//!     goodness pass cost relative to a naive full evaluation on the same
+//!     host (lower is better).
+//!
+//! * **`--pr6` mode**: gates a fresh `BENCH_PR6.json` (the persistent-epoch
+//!   snapshot) on absolute multi-core speedup floors — the fused windowed
+//!   iteration must reach ≥ 2× on a 4-worker pool versus serial, and the
+//!   exhaustive intra-rank path must not be slower than serial at 2 or 4
+//!   chunks. On a host with fewer than 4 cores the gate skips with a
+//!   notice instead of failing: the floors are statements about parallel
+//!   hardware, and a single-core container can only honestly report ≈ 1×.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json]
 //!            [--tolerance 0.25]
+//! perf_guard --pr6 [--fresh BENCH_PR6.json]
 //! ```
 //!
 //! `--tolerance 0.25` (the default) fails on a > 25 % relative regression.
@@ -43,7 +54,8 @@ enum Direction {
     LowerIsBetter,
 }
 
-/// One guarded metric: its dotted path in the report and its direction.
+/// One guarded metric of the baseline gate: its dotted path in the report
+/// and its direction.
 const GUARDED: [(&str, Direction); 3] = [
     (
         "head_to_head.trial_scoring_48slots.speedup",
@@ -59,22 +71,204 @@ const GUARDED: [(&str, Direction); 3] = [
     ),
 ];
 
+/// The `--pr6` floors: minimum host parallelism for the gate to apply, the
+/// fused windowed-iteration headline floor, and the intra-rank
+/// no-slower-than-serial floor.
+const PR6_MIN_HOST_PARALLELISM: f64 = 4.0;
+const PR6_WINDOWED_FLOOR: f64 = 2.0;
+const PR6_INTRA_RANK_FLOOR: f64 = 1.0;
+
+/// The outcome of one gate evaluation: every line to print (PASS, FAIL and
+/// SKIP alike, in order) plus the counts the exit code derives from. Pure
+/// data so the message content is unit-testable without files or exits.
+struct GateOutcome {
+    lines: Vec<String>,
+    checked: usize,
+    failures: usize,
+}
+
+impl GateOutcome {
+    fn new() -> Self {
+        GateOutcome {
+            lines: Vec::new(),
+            checked: 0,
+            failures: 0,
+        }
+    }
+
+    fn pass(&mut self, line: String) {
+        self.checked += 1;
+        self.lines.push(format!("  PASS {line}"));
+    }
+
+    fn fail(&mut self, line: String) {
+        self.failures += 1;
+        self.lines.push(format!("  FAIL {line}"));
+    }
+
+    fn skip(&mut self, line: String) {
+        self.lines.push(format!("  SKIP {line}"));
+    }
+}
+
+/// Evaluates the baseline gate: every guarded machine-relative ratio in
+/// `fresh` against `baseline` under the relative `tolerance`.
+fn evaluate_baseline_gate(baseline: &Json, fresh: &Json, tolerance: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::new();
+    for (path, direction) in GUARDED {
+        let Some(base) = baseline.number(path) else {
+            outcome.skip(format!(
+                "{path}: not in the baseline yet (re-pin to start guarding it)"
+            ));
+            continue;
+        };
+        let Some(current) = fresh.number(path) else {
+            outcome.fail(format!("{path}: missing from the fresh report"));
+            continue;
+        };
+        if !(base.is_finite() && current.is_finite()) || base <= 0.0 {
+            outcome.fail(format!(
+                "{path}: non-finite or non-positive values ({base} vs {current})"
+            ));
+            continue;
+        }
+        let (bound, ok, movement) = match direction {
+            Direction::HigherIsBetter => {
+                let bound = base * (1.0 - tolerance);
+                (bound, current >= bound, "min allowed")
+            }
+            Direction::LowerIsBetter => {
+                let bound = base * (1.0 + tolerance);
+                (bound, current <= bound, "max allowed")
+            }
+        };
+        if ok {
+            outcome.pass(format!(
+                "{path}: {current:.3} (baseline {base:.3}, {movement} {bound:.3})"
+            ));
+        } else {
+            outcome.fail(format!(
+                "{path}: {current:.3} regressed past {movement} {bound:.3} (baseline {base:.3})"
+            ));
+        }
+    }
+    outcome
+}
+
+/// Evaluates the `--pr6` persistent-epoch gate on a fresh `BENCH_PR6.json`.
+///
+/// Every failure line names the host parallelism and the pool/chunk
+/// configuration of the offending run alongside the achieved-vs-required
+/// ratio pair, so a red CI leg is diagnosable from the log alone.
+fn evaluate_pr6_gate(report: &Json) -> GateOutcome {
+    let mut outcome = GateOutcome::new();
+    let Some(host) = report.number("host_parallelism") else {
+        outcome.fail("host_parallelism: missing from the PR6 report".to_string());
+        return outcome;
+    };
+    let workers = report.number("pool_workers").unwrap_or(4.0) as usize;
+    if host < PR6_MIN_HOST_PARALLELISM {
+        outcome.skip(format!(
+            "persistent-epoch floors: host_parallelism={host} is below the \
+             {PR6_MIN_HOST_PARALLELISM} cores the floors assume — a \
+             {host}-core host can only honestly report ≈ 1×; run on a \
+             multi-core runner to gate"
+        ));
+        return outcome;
+    }
+
+    if report.get("bitwise_identical_across_configs") != Some(&Json::Bool(true)) {
+        outcome.fail(format!(
+            "bitwise_identical_across_configs: serial and threaded({workers}) \
+             runs disagreed on host_parallelism={host} — determinism before \
+             speed, fix this first"
+        ));
+    }
+
+    let floors = [
+        (
+            "windowed_speedup_threaded4_vs_serial",
+            PR6_WINDOWED_FLOOR,
+            format!("threaded({workers},ev4) windowed iteration"),
+        ),
+        (
+            "exhaustive_speedup_2_chunks_vs_serial",
+            PR6_INTRA_RANK_FLOOR,
+            format!("threaded({workers},ev2) exhaustive intra-rank path"),
+        ),
+        (
+            "exhaustive_speedup_4_chunks_vs_serial",
+            PR6_INTRA_RANK_FLOOR,
+            format!("threaded({workers},ev4) exhaustive intra-rank path"),
+        ),
+    ];
+    for (path, floor, config) in floors {
+        let Some(speedup) = report.number(path) else {
+            outcome.fail(format!(
+                "{path}: missing from the PR6 report (host_parallelism={host}, {config})"
+            ));
+            continue;
+        };
+        if speedup.is_finite() && speedup >= floor {
+            outcome.pass(format!(
+                "{path}: {speedup:.2}x >= {floor:.2}x floor \
+                 (host_parallelism={host}, {config})"
+            ));
+        } else {
+            outcome.fail(format!(
+                "{path}: {speedup:.2}x vs serial is below the {floor:.2}x floor \
+                 (host_parallelism={host}, {config})"
+            ));
+        }
+    }
+    outcome
+}
+
 fn load(path: &str) -> Json {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("perf_guard: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    Json::parse(&text).unwrap_or_else(|e| {
+    Json::parse_bytes(&bytes).unwrap_or_else(|e| {
         eprintln!("perf_guard: cannot parse {path}: {e}");
         std::process::exit(2);
     })
+}
+
+/// Prints an outcome's lines and exits non-zero on failures (or when a
+/// non-skippable gate checked nothing at all).
+fn finish(outcome: GateOutcome, empty_is_failure: bool, epilogue: &str) -> ! {
+    for line in &outcome.lines {
+        if line.trim_start().starts_with("FAIL") {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+    if outcome.checked == 0 && outcome.failures == 0 && empty_is_failure {
+        eprintln!("perf_guard: no guarded metric was checked — the gate compared nothing");
+        std::process::exit(1);
+    }
+    if outcome.failures > 0 {
+        eprintln!(
+            "perf_guard: {} metric(s) failed; {epilogue}",
+            outcome.failures
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf guard passed: {} metric(s) within bounds",
+        outcome.checked
+    );
+    std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json] [--tolerance 0.25]"
+            "perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json] [--tolerance 0.25]\n\
+             perf_guard --pr6 [--fresh BENCH_PR6.json]"
         );
         return;
     }
@@ -83,6 +277,22 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
+
+    if args.iter().any(|a| a == "--pr6") {
+        let fresh_path = arg("--fresh").unwrap_or_else(|| "BENCH_PR6.json".into());
+        let fresh = load(&fresh_path);
+        println!(
+            "perf guard (pr6): {fresh_path} vs the persistent-epoch floors \
+             (windowed >= {PR6_WINDOWED_FLOOR}x, exhaustive >= {PR6_INTRA_RANK_FLOOR}x)"
+        );
+        // A sub-4-core host legitimately checks nothing (skip-with-notice).
+        finish(
+            evaluate_pr6_gate(&fresh),
+            false,
+            "the floors are absolute; investigate the scheduler before re-running",
+        );
+    }
+
     let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_BASELINE.json".into());
     let fresh_path = arg("--fresh").unwrap_or_else(|| "BENCH_PR2.json".into());
     let tolerance: f64 = match arg("--tolerance") {
@@ -102,56 +312,154 @@ fn main() {
         "perf guard: {fresh_path} vs {baseline_path} (relative tolerance {:.0} %)",
         tolerance * 100.0
     );
+    let epilogue = format!(
+        "regressed beyond {:.0} %; if intentional, re-pin BENCH_BASELINE.json (see --help)",
+        tolerance * 100.0
+    );
+    finish(
+        evaluate_baseline_gate(&baseline, &fresh, tolerance),
+        true,
+        &epilogue,
+    );
+}
 
-    let mut failures = 0usize;
-    let mut checked = 0usize;
-    for (path, direction) in GUARDED {
-        let Some(base) = baseline.number(path) else {
-            println!("  SKIP {path}: not in the baseline yet (re-pin to start guarding it)");
-            continue;
-        };
-        let Some(current) = fresh.number(path) else {
-            eprintln!("  FAIL {path}: missing from the fresh report");
-            failures += 1;
-            continue;
-        };
-        if !(base.is_finite() && current.is_finite()) || base <= 0.0 {
-            eprintln!("  FAIL {path}: non-finite or non-positive values ({base} vs {current})");
-            failures += 1;
-            continue;
-        }
-        checked += 1;
-        let (bound, ok, movement) = match direction {
-            Direction::HigherIsBetter => {
-                let bound = base * (1.0 - tolerance);
-                (bound, current >= bound, "min allowed")
-            }
-            Direction::LowerIsBetter => {
-                let bound = base * (1.0 + tolerance);
-                (bound, current <= bound, "max allowed")
-            }
-        };
-        if ok {
-            println!("  PASS {path}: {current:.3} (baseline {base:.3}, {movement} {bound:.3})");
-        } else {
-            eprintln!("  FAIL {path}: {current:.3} regressed past {movement} {bound:.3} (baseline {base:.3})");
-            failures += 1;
-        }
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pr6_report(host: f64, windowed: f64, ev2: f64, ev4: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "report": "BENCH_PR6",
+                "pool_workers": 4,
+                "host_parallelism": {host},
+                "bitwise_identical_across_configs": true,
+                "windowed_speedup_threaded4_vs_serial": {windowed},
+                "exhaustive_speedup_2_chunks_vs_serial": {ev2},
+                "exhaustive_speedup_4_chunks_vs_serial": {ev4}
+            }}"#
+        ))
+        .unwrap()
     }
 
-    if checked == 0 && failures == 0 {
-        eprintln!(
-            "perf_guard: no guarded metric was present in the baseline — the gate compared nothing"
-        );
-        std::process::exit(1);
+    #[test]
+    fn pr6_gate_passes_on_a_fast_multicore_report() {
+        let outcome = evaluate_pr6_gate(&pr6_report(8.0, 2.4, 1.3, 1.9));
+        assert_eq!(outcome.failures, 0);
+        assert_eq!(outcome.checked, 3);
+        assert!(outcome.lines.iter().all(|l| l.contains("PASS")));
     }
-    if failures > 0 {
-        eprintln!(
-            "perf_guard: {failures} metric(s) regressed beyond {:.0} %; if intentional, re-pin \
-             BENCH_BASELINE.json (see --help)",
-            tolerance * 100.0
+
+    #[test]
+    fn pr6_gate_skips_with_notice_below_four_cores() {
+        let outcome = evaluate_pr6_gate(&pr6_report(1.0, 0.98, 0.97, 0.95));
+        assert_eq!(outcome.failures, 0, "a 1-core host must not fail the gate");
+        assert_eq!(outcome.checked, 0);
+        let notice = &outcome.lines[0];
+        assert!(notice.contains("SKIP"), "{notice}");
+        assert!(
+            notice.contains("host_parallelism=1"),
+            "the notice must name the host parallelism: {notice}"
         );
-        std::process::exit(1);
     }
-    println!("perf guard passed: {checked} metric(s) within tolerance");
+
+    #[test]
+    fn pr6_failure_messages_name_host_config_and_ratio_pair() {
+        let outcome = evaluate_pr6_gate(&pr6_report(8.0, 1.37, 1.3, 0.84));
+        assert_eq!(outcome.failures, 2);
+        assert_eq!(outcome.checked, 1);
+        let windowed = outcome
+            .lines
+            .iter()
+            .find(|l| l.contains("windowed_speedup_threaded4_vs_serial"))
+            .unwrap();
+        assert!(windowed.contains("FAIL"), "{windowed}");
+        assert!(
+            windowed.contains("host_parallelism=8"),
+            "failure must name the host parallelism: {windowed}"
+        );
+        assert!(
+            windowed.contains("threaded(4,ev4)"),
+            "failure must name the worker/chunk config: {windowed}"
+        );
+        assert!(
+            windowed.contains("1.37x") && windowed.contains("2.00x"),
+            "failure must show the achieved-vs-required ratio pair: {windowed}"
+        );
+        let ev4 = outcome
+            .lines
+            .iter()
+            .find(|l| l.contains("exhaustive_speedup_4_chunks_vs_serial"))
+            .unwrap();
+        assert!(
+            ev4.contains("FAIL") && ev4.contains("0.84x") && ev4.contains("1.00x"),
+            "{ev4}"
+        );
+    }
+
+    #[test]
+    fn pr6_gate_fails_on_a_bitwise_mismatch() {
+        let mut report = pr6_report(8.0, 2.4, 1.3, 1.9);
+        if let Json::Object(ref mut map) = report {
+            map.insert("bitwise_identical_across_configs".into(), Json::Bool(false));
+        }
+        let outcome = evaluate_pr6_gate(&report);
+        assert!(outcome.failures >= 1);
+        let line = outcome
+            .lines
+            .iter()
+            .find(|l| l.contains("bitwise_identical_across_configs"))
+            .unwrap();
+        assert!(
+            line.contains("FAIL") && line.contains("determinism"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn baseline_gate_messages_show_bound_and_baseline() {
+        let baseline = Json::parse(
+            r#"{"head_to_head": {
+                "trial_scoring_48slots": {"speedup": 6.0},
+                "full_net_lengths": {"speedup": 2.0},
+                "goodness_pass": {"ratio_vs_naive_eval": 0.5}
+            }}"#,
+        )
+        .unwrap();
+        let fresh = Json::parse(
+            r#"{"head_to_head": {
+                "trial_scoring_48slots": {"speedup": 4.0},
+                "full_net_lengths": {"speedup": 1.9},
+                "goodness_pass": {"ratio_vs_naive_eval": 0.52}
+            }}"#,
+        )
+        .unwrap();
+        let outcome = evaluate_baseline_gate(&baseline, &fresh, 0.25);
+        assert_eq!(outcome.failures, 1, "only trial scoring fell past 25 %");
+        assert_eq!(outcome.checked, 2);
+        let fail = outcome.lines.iter().find(|l| l.contains("FAIL")).unwrap();
+        assert!(
+            fail.contains("trial_scoring_48slots")
+                && fail.contains("4.000")
+                && fail.contains("4.500")
+                && fail.contains("baseline 6.000"),
+            "failure must show current, bound and baseline: {fail}"
+        );
+    }
+
+    #[test]
+    fn baseline_gate_skips_unpinned_metrics_and_fails_missing_fresh_ones() {
+        let baseline =
+            Json::parse(r#"{"head_to_head": {"trial_scoring_48slots": {"speedup": 6.0}}}"#)
+                .unwrap();
+        let fresh = Json::parse(r#"{"head_to_head": {}}"#).unwrap();
+        let outcome = evaluate_baseline_gate(&baseline, &fresh, 0.25);
+        assert_eq!(outcome.failures, 1, "pinned metric missing from fresh");
+        assert_eq!(outcome.checked, 0);
+        assert_eq!(
+            outcome.lines.iter().filter(|l| l.contains("SKIP")).count(),
+            2,
+            "unpinned metrics skip with a notice"
+        );
+    }
 }

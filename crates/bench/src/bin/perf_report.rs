@@ -24,13 +24,19 @@
 //!   over the serial path, and a bitwise cross-check. As with PR3, the
 //!   checked-in file from a single-core container honestly records ≈ 1×;
 //!   CI's perf-guardrail job regenerates it on multi-core runners.
+//! * `BENCH_PR6.json` — the persistent-epoch snapshot: one full fused SimE
+//!   iteration on `s15850`, serial versus a persistent 4-worker pool at 2
+//!   and 4 chunks, for both the windowed default allocation (wave-prepared
+//!   on the pool since PR 6) and the exhaustive stress shape. The headline
+//!   `windowed_speedup_threaded4_vs_serial` is what `perf_guard --pr6`
+//!   gates at ≥ 2× on multi-core CI runners.
 //!
 //! Usage:
-//! `perf_report [--only pr2|pr3|pr5] [--out PATH] [--out3 PATH] [--out5 PATH]
-//! [--iters N] [--scaling-iters N]`
-//! (defaults: all three reports, `BENCH_PR2.json`, `BENCH_PR3.json`,
-//! `BENCH_PR5.json`, 10 and 8 iterations; `--only` lets a CI job generate
-//! just the part it archives).
+//! `perf_report [--only pr2|pr3|pr5|pr6] [--out PATH] [--out3 PATH]
+//! [--out5 PATH] [--out6 PATH] [--iters N] [--scaling-iters N]`
+//! (defaults: all four reports, `BENCH_PR2.json`, `BENCH_PR3.json`,
+//! `BENCH_PR5.json`, `BENCH_PR6.json`, 10 and 8 iterations; `--only` lets a
+//! CI job generate just the part it archives).
 
 use cluster_sim::comm::WorkerPool;
 use cluster_sim::timeline::ClusterConfig;
@@ -343,6 +349,149 @@ fn intra_rank_report() -> String {
     )
 }
 
+/// Runs the persistent-epoch matrix and assembles the `BENCH_PR6` JSON: one
+/// full SimE iteration on `s15850`, serial versus a 4-worker persistent pool
+/// at 2 and 4 evaluation chunks, for both allocation envelopes. Unlike the
+/// PR 5 snapshot this measures the *fused* per-iteration epoch path: the
+/// wave-prepared windowed allocation, the fanned net-length refresh and the
+/// chunked goodness pass all ride the same long-lived worker lanes, so the
+/// `windowed` shape — ~98 % of serial runtime in allocation, previously
+/// pinned to one core — now scales too and carries the headline
+/// `windowed_speedup_threaded4_vs_serial`. The checked-in file from a
+/// single-core container honestly records ≈ 1×; the CI perf-guardrail job
+/// regenerates it on a multi-core runner and `perf_guard --pr6` gates it.
+fn persistent_epoch_report() -> String {
+    let circuit = SuiteCircuit::Extended(ExtendedCircuit::S15850);
+    let netlist = Arc::new(circuit.generate());
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    const POOL_WORKERS: usize = 4;
+    const REPS: usize = 2;
+    let pool = WorkerPool::new(POOL_WORKERS);
+
+    let configs: Vec<(&str, SimEConfig)> = vec![
+        (
+            "windowed",
+            SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1),
+        ),
+        ("exhaustive_s8", {
+            let mut config =
+                SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+            config.allocation = sime_core::allocation::AllocationConfig {
+                strategy: sime_core::allocation::AllocationStrategy::SortedBestFit,
+                trial_stride: 8,
+                ..Default::default()
+            };
+            config
+        }),
+    ];
+
+    let mut rows = String::new();
+    let mut bitwise_ok = true;
+    let mut windowed_headline = f64::NAN;
+    let mut exhaustive_ev2 = f64::NAN;
+    let mut exhaustive_ev4 = f64::NAN;
+    let mut first_row = true;
+    for (alloc_label, config) in configs {
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(1);
+        let initial = engine.initial_placement(&mut seed_rng);
+
+        let mut reference_bits: Option<(u64, u64, u64)> = None;
+        let mut serial_ns = 0u128;
+        for &chunks in &[1usize, 2, 4] {
+            let mut best_iter_ns = u128::MAX;
+            let mut best_alloc_ns = u128::MAX;
+            let mut end_bits = (0u64, 0u64, 0u64);
+            for _ in 0..REPS {
+                let ctx = if chunks > 1 {
+                    EvalContext::chunked(&pool, chunks)
+                } else {
+                    EvalContext::serial()
+                };
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                let mut placement = initial.clone();
+                let mut scratch = engine.new_scratch();
+                let mut profile = ProfileReport::new();
+                let t0 = Instant::now();
+                let (avg, _selected, _stats) = black_box(engine.iterate_on(
+                    &mut placement,
+                    &mut scratch,
+                    &mut rng,
+                    &mut profile,
+                    &[],
+                    &[],
+                    &ctx,
+                ));
+                best_iter_ns = best_iter_ns.min(t0.elapsed().as_nanos());
+                best_alloc_ns = best_alloc_ns.min(profile.time(Phase::Allocation).as_nanos());
+                let cost = engine.cost_with(&placement, &mut scratch);
+                end_bits = (cost.mu.to_bits(), cost.wirelength.to_bits(), avg.to_bits());
+            }
+            match reference_bits {
+                None => reference_bits = Some(end_bits),
+                Some(reference) => bitwise_ok &= reference == end_bits,
+            }
+            if chunks == 1 {
+                serial_ns = best_iter_ns;
+            }
+            let speedup = if serial_ns > 0 {
+                serial_ns as f64 / best_iter_ns as f64
+            } else {
+                f64::NAN
+            };
+            match (alloc_label, chunks) {
+                ("windowed", 4) => windowed_headline = speedup,
+                ("exhaustive_s8", 2) => exhaustive_ev2 = speedup,
+                ("exhaustive_s8", 4) => exhaustive_ev4 = speedup,
+                _ => {}
+            }
+            if !first_row {
+                rows.push_str(",\n");
+            }
+            first_row = false;
+            rows.push_str(&format!(
+                "    {{\"allocation\": \"{alloc_label}\", \"mode\": \"{mode}\", \
+                 \"eval_chunks\": {chunks}, \"reps\": {REPS}, \
+                 \"iteration_wall_ns\": {best_iter_ns}, \
+                 \"allocation_wall_ns\": {best_alloc_ns}, \
+                 \"speedup_vs_serial\": {speedup:.2}}}",
+                mode = if chunks > 1 { "threaded" } else { "serial" },
+            ));
+        }
+    }
+
+    let fmt_speedup = |s: f64| {
+        if s.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{s:.2}")
+        }
+    };
+    format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"report\": \"BENCH_PR6\",\n\
+         \x20 \"bench\": \"persistent_epoch\",\n\
+         \x20 \"circuit\": \"s15850\",\n\
+         \x20 \"cells\": {cells},\n\
+         \x20 \"nets\": {nets},\n\
+         \x20 \"iterations_per_run\": 1,\n\
+         \x20 \"pool_workers\": {POOL_WORKERS},\n\
+         \x20 \"host_parallelism\": {host_parallelism},\n\
+         \x20 \"bitwise_identical_across_configs\": {bitwise_ok},\n\
+         \x20 \"windowed_speedup_threaded4_vs_serial\": {headline},\n\
+         \x20 \"exhaustive_speedup_2_chunks_vs_serial\": {ev2},\n\
+         \x20 \"exhaustive_speedup_4_chunks_vs_serial\": {ev4},\n\
+         \x20 \"runs\": [\n{rows}\n  ]\n\
+         }}\n",
+        cells = netlist.num_cells(),
+        nets = netlist.num_nets(),
+        headline = fmt_speedup(windowed_headline),
+        ev2 = fmt_speedup(exhaustive_ev2),
+        ev4 = fmt_speedup(exhaustive_ev4),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg = |flag: &str| {
@@ -353,18 +502,20 @@ fn main() {
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_PR2.json".into());
     let out3_path = arg("--out3").unwrap_or_else(|| "BENCH_PR3.json".into());
     let out5_path = arg("--out5").unwrap_or_else(|| "BENCH_PR5.json".into());
+    let out6_path = arg("--out6").unwrap_or_else(|| "BENCH_PR6.json".into());
     let iters: usize = arg("--iters").and_then(|v| v.parse().ok()).unwrap_or(10);
     let scaling_iters: usize = arg("--scaling-iters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let only = arg("--only");
-    let (run_pr2, run_pr3, run_pr5) = match only.as_deref() {
-        None => (true, true, true),
-        Some("pr2") => (true, false, false),
-        Some("pr3") => (false, true, false),
-        Some("pr5") => (false, false, true),
+    let (run_pr2, run_pr3, run_pr5, run_pr6) = match only.as_deref() {
+        None => (true, true, true, true),
+        Some("pr2") => (true, false, false, false),
+        Some("pr3") => (false, true, false, false),
+        Some("pr5") => (false, false, true, false),
+        Some("pr6") => (false, false, false, true),
         Some(other) => {
-            eprintln!("unknown --only value '{other}' (expected 'pr2', 'pr3' or 'pr5')");
+            eprintln!("unknown --only value '{other}' (expected 'pr2', 'pr3', 'pr5' or 'pr6')");
             std::process::exit(2);
         }
     };
@@ -381,6 +532,12 @@ fn main() {
             std::fs::write(&out5_path, &json5).expect("write intra-rank scaling report");
             println!("wrote {out5_path}");
             print!("{json5}");
+        }
+        if run_pr6 {
+            let json6 = persistent_epoch_report();
+            std::fs::write(&out6_path, &json6).expect("write persistent-epoch report");
+            println!("wrote {out6_path}");
+            print!("{json6}");
         }
         return;
     }
@@ -544,5 +701,12 @@ fn main() {
         std::fs::write(&out5_path, &json5).expect("write intra-rank scaling report");
         println!("wrote {out5_path}");
         print!("{json5}");
+    }
+    if run_pr6 {
+        // -- Persistent-epoch snapshot (PR 6).
+        let json6 = persistent_epoch_report();
+        std::fs::write(&out6_path, &json6).expect("write persistent-epoch report");
+        println!("wrote {out6_path}");
+        print!("{json6}");
     }
 }

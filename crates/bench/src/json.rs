@@ -48,6 +48,59 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+impl fmt::Display for Json {
+    /// Renders the value back to JSON text. `parse(render(v))` reproduces `v`
+    /// exactly: strings re-escape, numbers use Rust's shortest round-tripping
+    /// `f64` format, object keys stay sorted (the `BTreeMap` order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => write!(f, "{n}"),
+            Json::String(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(map) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed, trailing
     /// garbage rejected).
@@ -63,6 +116,17 @@ impl Json {
             return Err(p.err("trailing characters after the JSON document"));
         }
         Ok(value)
+    }
+
+    /// Parses a JSON document from raw bytes, rejecting non-UTF-8 input with
+    /// the offset of the first invalid byte. Bench artifacts travel through
+    /// CI upload/download; this is the entry point for files read as bytes.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+            offset: e.valid_up_to(),
+            message: "invalid UTF-8 in JSON document".to_string(),
+        })?;
+        Json::parse(text)
     }
 
     /// Walks a dotted path of object keys (`"head_to_head.goodness_pass.ns"`).
@@ -347,6 +411,77 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        // parse(render(parse(x))) == parse(x) for a document exercising every
+        // value kind, nested containers, escapes and number formats.
+        let doc = r#"{
+            "empty_obj": {}, "empty_arr": [],
+            "nested": {"deep": [{"k": [1, 2.5, -3e2]}, null, true, false]},
+            "strings": ["plain", "esc \" \\ \n \r \t \b \f /", "unicode µ≥"],
+            "numbers": [0, -0.125, 1e3, 6.78]
+        }"#;
+        let first = Json::parse(doc).unwrap();
+        let rendered = first.to_string();
+        let second = Json::parse(&rendered).unwrap();
+        assert_eq!(first, second, "rendered form was: {rendered}");
+        // Rendering is a fixed point after one round.
+        assert_eq!(rendered, second.to_string());
+    }
+
+    #[test]
+    fn truncated_object_reports_the_cut() {
+        for bad in [
+            r#"{"a": 1, "#,
+            r#"{"a": {"b": 2}"#,
+            r#"{"a": [1, 2"#,
+            r#"{"a""#,
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(
+                err.offset <= bad.len(),
+                "offset {} beyond input for `{bad}`",
+                err.offset
+            );
+        }
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        for bad in [r#""\x""#, r#""\u12""#, r#""\uZZZZ""#, r#""tail\"#] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let json = Json::parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap();
+        assert_eq!(json.number("a"), Some(3.0), "JSON.parse semantics");
+        assert_eq!(json.number("b"), Some(2.0));
+        match json {
+            Json::Object(ref map) => assert_eq!(map.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_bytes_rejects_non_utf8() {
+        let mut bytes = br#"{"a": ""#.to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        bytes.extend_from_slice(br#""}"#);
+        let err = Json::parse_bytes(&bytes).unwrap_err();
+        assert!(
+            err.message.contains("UTF-8"),
+            "unexpected message: {}",
+            err.message
+        );
+        assert_eq!(err.offset, 7, "offset of the first invalid byte");
+
+        // Valid UTF-8 bytes parse exactly like the &str entry point.
+        let ok = Json::parse_bytes("{\"µ\": 1}".as_bytes()).unwrap();
+        assert_eq!(ok.number("µ"), Some(1.0));
     }
 
     #[test]

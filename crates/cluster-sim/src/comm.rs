@@ -15,8 +15,10 @@
 //! wall-clock measurements of threads on one shared-memory machine cannot
 //! reproduce a fast-Ethernet cluster's communication behaviour.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Barrier};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::lane::{PopError, WorkLane};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Duration;
 
 /// A point-to-point message: source rank, tag, payload.
@@ -152,39 +154,259 @@ impl RankHandle {
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 std::thread_local! {
-    /// Whether the current thread is a [`WorkerPool`] worker. Gates the
-    /// help-while-waiting path: a *worker* blocked on a nested batch must
-    /// execute queued jobs (or the pool could deadlock with every worker
-    /// waiting), while an *external* caller blocks passively — it neither
-    /// burns a spare core the benchmark did not ask for (the worker count
-    /// stays an honest throughput knob) nor busy-polls.
-    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Identity of the current thread when it is a [`WorkerPool`] worker:
+    /// `(pool address, lane index)`. Gates the help-while-waiting path: a
+    /// *worker* of the submitting pool blocked on a nested batch must keep
+    /// executing queued jobs (or the pool could deadlock with every worker
+    /// waiting), while an *external* caller — including a worker of some
+    /// other pool — blocks passively, so the worker count stays an honest
+    /// throughput knob and no spare core busy-polls.
+    static WORKER_IDENTITY: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
 }
 
-/// A persistent pool of OS worker threads fed through a crossbeam MPMC
-/// channel — the execution substrate of the `Threaded` backend in
+/// How long a helping worker parks on the epoch condvar between sweeps of
+/// the lanes. Epoch completion wakes the helper immediately; the timeout
+/// only bounds the latency of spotting fresh lane work that arrived while
+/// it slept.
+const HELP_PARK: Duration = Duration::from_micros(100);
+
+/// Slot-indexed result buffer for one `run_scoped_tasks` batch.
+///
+/// Each task owns exactly one slot: it writes its (caught) result there and
+/// decrements `remaining`; the final decrement flips `done` under the mutex
+/// and wakes every waiter. The caller reads the slots back **in index
+/// order**, which re-establishes submission order at the merge without any
+/// per-batch channel and independent of result arrival order.
+struct Epoch<T> {
+    slots: Vec<std::cell::UnsafeCell<Option<std::thread::Result<T>>>>,
+    /// Count of slots not yet resolved. The `AcqRel` decrement chains every
+    /// slot write into one release sequence, so a reader that observes zero
+    /// with acquire ordering sees all the writes.
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: each `UnsafeCell` slot is written by exactly one task (the unique
+// holder of its index) before that task's `remaining` decrement, and read
+// only by the single merging thread after it observed `remaining == 0` with
+// acquire ordering — the writes are disjoint and happen-before the reads.
+unsafe impl<T: Send> Sync for Epoch<T> {}
+
+impl<T> Epoch<T> {
+    fn new(tasks: usize) -> Self {
+        Epoch {
+            slots: (0..tasks)
+                .map(|_| std::cell::UnsafeCell::new(None))
+                .collect(),
+            remaining: AtomicUsize::new(tasks),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Records task `index`'s result and wakes the waiters if it was last.
+    fn complete(&self, index: usize, result: std::thread::Result<T>) {
+        // SAFETY: this task is the unique writer of slot `index`, and no
+        // reader touches the slot before `remaining` reaches zero.
+        unsafe { *self.slots[index].get() = Some(result) };
+        self.resolve(1);
+    }
+
+    /// Marks `count` slots that will never run (their submission failed) as
+    /// resolved, so the merge loop still terminates and can drain the tasks
+    /// that *are* in flight before panicking.
+    fn forfeit(&self, count: usize) {
+        if count > 0 {
+            self.resolve(count);
+        }
+    }
+
+    fn resolve(&self, count: usize) {
+        if self.remaining.fetch_sub(count, Ordering::AcqRel) == count {
+            *self.done.lock().unwrap() = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks passively until the batch completes (external callers).
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+
+    /// Parks for at most `timeout` or until the batch completes — the pause
+    /// between lane sweeps of a helping worker.
+    fn wait_timeout(&self, timeout: Duration) {
+        let done = self.done.lock().unwrap();
+        if !*done {
+            let _ = self.done_cv.wait_timeout(done, timeout).unwrap();
+        }
+    }
+
+    /// Takes task `index`'s result out of the buffer after completion;
+    /// `None` for a forfeited slot.
+    fn take(&self, index: usize) -> Option<std::thread::Result<T>> {
+        debug_assert!(self.is_done());
+        // SAFETY: `remaining == 0` was observed with acquire ordering, so
+        // every writer has finished and the merging thread is the only
+        // accessor left.
+        unsafe { (*self.slots[index].get()).take() }
+    }
+}
+
+/// State shared between the pool handle and its workers: one persistent
+/// [`WorkLane`] per worker plus the dispatch bookkeeping.
+struct PoolShared {
+    lanes: Vec<WorkLane<Job>>,
+    /// Bit `w` set ⇔ worker `w` is parked (or about to park) on its empty
+    /// lane. Dispatch claims an idle worker first so a sleeping thread is
+    /// woken ahead of piling work onto a busy one. Workers beyond index 63
+    /// never advertise; they still receive round-robin work and steal from
+    /// their siblings.
+    idle: AtomicU64,
+    /// Round-robin cursor for top-level dispatch when no worker is idle.
+    cursor: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Stable identity of this pool for the thread-local worker tag (the
+    /// `Arc` keeps the allocation pinned for the pool's lifetime).
+    fn address(&self) -> usize {
+        self as *const PoolShared as usize
+    }
+
+    fn idle_bit(worker: usize) -> Option<u64> {
+        (worker < u64::BITS as usize).then(|| 1u64 << worker)
+    }
+
+    /// Claims one advertising idle worker, clearing its bit.
+    fn claim_idle(&self) -> Option<usize> {
+        loop {
+            let mask = self.idle.load(Ordering::Relaxed);
+            if mask == 0 {
+                return None;
+            }
+            let worker = mask.trailing_zeros() as usize;
+            if self
+                .idle
+                .compare_exchange_weak(
+                    mask,
+                    mask & !(1 << worker),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return Some(worker);
+            }
+        }
+    }
+
+    /// Routes one job to a lane. A parked worker is woken first; failing
+    /// that, a *nested* submission (from worker `me`) jumps to the front of
+    /// the submitter's own lane — its helping merge loop drains that lane
+    /// next, so a barrier never waits behind long queued top-level jobs —
+    /// and a top-level submission round-robins across the lanes.
+    fn dispatch(&self, job: Job, me: Option<usize>) -> Result<(), Job> {
+        if let Some(worker) = self.claim_idle() {
+            return self.lanes[worker].push_front(job);
+        }
+        match me {
+            Some(worker) => self.lanes[worker].push_front(job),
+            None => {
+                let worker = self.cursor.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+                self.lanes[worker].push_back(job)
+            }
+        }
+    }
+
+    /// Takes one queued job from any lane, scanning from `start` for
+    /// fairness. Lanes pop front-first, so stolen work inherits the nested
+    /// jobs' priority.
+    fn steal(&self, start: usize) -> Option<Job> {
+        let lanes = self.lanes.len();
+        for offset in 0..lanes {
+            if let Ok(job) = self.lanes[(start + offset) % lanes].try_pop() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Body of one worker thread: drain the own lane, steal from siblings, and
+/// otherwise advertise idleness and park on the lane until a push (or
+/// shutdown) wakes it.
+fn worker_loop(shared: Arc<PoolShared>, me: usize) {
+    WORKER_IDENTITY.with(|id| id.set(Some((shared.address(), me))));
+    let bit = PoolShared::idle_bit(me);
+    loop {
+        match shared.lanes[me].try_pop() {
+            Ok(job) => {
+                job();
+                continue;
+            }
+            Err(PopError::Closed) => return,
+            Err(PopError::Empty) => {}
+        }
+        if let Some(job) = shared.steal(me + 1) {
+            job();
+            continue;
+        }
+        // Nothing anywhere: advertise, then park. The bit is set *before*
+        // the blocking pop takes the lane lock, so a dispatcher that claims
+        // it afterwards pushes into a lane this worker is provably about to
+        // watch — no lost wakeup.
+        if let Some(bit) = bit {
+            shared.idle.fetch_or(bit, Ordering::SeqCst);
+        }
+        let popped = shared.lanes[me].pop();
+        if let Some(bit) = bit {
+            // The dispatcher that woke us normally cleared the bit when it
+            // claimed us; clear defensively for close and spurious wakeups.
+            shared.idle.fetch_and(!bit, Ordering::SeqCst);
+        }
+        match popped {
+            Ok(job) => job(),
+            Err(_) => return,
+        }
+    }
+}
+
+/// A persistent pool of OS worker threads, each owning a long-lived
+/// [`WorkLane`] — the execution substrate of the `Threaded` backend in
 /// `sime-parallel`.
 ///
-/// Jobs are submitted through a shared unbounded channel and claimed by
-/// whichever worker is free (work stealing by queue contention); results
-/// travel back through a per-batch typed channel and are **merged in
-/// submission order**, so the output of [`WorkerPool::run_tasks`] is
-/// independent of the number of workers and of OS scheduling. That merge
-/// discipline is what lets the threaded SimE backend stay bitwise
-/// deterministic — see `DESIGN.md` §4 ("Execution backends & the determinism
-/// contract").
+/// Dispatch wakes a parked worker when one advertises idle and round-robins
+/// across the per-worker lanes otherwise; workers steal from their
+/// siblings' lanes before parking, so imbalanced batches still spread.
+/// Every batch of [`WorkerPool::run_tasks`] / [`WorkerPool::run_scoped_tasks`]
+/// resolves into a slot-indexed epoch buffer: each task writes its own slot
+/// and the caller reads the slots back **in submission (index) order**, so
+/// the merged output is independent of the number of workers and of OS
+/// scheduling. That merge discipline is what lets the threaded SimE backend
+/// stay bitwise deterministic — see `DESIGN.md` §4 ("Execution backends &
+/// the determinism contract").
 ///
 /// One pool serves both *rank-level* jobs (one task per simulated rank) and
 /// *intra-rank* jobs (the chunked goodness / trial-scoring fan-out inside one
 /// rank's task): a pool **worker** blocked in [`WorkerPool::run_tasks`] or
-/// [`WorkerPool::run_scoped_tasks`] **helps** by executing queued jobs from
-/// the shared channel while it waits, so a rank task running *on* a pool
-/// worker can submit sub-jobs to the same pool without risking deadlock even
-/// at one worker. Nested sub-jobs jump the job queue so a helping worker
-/// never picks up a long queued top-level job ahead of the short chunk work
-/// its barrier is waiting on. External (non-worker) callers block passively —
-/// the worker count stays an honest throughput knob for the scaling
-/// benchmarks.
+/// [`WorkerPool::run_scoped_tasks`] **helps** by draining its own lane and
+/// stealing from its siblings while it waits, so a rank task running *on* a
+/// pool worker can submit sub-jobs to the same pool without risking deadlock
+/// even at one worker. Nested sub-jobs go to the *front* of a lane so a
+/// helping worker never picks up a long queued top-level job ahead of the
+/// short chunk work its barrier is waiting on. External (non-worker) callers
+/// block passively on the epoch — the worker count stays an honest
+/// throughput knob for the scaling benchmarks.
 ///
 /// ```
 /// use cluster_sim::comm::WorkerPool;
@@ -208,37 +430,32 @@ std::thread_local! {
 /// assert_eq!(sums, vec![3, 7]);
 /// ```
 pub struct WorkerPool {
-    jobs: Option<Sender<Job>>,
-    /// Receiver clone of the shared job channel, used by blocked callers to
-    /// help execute queued jobs while they wait for their own batch.
-    steal: Receiver<Job>,
+    shared: Option<Arc<PoolShared>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns a pool of `workers` OS threads blocked on the shared job
-    /// channel.
+    /// Spawns a pool of `workers` OS threads, each parked on its own
+    /// persistent work lane.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "a worker pool needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(PoolShared {
+            lanes: (0..workers).map(|_| WorkLane::new()).collect(),
+            idle: AtomicU64::new(0),
+            cursor: AtomicUsize::new(0),
+        });
         let handles = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
-                std::thread::spawn(move || {
-                    IS_POOL_WORKER.with(|flag| flag.set(true));
-                    while let Ok(job) = rx.recv() {
-                        job();
-                    }
-                })
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared, worker))
             })
             .collect();
         WorkerPool {
-            jobs: Some(tx),
-            steal: rx,
+            shared: Some(shared),
             handles,
         }
     }
@@ -264,7 +481,9 @@ impl WorkerPool {
     ///
     /// A panic inside a task is caught on the worker (which stays alive for
     /// later batches) and re-raised on the calling thread once **every** task
-    /// of the batch has finished — at any worker count, with no hang.
+    /// of the batch has finished — at any worker count, with no hang. When
+    /// several tasks panic, the lowest-indexed panic is re-raised, so the
+    /// propagated payload is deterministic regardless of arrival order.
     pub fn run_tasks<T: Send + 'static>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
@@ -280,111 +499,91 @@ impl WorkerPool {
     /// # Safety argument
     ///
     /// The task closures are lifetime-erased to `'static` so they can travel
-    /// through the pool's job channel, which is sound because this method
+    /// through the pool's work lanes, which is sound because this method
     /// does not return — not even by unwinding — until every submitted task
-    /// has run to completion and sent its result back (panics included: they
-    /// are caught in the job wrapper, collected at the merge, and re-raised
-    /// only after the whole batch has been drained). No borrow can therefore
-    /// outlive the frame it was taken from.
+    /// has run to completion and resolved its epoch slot (panics included:
+    /// they are caught in the job wrapper, collected at the merge, and
+    /// re-raised only after the whole batch has been drained). No borrow can
+    /// therefore outlive the frame it was taken from.
     pub fn run_scoped_tasks<'env, T: Send + 'env>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
     ) -> Vec<T> {
+        let shared = self.shared.as_ref().expect("worker pool already shut down");
         let n = tasks.len();
-        let (tx, rx) = unbounded::<(usize, std::thread::Result<T>)>();
-        let jobs = self.jobs.as_ref().expect("worker pool already shut down");
-        // A batch submitted *from a worker thread* is a nested fan-out: its
-        // sub-jobs jump the queue (send_front) so that neither the submitting
-        // worker nor a helping sibling picks up a long queued top-level job
-        // ahead of the short chunk work the barrier is waiting on. Sub-jobs
-        // may execute in any order; the merge below re-establishes index
-        // order.
-        let on_worker = IS_POOL_WORKER.with(|flag| flag.get());
-        let mut submitted = 0usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        // A batch submitted *from a worker thread of this pool* is a nested
+        // fan-out and helps while it waits; anything else (external threads,
+        // workers of other pools) merges passively.
+        let me = WORKER_IDENTITY
+            .with(|id| id.get())
+            .and_then(|(pool, worker)| (pool == shared.address()).then_some(worker));
+        let epoch = Arc::new(Epoch::<T>::new(n));
         let mut submit_failed = false;
         for (index, task) in tasks.into_iter().enumerate() {
-            let tx = tx.clone();
+            let task_epoch = Arc::clone(&epoch);
             let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                 // AssertUnwindSafe: on Err the caller re-raises the panic and
                 // never observes the task's captured state again.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                let _ = tx.send((index, result));
+                task_epoch.complete(index, result);
             });
-            // SAFETY: lifetime erasure only — layout of a boxed trait object
-            // is lifetime-independent, and the merge loop below guarantees
-            // the job has finished before any `'env` borrow can expire (see
-            // the safety argument in the doc comment).
+            // SAFETY: lifetime erasure only — the layout of a boxed trait
+            // object is lifetime-independent, and the merge loop below
+            // guarantees the job has finished before any `'env` borrow can
+            // expire (see the safety argument in the doc comment).
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
-            let sent = if on_worker {
-                jobs.send_front(job)
-            } else {
-                jobs.send(job)
-            };
-            if sent.is_err() {
-                // Workers are gone; stop submitting, but still drain what is
-                // already in flight before panicking so no borrow dangles.
+            if shared.dispatch(job, me).is_err() {
+                // The lanes are closed — workers are gone. Forfeit this slot
+                // and the unsubmitted tail so the merge below still
+                // terminates, drain what *is* in flight so no borrow
+                // dangles, then panic.
+                epoch.forfeit(n - index);
                 submit_failed = true;
                 break;
             }
-            submitted += 1;
         }
-        drop(tx);
 
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        let mut received = 0usize;
-        let absorb =
-            |index: usize,
-             result: std::thread::Result<T>,
-             slots: &mut Vec<Option<T>>,
-             first_panic: &mut Option<Box<dyn std::any::Any + Send>>| {
-                match result {
-                    Ok(value) => slots[index] = Some(value),
-                    Err(payload) => {
-                        if first_panic.is_none() {
-                            *first_panic = Some(payload);
-                        }
+        match me {
+            Some(worker) => {
+                // Help while waiting: this thread occupies a worker slot, so
+                // it must keep executing queued jobs (its own front-queued
+                // sub-jobs first, by construction) or the pool could starve
+                // with every worker blocked on a nested merge.
+                while !epoch.is_done() {
+                    if let Ok(job) = shared.lanes[worker].try_pop() {
+                        job();
+                    } else if let Some(job) = shared.steal(worker + 1) {
+                        job();
+                    } else {
+                        epoch.wait_timeout(HELP_PARK);
                     }
-                }
-            };
-        if on_worker {
-            // Help while waiting: this thread occupies a worker slot, so it
-            // must keep executing queued jobs (its own front-queued sub-jobs
-            // first, by construction) or the pool could starve with every
-            // worker blocked on a nested merge.
-            while received < submitted {
-                match rx.try_recv() {
-                    Ok((index, result)) => {
-                        received += 1;
-                        absorb(index, result, &mut slots, &mut first_panic);
-                    }
-                    Err(TryRecvError::Disconnected) => {
-                        panic!("worker pool dropped a task result")
-                    }
-                    Err(TryRecvError::Empty) => match self.steal.try_recv() {
-                        Ok(job) => job(),
-                        Err(_) => match rx.recv_timeout(Duration::from_micros(100)) {
-                            Ok((index, result)) => {
-                                received += 1;
-                                absorb(index, result, &mut slots, &mut first_panic);
-                            }
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => {
-                                panic!("worker pool dropped a task result")
-                            }
-                        },
-                    },
                 }
             }
-        } else {
-            // External caller: block passively. The pool's workers do all the
-            // work, so `workers` remains an honest throughput knob for the
-            // scaling benchmarks and no cycles are burnt polling.
-            while received < submitted {
-                let (index, result) = rx.recv().expect("worker pool dropped a task result");
-                received += 1;
-                absorb(index, result, &mut slots, &mut first_panic);
+            // External caller: block passively on the epoch. The pool's
+            // workers do all the work, so `workers` remains an honest
+            // throughput knob for the scaling benchmarks and no cycles are
+            // burnt polling.
+            None => epoch.wait(),
+        }
+
+        // Merge in slot (submission) order; re-raise the lowest-indexed
+        // panic only now, after the whole batch has drained.
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut out = Vec::with_capacity(n);
+        for index in 0..n {
+            match epoch.take(index) {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(payload)) if first_panic.is_none() => {
+                    first_panic = Some(payload);
+                }
+                // Later panics are dropped — the lowest slot wins.
+                Some(Err(_)) => {}
+                // Forfeited slot — `submit_failed` reports it below.
+                None => {}
             }
         }
         if let Some(payload) = first_panic {
@@ -393,18 +592,20 @@ impl WorkerPool {
         if submit_failed {
             panic!("worker pool threads have exited");
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("worker pool produced a duplicate task index"))
-            .collect()
+        out
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the job channel lets every worker's `recv` return an error;
-        // join so no detached thread outlives the pool.
-        self.jobs.take();
+        // Closing every lane lets each worker drain its remaining jobs and
+        // exit its blocking pop; join so no detached thread outlives the
+        // pool.
+        if let Some(shared) = self.shared.take() {
+            for lane in &shared.lanes {
+                lane.close();
+            }
+        }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }

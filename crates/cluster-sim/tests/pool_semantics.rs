@@ -1,0 +1,164 @@
+//! Contract tests for `cluster_sim::comm::WorkerPool` edge cases that the
+//! persistent-lane rewrite must preserve.
+//!
+//! The pool is the concurrency spine of the threaded SimE backend, so its
+//! semantics are pinned here as an integration suite, independent of the
+//! unit tests inside the crate: zero-task epochs, panic propagation with
+//! pool reuse afterwards, nested `run_scoped_tasks` from a worker thread,
+//! and the priority of nested (front-of-lane) jobs over queued top-level
+//! work under contention.
+
+use cluster_sim::comm::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+type Task<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+fn boxed<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Task<T> {
+    Box::new(f)
+}
+
+#[test]
+fn zero_task_epoch_returns_immediately_and_leaves_the_pool_usable() {
+    let pool = WorkerPool::new(3);
+    for _ in 0..100 {
+        let empty: Vec<Task<u32>> = Vec::new();
+        assert_eq!(pool.run_tasks(empty), Vec::<u32>::new());
+    }
+    // The pool still executes real work after a storm of empty batches.
+    let tasks: Vec<Task<u32>> = (0..7u32).map(|i| boxed(move || i + 1)).collect();
+    assert_eq!(pool.run_tasks(tasks), vec![1, 2, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn task_panic_propagates_and_the_pool_is_reusable_afterwards() {
+    let pool = Arc::new(WorkerPool::new(2));
+    for round in 0..3 {
+        let survivor = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&survivor);
+        let tasks: Vec<Task<()>> = vec![
+            boxed(move || {
+                s.fetch_add(1, Ordering::SeqCst);
+            }),
+            boxed(move || panic!("pool semantics boom {round}")),
+        ];
+        let caught = {
+            let pool = Arc::clone(&pool);
+            // AssertUnwindSafe: the pool is designed to survive task panics;
+            // that survival is exactly what this test verifies.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || pool.run_tasks(tasks)))
+        };
+        let payload = caught.expect_err("the task panic must re-raise at the merge");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload should be the formatted message");
+        assert!(
+            message.contains(&format!("pool semantics boom {round}")),
+            "unexpected payload: {message}"
+        );
+        // The non-panicking task of the same batch ran to completion before
+        // the panic was re-raised (full-drain guarantee).
+        assert_eq!(survivor.load(Ordering::SeqCst), 1);
+        // And the pool survives for the next round.
+        let check: Vec<Task<usize>> = (0..4).map(|i| boxed(move || i * i)).collect();
+        assert_eq!(pool.run_tasks(check), vec![0, 1, 4, 9]);
+    }
+}
+
+#[test]
+fn nested_scoped_batches_from_worker_threads_merge_in_submission_order() {
+    // Every outer task fans out its own inner batch on the same pool; with
+    // fewer workers than outer tasks, some workers must help while blocked
+    // on their inner merge. Exercised at 1 worker (pure helping) and 4.
+    for workers in [1usize, 4] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        let outer: Vec<Task<Vec<usize>>> = (0..6usize)
+            .map(|o| {
+                let pool = Arc::clone(&pool);
+                boxed(move || {
+                    let inner: Vec<Task<usize>> =
+                        (0..5usize).map(|i| boxed(move || o * 10 + i)).collect();
+                    pool.run_tasks(inner)
+                })
+            })
+            .collect();
+        let results = pool.run_tasks(outer);
+        for (o, inner) in results.into_iter().enumerate() {
+            let expect: Vec<usize> = (0..5).map(|i| o * 10 + i).collect();
+            assert_eq!(inner, expect, "outer task {o} on {workers} worker(s)");
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_batches_do_not_deadlock_on_one_worker() {
+    // Three levels of nesting on a single worker: only the
+    // help-while-waiting path can make progress here.
+    let pool = Arc::new(WorkerPool::new(1));
+    let p1 = Arc::clone(&pool);
+    let tasks: Vec<Task<usize>> = vec![boxed(move || {
+        let p2 = Arc::clone(&p1);
+        let mid: Vec<Task<usize>> = vec![boxed(move || {
+            let leaf: Vec<Task<usize>> = (0..3).map(|i| boxed(move || i + 100)).collect();
+            p2.run_tasks(leaf).into_iter().sum()
+        })];
+        p1.run_tasks(mid)[0]
+    })];
+    assert_eq!(pool.run_tasks(tasks), vec![303]);
+}
+
+#[test]
+fn nested_jobs_take_priority_over_queued_top_level_work_under_contention() {
+    // One worker, so execution order is observable. While the worker is
+    // pinned inside an outer task, an external thread queues a flood of
+    // top-level jobs; the outer task then submits a nested batch. Nested
+    // jobs go to the *front* of the lane, so the helping worker must run
+    // all of them before any of the queued flood, and the flood only runs
+    // once the outer task has fully retired.
+    let pool = Arc::new(WorkerPool::new(1));
+    let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+    let worker_busy = Arc::new(Barrier::new(2));
+
+    let flood_pool = Arc::clone(&pool);
+    let flood_order = Arc::clone(&order);
+    let flood_gate = Arc::clone(&worker_busy);
+    let flood = std::thread::spawn(move || {
+        // Wait until the only worker is provably inside the outer task,
+        // then queue the top-level flood behind it.
+        flood_gate.wait();
+        let jobs: Vec<Task<()>> = (0..8)
+            .map(|_| {
+                let order = Arc::clone(&flood_order);
+                boxed(move || order.lock().unwrap().push("flood"))
+            })
+            .collect();
+        flood_pool.run_tasks(jobs);
+    });
+
+    let outer_pool = Arc::clone(&pool);
+    let outer_order = Arc::clone(&order);
+    let outer_gate = Arc::clone(&worker_busy);
+    let outer: Vec<Task<()>> = vec![boxed(move || {
+        // Release the flood thread, then give it time to enqueue. If the
+        // flood loses the race anyway the ordering assertion below still
+        // holds (it just exercises less contention) — the test cannot flake.
+        outer_gate.wait();
+        std::thread::sleep(Duration::from_millis(50));
+        let nested: Vec<Task<()>> = (0..4)
+            .map(|_| {
+                let order = Arc::clone(&outer_order);
+                boxed(move || order.lock().unwrap().push("nested"))
+            })
+            .collect();
+        outer_pool.run_tasks(nested);
+    })];
+
+    pool.run_tasks(outer);
+    flood.join().unwrap();
+    let log = order.lock().unwrap().clone();
+    assert_eq!(log.len(), 12);
+    assert_eq!(&log[..4], &vec!["nested"; 4][..], "full log: {log:?}");
+    assert_eq!(&log[4..], &vec!["flood"; 8][..], "full log: {log:?}");
+}

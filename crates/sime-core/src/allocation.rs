@@ -24,7 +24,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use vlsi_netlist::CellId;
 use vlsi_place::cost::CostEvaluator;
-use vlsi_place::kernel::TrialScorer;
+use vlsi_place::kernel::{PreparedCell, TrialScorer};
 use vlsi_place::layout::{Placement, Slot};
 
 /// Minimum candidate count before the trial-scoring loop fans out across
@@ -33,6 +33,13 @@ use vlsi_place::layout::{Placement, Slot};
 /// serial; the exhaustive extended-tier searches examine thousands and
 /// parallelise well).
 const PARALLEL_TRIAL_THRESHOLD: usize = 256;
+
+/// Cells prepared per parallel wave, as a multiple of the context's chunk
+/// count. The wave must be long enough to amortise one epoch of dispatch
+/// overhead over many `prepare_cell` passes, but short enough that few
+/// snapshots go stale (a snapshot is discarded when a net neighbour's row
+/// received an insertion after the wave was prepared).
+const PREPARE_WAVE_FACTOR: usize = 8;
 
 /// Reusable buffers for the allocation operator. Everything the former
 /// implementation allocated per cell (candidate lists, row orderings, the
@@ -55,6 +62,12 @@ pub struct AllocScratch {
     ys: Vec<f64>,
     /// Rows ordered by distance from the optimal y (windowed search).
     rows_by_distance: Vec<usize>,
+    /// Per-cell snapshot buffers for the parallel prepare wave of
+    /// [`allocate_all_on`] (reused across waves and calls).
+    prepared_cells: Vec<PreparedCell>,
+    /// Step counter of the last insertion into each row within the current
+    /// allocation pass (wave staleness tracking).
+    row_step: Vec<u64>,
 }
 
 impl AllocScratch {
@@ -67,6 +80,8 @@ impl AllocScratch {
             xs: Vec::new(),
             ys: Vec::new(),
             rows_by_distance: Vec::new(),
+            prepared_cells: Vec::new(),
+            row_step: Vec::new(),
         }
     }
 
@@ -235,6 +250,37 @@ pub fn allocate_cell_on<R: Rng + ?Sized>(
     rng: &mut R,
     ctx: &EvalContext<'_>,
 ) -> AllocationStats {
+    allocate_cell_inner(
+        evaluator,
+        scratch,
+        placement,
+        cell,
+        config,
+        allowed_rows,
+        rng,
+        ctx,
+        None,
+    )
+}
+
+/// The shared body of [`allocate_cell_on`] and the wave path of
+/// [`allocate_all_on`]. When `snapshot` is `Some`, the cell's per-net
+/// summaries were already built (on a worker thread, against the exact
+/// placement state this call observes — the caller is responsible for
+/// staleness) and trial slots are scored through the snapshot instead of
+/// re-running `prepare_cell`; the scores are bitwise identical either way.
+#[allow(clippy::too_many_arguments)]
+fn allocate_cell_inner<R: Rng + ?Sized>(
+    evaluator: &CostEvaluator,
+    scratch: &mut AllocScratch,
+    placement: &mut Placement,
+    cell: CellId,
+    config: &AllocationConfig,
+    allowed_rows: &[usize],
+    rng: &mut R,
+    ctx: &EvalContext<'_>,
+    snapshot: Option<&PreparedCell>,
+) -> AllocationStats {
     let nets_of_cell = evaluator.netlist().nets_of_cell(cell).len();
     let stride = config.trial_stride.max(1);
 
@@ -278,8 +324,11 @@ pub fn allocate_cell_on<R: Rng + ?Sized>(
     let mut best_slot = None;
     let mut best_score = f64::INFINITY;
     // One pass over the cell's pins up front; every candidate slot below is
-    // then scored from the per-net summaries in O(distinct rows).
-    scratch.scorer.prepare_cell(evaluator, placement, cell);
+    // then scored from the per-net summaries in O(distinct rows). A wave
+    // snapshot already holds those summaries, bit for bit.
+    if snapshot.is_none() {
+        scratch.scorer.prepare_cell(evaluator, placement, cell);
+    }
     let fan_out = match ctx.fan_out() {
         Some((pool, chunks))
             if config.strategy != AllocationStrategy::FirstFit
@@ -304,7 +353,10 @@ pub fn allocate_cell_on<R: Rng + ?Sized>(
                         let mut local_index = usize::MAX;
                         for i in range {
                             let pos = placement.trial_position(cell, candidates[i]);
-                            let cost = scorer.prepared_cost_at(pos);
+                            let cost = match snapshot {
+                                Some(prepared) => prepared.cost_at(pos),
+                                None => scorer.prepared_cost_at(pos),
+                            };
                             let score = evaluator.allocation_score(&cost);
                             if score < local_score {
                                 local_score = score;
@@ -329,7 +381,10 @@ pub fn allocate_cell_on<R: Rng + ?Sized>(
         for i in 0..scratch.candidates.len() {
             let slot = scratch.candidates[i];
             let pos = placement.trial_position(cell, slot);
-            let cost = scratch.scorer.prepared_cost_at(pos);
+            let cost = match snapshot {
+                Some(prepared) => prepared.cost_at(pos),
+                None => scratch.scorer.prepared_cost_at(pos),
+            };
             let score = evaluator.allocation_score(&cost);
             stats.trial_positions += 1;
             stats.net_evaluations += nets_of_cell;
@@ -478,8 +533,18 @@ pub fn allocate_all<R: Rng + ?Sized>(
 /// [`allocate_all`] under an explicit [`EvalContext`] — the cells are still
 /// re-inserted strictly one at a time (allocation is inherently sequential:
 /// every insertion changes the partial solution the next cell scores
-/// against); the context only parallelises each cell's *trial-scoring* loop
-/// via [`allocate_cell_on`], which is bitwise-neutral.
+/// against); the context parallelises each cell's *trial-scoring* loop via
+/// [`allocate_cell_on`], and — for the default windowed strategy, whose
+/// ~48-slot candidate list never reaches the trial fan-out threshold — the
+/// `prepare_cell` summary passes of whole *waves* of upcoming cells, both of
+/// which are bitwise-neutral.
+///
+/// The wave path is safe because a snapshot prepared at step `s` is only
+/// consumed if no net neighbour of its cell currently sits in a row that
+/// received an insertion after `s` (rows are re-packed on insertion, so an
+/// insertion may move every pin in its row); stale snapshots are discarded
+/// and the cell re-prepared serially, which is what the serial path does for
+/// every cell anyway.
 #[allow(clippy::too_many_arguments)]
 pub fn allocate_all_on<R: Rng + ?Sized>(
     evaluator: &CostEvaluator,
@@ -499,20 +564,117 @@ pub fn allocate_all_on<R: Rng + ?Sized>(
         placement.remove_cell(cell);
     }
     let mut stats = AllocationStats::default();
-    for &cell in selected.iter() {
-        let s = allocate_cell_on(
-            evaluator,
-            scratch,
-            placement,
-            cell,
-            config,
-            allowed_rows,
-            rng,
-            ctx,
-        );
-        stats.merge(&s);
+    let wave = match ctx.fan_out() {
+        // Waves only pay off where the per-cell trial loop stays serial; the
+        // exhaustive strategies already fan out per cell, and FirstFit /
+        // RandomWindow are rng- or order-sensitive enough to keep simple.
+        Some((pool, chunks))
+            if config.strategy == AllocationStrategy::WindowedBestFit
+                && selected.len() >= 2 * chunks =>
+        {
+            Some((pool, chunks))
+        }
+        _ => None,
+    };
+    if let Some((pool, chunks)) = wave {
+        let wave_len = (chunks * PREPARE_WAVE_FACTOR).min(selected.len());
+        let mut prepared = std::mem::take(&mut scratch.prepared_cells);
+        if prepared.len() < wave_len {
+            prepared.resize_with(wave_len, PreparedCell::new);
+        }
+        scratch.row_step.clear();
+        scratch.row_step.resize(placement.num_rows(), 0);
+        let mut row_step = std::mem::take(&mut scratch.row_step);
+        let model = evaluator.wirelength_model();
+        let mut step: u64 = 0;
+        let mut start = 0;
+        while start < selected.len() {
+            let end = (start + wave_len).min(selected.len());
+            let wave_cells = &selected[start..end];
+            let wave_step = step;
+            // Fan the summary passes of the whole wave out over the pool.
+            // Every selected cell is ripped up and the placement is immutable
+            // for the duration of the epoch, so each snapshot is built against
+            // exactly the state the serial path would observe at `wave_step`.
+            {
+                let placement = &*placement;
+                let mut rest = &mut prepared[..wave_cells.len()];
+                let mut at = 0;
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                for range in chunk_ranges(wave_cells.len(), chunks) {
+                    let (bufs, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+                    rest = tail;
+                    let cells = &wave_cells[at..at + range.len()];
+                    at += range.len();
+                    tasks.push(Box::new(move || {
+                        for (buf, &cell) in bufs.iter_mut().zip(cells) {
+                            buf.prepare(evaluator, placement, cell, model);
+                        }
+                    }));
+                }
+                pool.run_scoped_tasks(tasks);
+            }
+            for (i, &cell) in wave_cells.iter().enumerate() {
+                let fresh = snapshot_is_fresh(evaluator, placement, cell, &row_step, wave_step);
+                let s = allocate_cell_inner(
+                    evaluator,
+                    scratch,
+                    placement,
+                    cell,
+                    config,
+                    allowed_rows,
+                    rng,
+                    ctx,
+                    fresh.then_some(&prepared[i]),
+                );
+                stats.merge(&s);
+                step += 1;
+                row_step[placement.row_of(cell)] = step;
+            }
+            start = end;
+        }
+        scratch.prepared_cells = prepared;
+        scratch.row_step = row_step;
+    } else {
+        for &cell in selected.iter() {
+            let s = allocate_cell_on(
+                evaluator,
+                scratch,
+                placement,
+                cell,
+                config,
+                allowed_rows,
+                rng,
+                ctx,
+            );
+            stats.merge(&s);
+        }
     }
     stats
+}
+
+/// `true` when a wave snapshot prepared at `wave_step` is still bitwise
+/// exact for `cell`: none of its net neighbours sits in a row that received
+/// an insertion after the wave was prepared. Insertions re-pack their
+/// destination row, so this row-granular check conservatively covers both a
+/// neighbour being re-inserted *and* a neighbour being shifted by someone
+/// else's insertion. Still-ripped-up neighbours keep their last coordinates
+/// (exactly what the snapshot and a fresh serial prepare would both see);
+/// their stale row assignment can only cause a false *re-prepare*, never a
+/// false acceptance.
+fn snapshot_is_fresh(
+    evaluator: &CostEvaluator,
+    placement: &Placement,
+    cell: CellId,
+    row_step: &[u64],
+    wave_step: u64,
+) -> bool {
+    evaluator.netlist().nets_of_cell(cell).iter().all(|&net| {
+        evaluator
+            .net_cells(net)
+            .iter()
+            .all(|&nb| nb == cell || row_step[placement.row_of(nb)] <= wave_step)
+    })
 }
 
 #[cfg(test)]
@@ -829,6 +991,64 @@ mod tests {
                     serial_placement.row(row),
                     p.row(row),
                     "chunks={chunks}: placement must be bitwise serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_prepared_windowed_allocation_is_bitwise_serial() {
+        // The default windowed strategy never reaches the per-cell trial
+        // fan-out threshold, so under a chunked context `allocate_all_on`
+        // prepares whole waves of cells in parallel instead. The chosen
+        // slots, the resulting placement and the work counts must equal the
+        // serial pass bitwise for every worker/chunk combination — stale
+        // snapshots (cells whose neighbourhood changed mid-wave) must be
+        // silently re-prepared, never mis-scored.
+        use cluster_sim::comm::WorkerPool;
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("alloc_wave_test", 300, 23)).generate(),
+        );
+        let eval = CostEvaluator::new(Arc::clone(&nl), Objectives::WirelengthPower);
+        let ge = GoodnessEvaluator::new(eval.clone());
+        let placement = Placement::round_robin(&nl, 6);
+        let goodness = ge.all_goodness(&placement);
+        let config = AllocationConfig::default();
+
+        let run = |ctx: &EvalContext<'_>| {
+            let mut p = placement.clone();
+            // A dense selection set maximises mid-wave staleness: many
+            // selected cells share nets, so later wave members are invalidated
+            // by earlier insertions.
+            let mut selected: Vec<CellId> = nl.cell_ids().take(120).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(10);
+            let stats = allocate_all_on(
+                &eval,
+                &mut AllocScratch::for_evaluator(&eval),
+                &mut p,
+                &mut selected,
+                &goodness,
+                &config,
+                &[],
+                &mut rng,
+                ctx,
+            );
+            (stats, p)
+        };
+
+        let (serial_stats, serial_placement) = run(&EvalContext::serial());
+        for (workers, chunks) in [(1usize, 2usize), (2, 2), (2, 3), (4, 4), (2, 7)] {
+            let pool = WorkerPool::new(workers);
+            let (stats, p) = run(&EvalContext::chunked(&pool, chunks));
+            assert_eq!(
+                serial_stats, stats,
+                "workers={workers} chunks={chunks}: work counts must match"
+            );
+            for row in 0..p.num_rows() {
+                assert_eq!(
+                    serial_placement.row(row),
+                    p.row(row),
+                    "workers={workers} chunks={chunks}: placement must be bitwise serial"
                 );
             }
         }

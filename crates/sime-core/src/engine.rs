@@ -9,11 +9,17 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
-use vlsi_netlist::{CellId, Netlist};
+use vlsi_netlist::{CellId, NetId, Netlist};
 use vlsi_place::cost::{CostBreakdown, CostEvaluator, Objectives};
 use vlsi_place::goodness::GoodnessEvaluator;
-use vlsi_place::kernel::NetLengthCache;
+use vlsi_place::kernel::{NetLengthCache, TrialScorer};
 use vlsi_place::layout::Placement;
+
+/// Minimum number of dirty nets before the net-length refresh fans out over
+/// the worker pool: a typical delta pass touches a handful of rows and is
+/// cheaper serial, while the full refresh of a fresh placement (every net)
+/// and the wide delta after an allocation pass parallelise well.
+const PARALLEL_REFRESH_THRESHOLD: usize = 64;
 
 /// Per-worker mutable state of a SimE run: the allocation scratch buffers
 /// (including the allocation-free [`vlsi_place::kernel::TrialScorer`]) and
@@ -39,6 +45,13 @@ pub struct SimEScratch {
     /// chunk, reused across iterations so the chunked pass stays
     /// allocation-free after warm-up.
     chunk_goodness: Vec<Vec<f64>>,
+    /// Per-chunk trial scorers for the parallel net-length refresh (each
+    /// worker task needs its own pin/sort buffers).
+    chunk_scorers: Vec<TrialScorer>,
+    /// Per-chunk net-length output buffers of the parallel refresh.
+    chunk_lengths: Vec<Vec<f64>>,
+    /// Dirty-net plan buffer of the split refresh.
+    dirty_nets: Vec<NetId>,
 }
 
 impl SimEScratch {
@@ -49,6 +62,9 @@ impl SimEScratch {
             cache: NetLengthCache::new(),
             goodness: Vec::new(),
             chunk_goodness: Vec::new(),
+            chunk_scorers: Vec::new(),
+            chunk_lengths: Vec::new(),
+            dirty_nets: Vec::new(),
         }
     }
 }
@@ -307,9 +323,7 @@ impl SimEEngine {
         ctx: &EvalContext<'_>,
     ) -> (&'s [f64], &'s [f64]) {
         let t0 = Instant::now();
-        scratch
-            .cache
-            .refresh(&self.evaluator, &mut scratch.alloc.scorer, placement);
+        self.refresh_on(placement, scratch, ctx);
         profile.add_time(Phase::CostCalculation, t0.elapsed());
         profile.add_net_evals(Phase::CostCalculation, scratch.cache.lengths().len() as u64);
 
@@ -352,6 +366,69 @@ impl SimEEngine {
         self.profile_delay(scratch.cache.lengths(), profile);
 
         (scratch.cache.lengths(), &scratch.goodness)
+    }
+
+    /// Brings `scratch.cache` in sync with `placement` under an explicit
+    /// [`EvalContext`]. The plan (which nets are dirty) is computed serially;
+    /// when it is wide enough the per-net length computations — each a pure
+    /// function of the placement — fan out over the context's worker pool in
+    /// index-contiguous chunks, each chunk writing its own buffer, and the
+    /// chunk-ordered scatter completes the cache. Bitwise identical to the
+    /// monolithic serial [`NetLengthCache::refresh`] for every chunk count.
+    fn refresh_on(&self, placement: &Placement, scratch: &mut SimEScratch, ctx: &EvalContext<'_>) {
+        let mut dirty = std::mem::take(&mut scratch.dirty_nets);
+        scratch
+            .cache
+            .plan_refresh(&self.evaluator, placement, &mut dirty);
+        let fan_out = match ctx.fan_out() {
+            Some((pool, chunks)) if dirty.len() >= PARALLEL_REFRESH_THRESHOLD.max(2 * chunks) => {
+                Some((pool, chunks))
+            }
+            _ => None,
+        };
+        if let Some((pool, chunks)) = fan_out {
+            let ranges = chunk_ranges(dirty.len(), chunks);
+            let mut scorers = std::mem::take(&mut scratch.chunk_scorers);
+            let mut bufs = std::mem::take(&mut scratch.chunk_lengths);
+            if scorers.len() < ranges.len() {
+                scorers.resize_with(ranges.len(), || TrialScorer::for_evaluator(&self.evaluator));
+            }
+            if bufs.len() < ranges.len() {
+                bufs.resize_with(ranges.len(), Vec::new);
+            }
+            {
+                let evaluator = &self.evaluator;
+                let dirty = &dirty;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = scorers
+                    .iter_mut()
+                    .zip(bufs.iter_mut())
+                    .zip(ranges.iter().cloned())
+                    .map(|((scorer, buf), range)| {
+                        Box::new(move || {
+                            buf.clear();
+                            for &net in &dirty[range] {
+                                buf.push(scorer.net_length(evaluator, placement, net));
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped_tasks(tasks);
+            }
+            for (buf, range) in bufs.iter().zip(ranges) {
+                scratch.cache.store_lengths(&dirty[range], buf);
+            }
+            scratch.chunk_scorers = scorers;
+            scratch.chunk_lengths = bufs;
+        } else {
+            for &net in &dirty {
+                let length = scratch
+                    .alloc
+                    .scorer
+                    .net_length(&self.evaluator, placement, net);
+                scratch.cache.store_length(net, length);
+            }
+        }
+        scratch.dirty_nets = dirty;
     }
 
     /// Charges the delay-calculation phase (a full path sweep) when the delay
@@ -610,10 +687,24 @@ impl SimEEngine {
     /// object is the one the cache is synchronised with) and aggregates the
     /// breakdown. Bitwise identical to `evaluator().evaluate(placement)`.
     pub fn cost_with(&self, placement: &Placement, scratch: &mut SimEScratch) -> CostBreakdown {
-        let lengths = scratch
-            .cache
-            .refresh(&self.evaluator, &mut scratch.alloc.scorer, placement);
-        self.evaluator.evaluate_from_lengths(placement, lengths)
+        self.cost_with_on(placement, scratch, &EvalContext::serial())
+    }
+
+    /// [`SimEEngine::cost_with`] under an explicit [`EvalContext`]: a wide
+    /// refresh (the full pass over a fresh placement, or the broad delta
+    /// after an allocation pass) fans its per-net length computations out
+    /// over the context's worker pool. Bitwise identical to
+    /// [`SimEEngine::cost_with`] — per-net length is a pure function of the
+    /// placement and the aggregation stays serial.
+    pub fn cost_with_on(
+        &self,
+        placement: &Placement,
+        scratch: &mut SimEScratch,
+        ctx: &EvalContext<'_>,
+    ) -> CostBreakdown {
+        self.refresh_on(placement, scratch, ctx);
+        self.evaluator
+            .evaluate_from_lengths(placement, scratch.cache.lengths())
     }
 
     /// Convenience: the frozen-cell mask for "only these cells are mine",
@@ -810,6 +901,58 @@ mod tests {
 
         let serial = run(&EvalContext::serial());
         for chunks in [2usize, 3, 4] {
+            let chunked = run(&EvalContext::chunked(&pool, chunks));
+            assert_eq!(serial, chunked, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn chunked_cost_refresh_is_bitwise_serial() {
+        // `cost_with_on` fans the wide refreshes (full pass on a fresh
+        // scratch, broad delta after an iteration) out over the pool; both
+        // the breakdown and the cache's per-net lengths must equal the serial
+        // path bitwise for every chunk count.
+        use cluster_sim::comm::WorkerPool;
+        let nl = netlist(200, 37);
+        let config = SimEConfig::fast(Objectives::WirelengthPower, 8, 1);
+        let engine = SimEEngine::new(nl, config);
+        let pool = WorkerPool::new(2);
+
+        let run = |ctx: &EvalContext<'_>| -> (Vec<u64>, Vec<u64>) {
+            let mut rng = ChaCha8Rng::seed_from_u64(23);
+            let mut placement = engine.initial_placement(&mut rng);
+            let mut scratch = engine.new_scratch();
+            let mut profile = ProfileReport::new();
+            // Fresh scratch: the first cost is a full (every-net) refresh.
+            let full = engine.cost_with_on(&placement, &mut scratch, ctx);
+            // One iteration later the refresh is a wide delta.
+            engine.iterate_on(
+                &mut placement,
+                &mut scratch,
+                &mut rng,
+                &mut profile,
+                &[],
+                &[],
+                ctx,
+            );
+            let delta = engine.cost_with_on(&placement, &mut scratch, ctx);
+            let costs = vec![
+                full.mu.to_bits(),
+                full.wirelength.to_bits(),
+                delta.mu.to_bits(),
+                delta.wirelength.to_bits(),
+            ];
+            let lengths = scratch
+                .cache
+                .lengths()
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            (costs, lengths)
+        };
+
+        let serial = run(&EvalContext::serial());
+        for chunks in [2usize, 3, 5] {
             let chunked = run(&EvalContext::chunked(&pool, chunks));
             assert_eq!(serial, chunked, "chunks={chunks}");
         }

@@ -11,10 +11,12 @@
 //!   exactly as in the original reproduction. Wall-clock time is serial; the
 //!   *modeled* cluster runtime comes from the timeline.
 //! * [`Threaded`] — tasks run on a persistent [`WorkerPool`] of N OS threads
-//!   (crossbeam MPMC job channel, typed per-batch result channels). This is
-//!   real shared-memory parallelism: with enough cores the wall-clock time
-//!   drops with the worker count while the modeled runtime — and every other
-//!   output — stays identical to [`Modeled`].
+//!   (long-lived per-worker work lanes feeding a slot-indexed epoch buffer;
+//!   results land in their submission-order slots, so no per-batch channel
+//!   set-up remains on the per-iteration path). This is real shared-memory
+//!   parallelism: with enough cores the wall-clock time drops with the
+//!   worker count while the modeled runtime — and every other output — stays
+//!   identical to [`Modeled`].
 //!
 //! # The determinism contract
 //!

@@ -350,7 +350,11 @@ pub fn run_type1_on(
             },
         );
 
-        let cost = engine.cost_with(&placement, &mut scratch);
+        // The post-iteration cost refresh rides the same epoch machinery as
+        // the rest of the master's work: the wide delta left by the
+        // allocation pass fans its per-net recomputations over the pool
+        // (bitwise identical to the serial refresh).
+        let cost = engine.cost_with_on(&placement, &mut scratch, &master_ctx);
         mu_history.push(cost.mu);
         if cost.mu > best_cost.mu {
             best_cost = cost;

@@ -200,6 +200,10 @@ pub fn run_type2_on(
         })
         .collect();
     let mut master_scratch = engine.new_scratch();
+    // The master's merge evaluation rebuilds a fresh placement object every
+    // iteration, so its cost refresh is always a *full* (every-net) pass —
+    // the widest refresh in any driver. Fan it out over the pool.
+    let master_ctx = EvalContext::from_pool(pool.as_deref(), eval_chunks);
 
     let mut best_placement = placement.clone();
     let mut best_cost = engine.evaluator().evaluate(&placement);
@@ -288,7 +292,7 @@ pub fn run_type2_on(
         placement = Placement::from_rows(&netlist, merged_rows);
         timeline.charge_compute(0, &Workload::misc(num_cells as u64));
 
-        let cost = engine.cost_with(&placement, &mut master_scratch);
+        let cost = engine.cost_with_on(&placement, &mut master_scratch, &master_ctx);
         mu_history.push(cost.mu);
         if cost.mu > best_cost.mu {
             best_cost = cost;

@@ -187,7 +187,10 @@ pub fn run_type3_on(
                         &[],
                         &ctx,
                     );
-                    let cost = engine.cost_with(&worker.placement, &mut worker.scratch);
+                    // The worker's post-iteration cost refresh joins the same
+                    // intra-rank context as its evaluation/allocation fan-outs
+                    // (bitwise identical to the serial refresh).
+                    let cost = engine.cost_with_on(&worker.placement, &mut worker.scratch, &ctx);
                     (worker, cost, alloc_stats)
                 }) as Task<WorkerOutput>
             })

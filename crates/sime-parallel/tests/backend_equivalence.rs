@@ -151,6 +151,53 @@ proptest! {
             &format!("type3 ev{chunks}"),
         );
     }
+
+    /// The fused-epoch execution path (persistent worker lanes, wave-prepared
+    /// windowed allocation, fanned net-length refresh) is bitwise identical
+    /// to the pre-fusion serial trajectory for a *random* point of the whole
+    /// configuration space: circuit, strategy, seed, worker count (including
+    /// oversubscribed pools) and eval-chunk count are all drawn by proptest.
+    #[test]
+    fn fused_epoch_matches_serial(
+        (netlist, seed) in arb_netlist(),
+        iterations in 3usize..5,
+        strategy in 0usize..3,
+        workers in 1usize..9,
+        chunks in 1usize..8,
+    ) {
+        let engine = engine_for(netlist, seed, iterations);
+        let ranks = 4;
+        let cluster = ClusterConfig::paper_cluster(ranks);
+        let fused = Threaded::new(workers).with_eval_chunks(chunks);
+        let context = format!("fused strategy={strategy} workers={workers} ev{chunks}");
+
+        match strategy {
+            0 => {
+                let cfg = Type1Config { ranks, iterations };
+                assert_bitwise_equal(
+                    &run_type1(&engine, cluster, cfg),
+                    &run_type1_on(&engine, cluster, cfg, &fused),
+                    &context,
+                );
+            }
+            1 => {
+                let cfg = Type2Config { ranks, iterations, pattern: RowPattern::Random };
+                assert_bitwise_equal(
+                    &run_type2(&engine, cluster, cfg),
+                    &run_type2_on(&engine, cluster, cfg, &fused),
+                    &context,
+                );
+            }
+            _ => {
+                let cfg = Type3Config { ranks, iterations, retry_threshold: 1 };
+                assert_bitwise_equal(
+                    &run_type3(&engine, cluster, cfg),
+                    &run_type3_on(&engine, cluster, cfg, &fused),
+                    &context,
+                );
+            }
+        }
+    }
 }
 
 /// The intra-rank contract at extended-tier scale: one engine on the s5378

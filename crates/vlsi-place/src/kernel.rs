@@ -92,27 +92,49 @@ struct NetSummary {
 /// `(row, count)` histogram merged with one extra pin at `extra_row`.
 /// Equivalent to sorting all pin ys ascending and taking index `k`, which is
 /// what the sort-based oracle median does.
+///
+/// The walk is split in three phases around the merge point of the extra pin
+/// (entries strictly below it, the merge point itself, the rest), so the two
+/// hot loops carry no per-entry "is the extra pin still pending" branch —
+/// this is the counting-median inner loop of every Steiner trial score.
 fn merged_median_row(hist: &[(u32, u32)], extra_row: u32, k: usize) -> u32 {
     let mut acc = 0usize;
-    let mut extra_pending = true;
-    for &(r, c) in hist {
-        if extra_pending && extra_row < r {
-            acc += 1;
-            if acc > k {
-                return extra_row;
-            }
-            extra_pending = false;
-        }
-        acc += c as usize;
-        if extra_pending && extra_row == r {
-            acc += 1;
-            extra_pending = false;
-        }
+    let mut i = 0usize;
+    // Phase 1: histogram entries strictly below the extra pin's row.
+    while i < hist.len() && hist[i].0 < extra_row {
+        acc += hist[i].1 as usize;
         if acc > k {
-            return r;
+            return hist[i].0;
         }
+        i += 1;
     }
-    debug_assert!(extra_pending, "k must index into the merged pin multiset");
+    // Merge point: the extra pin joins the walk here. When it shares a row
+    // with the next entry the answer for both is that same row, so checking
+    // after each addition preserves the merged order exactly.
+    acc += 1;
+    if acc > k {
+        return extra_row;
+    }
+    if i < hist.len() && hist[i].0 == extra_row {
+        acc += hist[i].1 as usize;
+        if acc > k {
+            return extra_row;
+        }
+        i += 1;
+    }
+    // Phase 3: the remaining entries, all above the extra pin.
+    while i < hist.len() {
+        acc += hist[i].1 as usize;
+        if acc > k {
+            return hist[i].0;
+        }
+        i += 1;
+    }
+    // Only reachable when k indexes past the merged multiset, which the
+    // scorer never produces (k = total_pins / 2 < total_pins).
+    if cfg!(debug_assertions) {
+        unreachable!("k must index into the merged pin multiset");
+    }
     extra_row
 }
 
@@ -242,50 +264,14 @@ impl TrialScorer {
     /// the situation inside one allocation trial loop, where `cell` is ripped
     /// up and only hypothetically placed.
     pub fn prepare_cell(&mut self, evaluator: &CostEvaluator, placement: &Placement, cell: CellId) {
-        let netlist = evaluator.netlist();
-        self.prepared.clear();
-        self.hist.clear();
-        for &net in netlist.nets_of_cell(cell) {
-            let cells = evaluator.net_cells(net);
-            let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
-            let (mut min_row, mut max_row) = (u32::MAX, 0u32);
-            for &c in cells {
-                if c == cell {
-                    continue;
-                }
-                let x = placement.x_of(c);
-                min_x = min_x.min(x);
-                max_x = max_x.max(x);
-                let r = placement.row_of(c) as u32;
-                min_row = min_row.min(r);
-                max_row = max_row.max(r);
-                if r as usize >= self.row_counts.len() {
-                    self.row_counts.resize(r as usize + 1, 0);
-                }
-                self.row_counts[r as usize] += 1;
-            }
-            let hist_start = self.hist.len() as u32;
-            if min_row != u32::MAX {
-                for r in min_row..=max_row {
-                    let c = self.row_counts[r as usize];
-                    if c > 0 {
-                        self.hist.push((r, c));
-                        self.row_counts[r as usize] = 0;
-                    }
-                }
-            }
-            self.prepared.push(NetSummary {
-                total_pins: cells.len() as u32,
-                min_x,
-                max_x,
-                min_row,
-                max_row,
-                hist_start,
-                hist_end: self.hist.len() as u32,
-                switching_prob: netlist.net(net).switching_prob,
-                critical: evaluator.net_is_critical(net),
-            });
-        }
+        build_cell_summaries(
+            evaluator,
+            placement,
+            cell,
+            &mut self.row_counts,
+            &mut self.prepared,
+            &mut self.hist,
+        );
     }
 
     /// Cost of the prepared cell's nets if the cell sat at `pos` (a
@@ -299,41 +285,7 @@ impl TrialScorer {
     /// parallel chunks — the intra-rank trial-scoring fan-out of
     /// `sime_core::allocation`.
     pub fn prepared_cost_at(&self, pos: (f64, f64)) -> CellCost {
-        let row = row_of_lattice_y(pos.1);
-        let mut cost = CellCost::default();
-        for s in &self.prepared {
-            if s.total_pins < 2 {
-                continue;
-            }
-            let min_x = s.min_x.min(pos.0);
-            let max_x = s.max_x.max(pos.0);
-            let min_row = s.min_row.min(row);
-            let max_row = s.max_row.max(row);
-            let len = match self.model {
-                WirelengthModel::HalfPerimeter => {
-                    (max_x - min_x) + (max_row - min_row) as f64 * ROW_HEIGHT
-                }
-                WirelengthModel::SingleTrunkSteiner => {
-                    let hist = &self.hist[s.hist_start as usize..s.hist_end as usize];
-                    let median_row = merged_median_row(hist, row, s.total_pins as usize / 2);
-                    // All vertical distances are exact multiples of
-                    // ROW_HEIGHT, so this reduction is exact and matches the
-                    // oracle's pin-order sum bit for bit.
-                    let mut branches = 0.0f64;
-                    for &(r, c) in hist {
-                        branches += c as f64 * ((r as f64 - median_row as f64) * ROW_HEIGHT).abs();
-                    }
-                    branches += ((row as f64 - median_row as f64) * ROW_HEIGHT).abs();
-                    (max_x - min_x) + branches
-                }
-            };
-            cost.wirelength += len;
-            cost.power += len * s.switching_prob;
-            if s.critical {
-                cost.critical_wirelength += len;
-            }
-        }
-        cost
+        summaries_cost_at(&self.prepared, &self.hist, self.model, pos)
     }
 
     /// Estimates the gathered pins (`xs`/`rows`) under the scorer's model.
@@ -394,6 +346,182 @@ impl TrialScorer {
     }
 }
 
+/// Builds the per-net summaries of `cell`'s incident nets into
+/// `prepared`/`hist`, using `row_counts` as the per-row counting scratch
+/// (left all-zero afterwards). Shared body of [`TrialScorer::prepare_cell`]
+/// and [`PreparedCell::prepare`]; a pure function of the *other* pins'
+/// positions, so equal placements yield bit-equal summaries no matter which
+/// buffer (or thread) runs the pass.
+fn build_cell_summaries(
+    evaluator: &CostEvaluator,
+    placement: &Placement,
+    cell: CellId,
+    row_counts: &mut Vec<u32>,
+    prepared: &mut Vec<NetSummary>,
+    hist: &mut Vec<(u32, u32)>,
+) {
+    let netlist = evaluator.netlist();
+    prepared.clear();
+    hist.clear();
+    for &net in netlist.nets_of_cell(cell) {
+        let cells = evaluator.net_cells(net);
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_row, mut max_row) = (u32::MAX, 0u32);
+        for &c in cells {
+            if c == cell {
+                continue;
+            }
+            let x = placement.x_of(c);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            let r = placement.row_of(c) as u32;
+            min_row = min_row.min(r);
+            max_row = max_row.max(r);
+            if r as usize >= row_counts.len() {
+                row_counts.resize(r as usize + 1, 0);
+            }
+            row_counts[r as usize] += 1;
+        }
+        let hist_start = hist.len() as u32;
+        if min_row != u32::MAX {
+            for r in min_row..=max_row {
+                let c = row_counts[r as usize];
+                if c > 0 {
+                    hist.push((r, c));
+                    row_counts[r as usize] = 0;
+                }
+            }
+        }
+        prepared.push(NetSummary {
+            total_pins: cells.len() as u32,
+            min_x,
+            max_x,
+            min_row,
+            max_row,
+            hist_start,
+            hist_end: hist.len() as u32,
+            switching_prob: netlist.net(net).switching_prob,
+            critical: evaluator.net_is_critical(net),
+        });
+    }
+}
+
+/// Scores one candidate position against a set of per-net summaries — the
+/// shared body of [`TrialScorer::prepared_cost_at`] and
+/// [`PreparedCell::cost_at`].
+fn summaries_cost_at(
+    prepared: &[NetSummary],
+    hist_arena: &[(u32, u32)],
+    model: WirelengthModel,
+    pos: (f64, f64),
+) -> CellCost {
+    let row = row_of_lattice_y(pos.1);
+    let mut cost = CellCost::default();
+    for s in prepared {
+        if s.total_pins < 2 {
+            continue;
+        }
+        let min_x = s.min_x.min(pos.0);
+        let max_x = s.max_x.max(pos.0);
+        let min_row = s.min_row.min(row);
+        let max_row = s.max_row.max(row);
+        let len = match model {
+            WirelengthModel::HalfPerimeter => {
+                (max_x - min_x) + (max_row - min_row) as f64 * ROW_HEIGHT
+            }
+            WirelengthModel::SingleTrunkSteiner => {
+                let hist = &hist_arena[s.hist_start as usize..s.hist_end as usize];
+                let median_row = merged_median_row(hist, row, s.total_pins as usize / 2);
+                // All vertical distances are exact multiples of ROW_HEIGHT,
+                // so this reduction is exact and matches the oracle's
+                // pin-order sum bit for bit. The |r - median| walk is split
+                // at the median (hist is row-sorted), which drops the
+                // per-entry abs; the split is exact because negating an
+                // exact product only flips the sign bit.
+                let m = median_row as f64;
+                let split = hist.partition_point(|&(r, _)| r < median_row);
+                let mut branches = 0.0f64;
+                for &(r, c) in &hist[..split] {
+                    branches += c as f64 * ((m - r as f64) * ROW_HEIGHT);
+                }
+                for &(r, c) in &hist[split..] {
+                    branches += c as f64 * ((r as f64 - m) * ROW_HEIGHT);
+                }
+                branches += ((row as f64 - m) * ROW_HEIGHT).abs();
+                (max_x - min_x) + branches
+            }
+        };
+        cost.wirelength += len;
+        cost.power += len * s.switching_prob;
+        if s.critical {
+            cost.critical_wirelength += len;
+        }
+    }
+    cost
+}
+
+/// Detached snapshot of the per-net summaries [`TrialScorer::prepare_cell`]
+/// builds for one cell, with its own counting scratch — so the prepare
+/// passes of *many* cells can run concurrently on different worker threads
+/// (one snapshot buffer per cell) and be scored later through
+/// [`PreparedCell::cost_at`].
+///
+/// The snapshot is a pure function of the *other* pins' positions at
+/// preparation time: it stays bitwise-valid exactly while none of the
+/// prepared cell's net neighbours moves. Staleness tracking is the caller's
+/// job (`sime-core`'s allocation wave records insertion steps); a stale
+/// snapshot must simply be discarded and the cell re-prepared.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedCell {
+    /// Wirelength model recorded at the last prepare (`None` before any).
+    model: Option<WirelengthModel>,
+    prepared: Vec<NetSummary>,
+    hist: Vec<(u32, u32)>,
+    row_counts: Vec<u32>,
+}
+
+impl PreparedCell {
+    /// Creates an empty (unprepared) snapshot buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)builds the snapshot for `cell` under `placement`, producing
+    /// summaries bit-identical to [`TrialScorer::prepare_cell`] on a scorer
+    /// of the same `model`. The buffers are reused across calls.
+    pub fn prepare(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        cell: CellId,
+        model: WirelengthModel,
+    ) {
+        self.model = Some(model);
+        build_cell_summaries(
+            evaluator,
+            placement,
+            cell,
+            &mut self.row_counts,
+            &mut self.prepared,
+            &mut self.hist,
+        );
+    }
+
+    /// Cost of the prepared cell's nets if it sat at `pos` (a row-lattice
+    /// position). Bitwise identical to [`TrialScorer::prepared_cost_at`]
+    /// after an equivalent prepare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was never prepared.
+    pub fn cost_at(&self, pos: (f64, f64)) -> CellCost {
+        let model = self
+            .model
+            .expect("PreparedCell::cost_at called before prepare");
+        summaries_cost_at(&self.prepared, &self.hist, model, pos)
+    }
+}
+
 /// Incremental per-net length vector for one evolving placement.
 ///
 /// [`NetLengthCache::refresh`] returns the same vector
@@ -411,6 +539,8 @@ pub struct NetLengthCache {
     /// net reachable from several dirty rows).
     net_stamp: Vec<u32>,
     stamp: u32,
+    /// Reusable dirty-net list for the monolithic [`NetLengthCache::refresh`].
+    dirty_scratch: Vec<NetId>,
     full_refreshes: u64,
     delta_refreshes: u64,
     nets_recomputed: u64,
@@ -456,6 +586,36 @@ impl NetLengthCache {
         scorer: &mut TrialScorer,
         placement: &Placement,
     ) -> &[f64] {
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        self.plan_refresh(evaluator, placement, &mut dirty);
+        for &net in &dirty {
+            let length = scorer.net_length(evaluator, placement, net);
+            self.lengths[net.index()] = length;
+        }
+        self.dirty_scratch = dirty;
+        &self.lengths
+    }
+
+    /// Phase 1 of a split refresh: advances all cache bookkeeping (row
+    /// epochs, net stamps, placement uid, the work counters) and fills
+    /// `dirty` with the nets whose lengths must be recomputed — every net on
+    /// a full refresh (returns `true`), only the nets touching changed rows
+    /// on a delta refresh (`false`). Each net appears at most once.
+    ///
+    /// The caller *must* complete the plan by computing each listed net's
+    /// length against the same placement and handing the results to
+    /// [`NetLengthCache::store_length`] / [`NetLengthCache::store_lengths`]
+    /// before the next refresh — per-net length is a pure function of the
+    /// placement, so the computations may run on any thread in any order and
+    /// the completed vector is bitwise identical to a monolithic
+    /// [`NetLengthCache::refresh`].
+    pub fn plan_refresh(
+        &mut self,
+        evaluator: &CostEvaluator,
+        placement: &Placement,
+        dirty: &mut Vec<NetId>,
+    ) -> bool {
+        dirty.clear();
         let netlist = evaluator.netlist();
         let num_nets = netlist.num_nets();
         let num_rows = placement.num_rows();
@@ -465,9 +625,7 @@ impl NetLengthCache {
         if full {
             self.lengths.clear();
             self.lengths.resize(num_nets, 0.0);
-            for net in netlist.net_ids() {
-                self.lengths[net.index()] = scorer.net_length(evaluator, placement, net);
-            }
+            dirty.extend(netlist.net_ids());
             self.row_epoch_seen.clear();
             self.row_epoch_seen
                 .extend((0..num_rows).map(|r| placement.row_epoch(r)));
@@ -482,7 +640,6 @@ impl NetLengthCache {
                 self.net_stamp.iter_mut().for_each(|s| *s = 0);
                 self.stamp = 1;
             }
-            let mut recomputed = 0u64;
             for r in 0..num_rows {
                 let epoch = placement.row_epoch(r);
                 if epoch == self.row_epoch_seen[r] {
@@ -494,18 +651,33 @@ impl NetLengthCache {
                         let i = net.index();
                         if self.net_stamp[i] != self.stamp {
                             self.net_stamp[i] = self.stamp;
-                            self.lengths[i] = scorer.net_length(evaluator, placement, net);
-                            recomputed += 1;
+                            dirty.push(net);
                         }
                     }
                 }
             }
-            if recomputed > 0 {
+            if !dirty.is_empty() {
                 self.delta_refreshes += 1;
             }
-            self.nets_recomputed += recomputed;
+            self.nets_recomputed += dirty.len() as u64;
         }
-        &self.lengths
+        full
+    }
+
+    /// Phase 2 of a split refresh: records one computed net length. `net`
+    /// must come from the current [`NetLengthCache::plan_refresh`] plan.
+    #[inline]
+    pub fn store_length(&mut self, net: NetId, length: f64) {
+        self.lengths[net.index()] = length;
+    }
+
+    /// Phase 2 of a split refresh, batched: records the computed `lengths`
+    /// of `nets` (parallel slices, e.g. one chunk of the plan).
+    pub fn store_lengths(&mut self, nets: &[NetId], lengths: &[f64]) {
+        debug_assert_eq!(nets.len(), lengths.len());
+        for (&net, &length) in nets.iter().zip(lengths) {
+            self.lengths[net.index()] = length;
+        }
     }
 }
 
@@ -655,6 +827,54 @@ mod tests {
                     cell,
                     Slot {
                         row: back,
+                        index: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_cell_snapshot_matches_scorer_bitwise() {
+        // A detached `PreparedCell` snapshot must score candidate positions
+        // bit-for-bit like the scorer it mirrors — this is what lets the
+        // allocation wave prepare many cells on worker threads and still
+        // keep the trajectory bitwise-serial.
+        for model in [
+            WirelengthModel::SingleTrunkSteiner,
+            WirelengthModel::HalfPerimeter,
+        ] {
+            let (eval, mut placement) = setup(model);
+            let mut scorer = TrialScorer::for_evaluator(&eval);
+            let mut snapshot = PreparedCell::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            for _ in 0..40 {
+                let cell =
+                    vlsi_netlist::CellId(rng.gen_range(0..eval.netlist().num_cells() as u32));
+                placement.remove_cell(cell);
+                scorer.prepare_cell(&eval, &placement, cell);
+                snapshot.prepare(&eval, &placement, cell, model);
+                for _ in 0..8 {
+                    let row = rng.gen_range(0..placement.num_rows());
+                    let index = rng.gen_range(0..placement.row(row).len() + 1);
+                    let pos = placement.trial_position(cell, Slot { row, index });
+                    let own = scorer.prepared_cost_at(pos);
+                    let detached = snapshot.cost_at(pos);
+                    assert_eq!(
+                        own.wirelength.to_bits(),
+                        detached.wirelength.to_bits(),
+                        "{model:?}"
+                    );
+                    assert_eq!(own.power.to_bits(), detached.power.to_bits());
+                    assert_eq!(
+                        own.critical_wirelength.to_bits(),
+                        detached.critical_wirelength.to_bits()
+                    );
+                }
+                placement.insert_cell(
+                    cell,
+                    Slot {
+                        row: placement.num_rows() - 1,
                         index: 0,
                     },
                 );

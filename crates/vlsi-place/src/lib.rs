@@ -39,7 +39,7 @@ pub mod wirelength;
 pub use cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
 pub use fuzzy::{FuzzyConfig, FuzzyLevel};
 pub use goodness::{GoodnessEvaluator, GoodnessVector};
-pub use kernel::{NetLengthCache, TrialScorer};
+pub use kernel::{NetLengthCache, PreparedCell, TrialScorer};
 pub use layout::{Placement, PlacementError, Slot};
 pub use wirelength::{hpwl, single_trunk_steiner, WirelengthModel};
 
@@ -48,7 +48,7 @@ pub mod prelude {
     pub use crate::cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
     pub use crate::fuzzy::FuzzyConfig;
     pub use crate::goodness::GoodnessEvaluator;
-    pub use crate::kernel::{NetLengthCache, TrialScorer};
+    pub use crate::kernel::{NetLengthCache, PreparedCell, TrialScorer};
     pub use crate::layout::{Placement, Slot};
     pub use crate::wirelength::WirelengthModel;
 }

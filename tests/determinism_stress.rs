@@ -1,0 +1,215 @@
+//! The determinism-stress layer of the persistent-worker epoch scheduler.
+//!
+//! The golden suite (`tests/golden_suite.rs`) pins the search trajectories;
+//! this suite hammers the *scheduler* underneath them. Every checked-in
+//! golden is replayed across a worker-count × eval-chunk grid on the
+//! threaded backend — including deliberately oversubscribed pools (more OS
+//! workers than the host has cores, and far more workers than simulated
+//! ranks) — and must reproduce its pinned fingerprint to the bit. A
+//! proptest family additionally throws random epoch schedules (random task
+//! counts, nested batches from worker threads, random pool sizes) at
+//! `cluster_sim::comm::WorkerPool` and checks the merged results against an
+//! inline oracle.
+//!
+//! Two grid tiers keep tier-1 wall-clock sane:
+//!
+//! * default — a pruned representative sub-grid (one undersubscribed, one
+//!   balanced, one oversubscribed cell per golden);
+//! * `SIME_STRESS_FULL=1` — the full {1,2,3,4,8} × {1,2,4,7} grid, run by
+//!   the release-mode `determinism-stress` CI job.
+
+use cluster_sim::comm::WorkerPool;
+use proptest::prelude::*;
+use sime_parallel::batch::{BatchDriver, ScenarioSpec, TrajectoryFingerprint};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The full stress grid of the tentpole: every worker count crossed with
+/// every chunk count, so chunk boundaries land on, under and over the
+/// worker count, and the workers=8 column oversubscribes any CI core count.
+const STRESS_WORKERS: [usize; 5] = [1, 2, 3, 4, 8];
+const STRESS_CHUNKS: [usize; 4] = [1, 2, 4, 7];
+
+/// The pruned default sub-grid: an undersubscribed cell, a balanced cell
+/// with mid chunking, and a fully oversubscribed cell with the oddest chunk
+/// count. Covers every interesting regime at ~1/7 the full-grid cost.
+const PRUNED_GRID: [(usize, usize); 3] = [(1, 2), (3, 4), (8, 7)];
+
+fn full_grid() -> bool {
+    std::env::var("SIME_STRESS_FULL").is_ok_and(|v| v == "1")
+}
+
+fn stress_grid() -> Vec<(usize, usize)> {
+    if full_grid() {
+        STRESS_WORKERS
+            .iter()
+            .flat_map(|&w| STRESS_CHUNKS.iter().map(move |&c| (w, c)))
+            .collect()
+    } else {
+        PRUNED_GRID.to_vec()
+    }
+}
+
+fn load_goldens() -> Vec<(String, ScenarioSpec, TrajectoryFingerprint)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "golden"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let (spec, fingerprint) = TrajectoryFingerprint::parse_text(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                spec,
+                fingerprint,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn goldens_replay_bitwise_across_the_worker_chunk_stress_grid() {
+    let grid = stress_grid();
+    let mut driver = BatchDriver::new();
+    for (file, spec, pinned) in load_goldens() {
+        // Modeled control first: the pinned fingerprint is reproducible at
+        // all, independent of any scheduler change.
+        let modeled = driver.run_cell(&spec);
+        assert_eq!(
+            modeled.fingerprint, pinned,
+            "modeled replay of {file} diverged from its pinned fingerprint"
+        );
+        for &(workers, chunks) in &grid {
+            let record = driver.run_cell(&spec.on_workers(Some(workers)).with_eval_chunks(chunks));
+            assert_eq!(
+                record.fingerprint,
+                pinned,
+                "threaded({workers},ev{chunks}) diverged from the pinned \
+                 fingerprint of {file} (grid tier: {})",
+                if full_grid() { "full" } else { "pruned" }
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random epoch schedules against the inline oracle.
+// ---------------------------------------------------------------------------
+
+/// One entry of a random epoch: a leaf job, or a nested batch submitted from
+/// inside the worker thread running the entry (the help-while-waiting path).
+#[derive(Debug, Clone)]
+enum Entry {
+    Leaf(u8),
+    Nested(Vec<u8>),
+}
+
+/// Deterministic leaf payload: a cheap integer mix of the entry's position
+/// and value, so any mis-merged or dropped result changes the output.
+fn leaf(epoch: usize, index: usize, v: u8) -> u64 {
+    let x = (epoch as u64) << 32 ^ (index as u64) << 16 ^ v as u64;
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}
+
+/// What the schedule must produce: evaluated inline, epoch by epoch, in
+/// submission order — the Modeled oracle of the pool.
+fn oracle(schedule: &[Vec<Entry>]) -> Vec<Vec<u64>> {
+    schedule
+        .iter()
+        .enumerate()
+        .map(|(e, epoch)| {
+            epoch
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| match entry {
+                    Entry::Leaf(v) => leaf(e, i, *v),
+                    Entry::Nested(inner) => inner
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| leaf(e, i ^ (j << 8), v))
+                        .fold(0u64, u64::wrapping_add),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The same schedule on a real pool: one `run_tasks` epoch per outer batch,
+/// nested batches submitted from inside the worker tasks.
+fn pooled(schedule: &[Vec<Entry>], workers: usize) -> Vec<Vec<u64>> {
+    let pool = Arc::new(WorkerPool::new(workers));
+    schedule
+        .iter()
+        .enumerate()
+        .map(|(e, epoch)| {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = epoch
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| {
+                    let entry = entry.clone();
+                    let pool = Arc::clone(&pool);
+                    Box::new(move || match entry {
+                        Entry::Leaf(v) => leaf(e, i, v),
+                        Entry::Nested(inner) => {
+                            let nested: Vec<Box<dyn FnOnce() -> u64 + Send>> = inner
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &v)| {
+                                    Box::new(move || leaf(e, i ^ (j << 8), v))
+                                        as Box<dyn FnOnce() -> u64 + Send>
+                                })
+                                .collect();
+                            pool.run_tasks(nested)
+                                .into_iter()
+                                .fold(0u64, u64::wrapping_add)
+                        }
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            pool.run_tasks(tasks)
+        })
+        .collect()
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    // The vendored proptest shim has no `prop_oneof!`; pick the variant from
+    // a generated selector instead.
+    (
+        0usize..4,
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..12),
+    )
+        .prop_map(|(kind, v, inner)| {
+            if kind == 0 {
+                Entry::Nested(inner)
+            } else {
+                Entry::Leaf(v)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random epoch schedules — random epoch count, task counts (including
+    /// empty epochs), nested batches, and pool sizes up to heavy
+    /// oversubscription — merge exactly like the inline oracle.
+    #[test]
+    fn random_epoch_schedules_match_the_inline_oracle(
+        schedule in proptest::collection::vec(
+            proptest::collection::vec(arb_entry(), 0..24),
+            1..6,
+        ),
+        workers in 1usize..9,
+    ) {
+        let expected = oracle(&schedule);
+        let actual = pooled(&schedule, workers);
+        prop_assert_eq!(expected, actual);
+    }
+}
