@@ -27,12 +27,21 @@
 //!   notice instead of failing: the floors are statements about parallel
 //!   hardware, and a single-core container can only honestly report ≈ 1×.
 //!
+//! * **`--pr7` mode**: gates a fresh `BENCH_PR7.json` (the bound-pruned
+//!   allocation snapshot) — the pruned serial windowed iteration must be
+//!   ≥ 1.3× faster than the legacy exhaustive arm of the same in-process
+//!   A/B, and the two arms must have agreed bit for bit. Both arms run
+//!   serially on the same host, so the ratio is machine-relative and —
+//!   unlike `--pr6` — there is **no low-core skip**: a single-core runner
+//!   is gated exactly like a 32-core one.
+//!
 //! Usage:
 //!
 //! ```text
 //! perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json]
 //!            [--tolerance 0.25]
 //! perf_guard --pr6 [--fresh BENCH_PR6.json]
+//! perf_guard --pr7 [--fresh BENCH_PR7.json]
 //! ```
 //!
 //! `--tolerance 0.25` (the default) fails on a > 25 % relative regression.
@@ -77,6 +86,11 @@ const GUARDED: [(&str, Direction); 3] = [
 const PR6_MIN_HOST_PARALLELISM: f64 = 4.0;
 const PR6_WINDOWED_FLOOR: f64 = 2.0;
 const PR6_INTRA_RANK_FLOOR: f64 = 1.0;
+
+/// The `--pr7` floor: the bound-pruned serial windowed iteration versus the
+/// legacy exhaustive arm of the same in-process A/B. Machine-relative, so it
+/// applies on every core count — there is no low-core skip.
+const PR7_SERIAL_FLOOR: f64 = 1.3;
 
 /// The outcome of one gate evaluation: every line to print (PASS, FAIL and
 /// SKIP alike, in order) plus the counts the exit code derives from. Pure
@@ -169,7 +183,8 @@ fn evaluate_pr6_gate(report: &Json) -> GateOutcome {
     let workers = report.number("pool_workers").unwrap_or(4.0) as usize;
     if host < PR6_MIN_HOST_PARALLELISM {
         outcome.skip(format!(
-            "persistent-epoch floors: host_parallelism={host} is below the \
+            "persistent-epoch floors: host_parallelism={host} (detected via \
+             std::thread::available_parallelism) is below the \
              {PR6_MIN_HOST_PARALLELISM} cores the floors assume — a \
              {host}-core host can only honestly report ≈ 1×; run on a \
              multi-core runner to gate"
@@ -224,6 +239,48 @@ fn evaluate_pr6_gate(report: &Json) -> GateOutcome {
     outcome
 }
 
+/// Evaluates the `--pr7` bound-pruned allocation gate on a fresh
+/// `BENCH_PR7.json`.
+///
+/// Both arms of the A/B it gates ran serially in the same process, so the
+/// speedup is machine-relative and the floor applies on **every** host —
+/// deliberately no low-core skip, unlike [`evaluate_pr6_gate`]. Failure
+/// lines still name the host parallelism so a red leg is diagnosable from
+/// the log alone.
+fn evaluate_pr7_gate(report: &Json) -> GateOutcome {
+    let mut outcome = GateOutcome::new();
+    let host = report.number("host_parallelism").unwrap_or(0.0);
+    if report.get("bitwise_identical_across_configs") != Some(&Json::Bool(true)) {
+        outcome.fail(format!(
+            "bitwise_identical_across_configs: the pruned and legacy \
+             exhaustive serial arms disagreed on host_parallelism={host} — \
+             determinism before speed, fix this first"
+        ));
+    }
+    let Some(speedup) = report.number("windowed_serial_speedup_vs_legacy") else {
+        outcome.fail(format!(
+            "windowed_serial_speedup_vs_legacy: missing from the PR7 report \
+             (host_parallelism={host})"
+        ));
+        return outcome;
+    };
+    if speedup.is_finite() && speedup >= PR7_SERIAL_FLOOR {
+        outcome.pass(format!(
+            "windowed_serial_speedup_vs_legacy: {speedup:.2}x >= \
+             {PR7_SERIAL_FLOOR:.2}x floor (host_parallelism={host}, serial \
+             windowed iteration; machine-relative, gated on every core count)"
+        ));
+    } else {
+        outcome.fail(format!(
+            "windowed_serial_speedup_vs_legacy: {speedup:.2}x vs the legacy \
+             exhaustive arm is below the {PR7_SERIAL_FLOOR:.2}x floor \
+             (host_parallelism={host}, serial windowed iteration; \
+             machine-relative, so a low core count is no excuse)"
+        ));
+    }
+    outcome
+}
+
 fn load(path: &str) -> Json {
     let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("perf_guard: cannot read {path}: {e}");
@@ -268,7 +325,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "perf_guard [--baseline BENCH_BASELINE.json] [--fresh BENCH_PR2.json] [--tolerance 0.25]\n\
-             perf_guard --pr6 [--fresh BENCH_PR6.json]"
+             perf_guard --pr6 [--fresh BENCH_PR6.json]\n\
+             perf_guard --pr7 [--fresh BENCH_PR7.json]"
         );
         return;
     }
@@ -277,6 +335,23 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
+
+    if args.iter().any(|a| a == "--pr7") {
+        let fresh_path = arg("--fresh").unwrap_or_else(|| "BENCH_PR7.json".into());
+        let fresh = load(&fresh_path);
+        println!(
+            "perf guard (pr7): {fresh_path} vs the bound-pruned allocation floor \
+             (serial windowed >= {PR7_SERIAL_FLOOR}x over the legacy exhaustive arm; \
+             machine-relative, no low-core skip)"
+        );
+        // The A/B is in-process and serial on both sides, so the gate must
+        // always check something — an empty outcome is a failure.
+        finish(
+            evaluate_pr7_gate(&fresh),
+            true,
+            "the floor is machine-relative; investigate the pruned scan before re-running",
+        );
+    }
 
     if args.iter().any(|a| a == "--pr6") {
         let fresh_path = arg("--fresh").unwrap_or_else(|| "BENCH_PR6.json".into());
@@ -361,6 +436,10 @@ mod tests {
             notice.contains("host_parallelism=1"),
             "the notice must name the host parallelism: {notice}"
         );
+        assert!(
+            notice.contains("std::thread::available_parallelism"),
+            "the notice must name where the core count came from: {notice}"
+        );
     }
 
     #[test]
@@ -414,6 +493,87 @@ mod tests {
             line.contains("FAIL") && line.contains("determinism"),
             "{line}"
         );
+    }
+
+    fn pr7_report(host: f64, speedup: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "report": "BENCH_PR7",
+                "host_parallelism": {host},
+                "bitwise_identical_across_configs": true,
+                "windowed_serial_speedup_vs_legacy": {speedup}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn pr7_gate_passes_on_a_fast_report() {
+        let outcome = evaluate_pr7_gate(&pr7_report(8.0, 1.65));
+        assert_eq!(outcome.failures, 0);
+        assert_eq!(outcome.checked, 1);
+        assert!(outcome.lines.iter().all(|l| l.contains("PASS")));
+    }
+
+    #[test]
+    fn pr7_gate_has_no_low_core_skip() {
+        // Machine-relative A/B: a single-core host is gated like any other —
+        // passing when above the floor, failing when below, never skipping.
+        let fast = evaluate_pr7_gate(&pr7_report(1.0, 1.62));
+        assert_eq!(fast.failures, 0, "a 1-core host above the floor passes");
+        assert_eq!(fast.checked, 1, "a 1-core host must still be checked");
+        let slow = evaluate_pr7_gate(&pr7_report(1.0, 1.04));
+        assert_eq!(slow.failures, 1, "a 1-core host below the floor fails");
+        assert!(
+            !slow.lines.iter().any(|l| l.contains("SKIP")),
+            "the pr7 gate must never skip: {:?}",
+            slow.lines
+        );
+    }
+
+    #[test]
+    fn pr7_failure_messages_name_host_floor_and_ratio() {
+        let outcome = evaluate_pr7_gate(&pr7_report(2.0, 1.12));
+        assert_eq!(outcome.failures, 1);
+        let fail = outcome.lines.iter().find(|l| l.contains("FAIL")).unwrap();
+        assert!(
+            fail.contains("windowed_serial_speedup_vs_legacy")
+                && fail.contains("host_parallelism=2")
+                && fail.contains("1.12x")
+                && fail.contains("1.30x"),
+            "failure must name the host and the achieved-vs-required pair: {fail}"
+        );
+    }
+
+    #[test]
+    fn pr7_gate_fails_on_a_bitwise_mismatch() {
+        let mut report = pr7_report(8.0, 1.65);
+        if let Json::Object(ref mut map) = report {
+            map.insert("bitwise_identical_across_configs".into(), Json::Bool(false));
+        }
+        let outcome = evaluate_pr7_gate(&report);
+        assert_eq!(outcome.failures, 1);
+        let line = outcome
+            .lines
+            .iter()
+            .find(|l| l.contains("bitwise_identical_across_configs"))
+            .unwrap();
+        assert!(
+            line.contains("FAIL") && line.contains("determinism"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn pr7_gate_fails_on_a_missing_headline() {
+        let report = Json::parse(
+            r#"{"report": "BENCH_PR7", "host_parallelism": 4,
+                "bitwise_identical_across_configs": true}"#,
+        )
+        .unwrap();
+        let outcome = evaluate_pr7_gate(&report);
+        assert_eq!(outcome.failures, 1, "a shrunken report must not pass");
+        assert!(outcome.lines[0].contains("missing"), "{:?}", outcome.lines);
     }
 
     #[test]

@@ -30,14 +30,26 @@
 //!   on the pool since PR 6) and the exhaustive stress shape. The headline
 //!   `windowed_speedup_threaded4_vs_serial` is what `perf_guard --pr6`
 //!   gates at ≥ 2× on multi-core CI runners.
+//! * `BENCH_PR7.json` — the bound-pruned allocation snapshot: the serial
+//!   windowed iteration on `s15850`, PR 7's default engine (bound-pruned
+//!   trial scoring + incremental goodness cache) versus the legacy
+//!   exhaustive configuration, A/B'd in the same process from identical
+//!   seeded starts. Both arms are serial, so the headline
+//!   `windowed_serial_speedup_vs_legacy` is machine-relative and
+//!   `perf_guard --pr7` gates it at ≥ 1.3× on **every** runner,
+//!   single-core included. The report also carries per-phase wall shares
+//!   (Evaluation / Selection / Allocation / cost refresh) for both arms;
+//!   `--phases` additionally prints them as a table.
 //!
 //! Usage:
-//! `perf_report [--only pr2|pr3|pr5|pr6] [--out PATH] [--out3 PATH]
-//! [--out5 PATH] [--out6 PATH] [--iters N] [--scaling-iters N]`
-//! (defaults: all four reports, `BENCH_PR2.json`, `BENCH_PR3.json`,
-//! `BENCH_PR5.json`, `BENCH_PR6.json`, 10 and 8 iterations; `--only` lets a
-//! CI job generate just the part it archives).
+//! `perf_report [--only pr2|pr3|pr5|pr6|pr7] [--out PATH] [--out3 PATH]
+//! [--out5 PATH] [--out6 PATH] [--out7 PATH] [--iters N] [--scaling-iters N]
+//! [--phases]`
+//! (defaults: all five reports, `BENCH_PR2.json`, `BENCH_PR3.json`,
+//! `BENCH_PR5.json`, `BENCH_PR6.json`, `BENCH_PR7.json`, 10 and 8
+//! iterations; `--only` lets a CI job generate just the part it archives).
 
+use bench::json::Json;
 use cluster_sim::comm::WorkerPool;
 use cluster_sim::timeline::ClusterConfig;
 use rand::SeedableRng;
@@ -492,6 +504,186 @@ fn persistent_epoch_report() -> String {
     )
 }
 
+/// Runs the bound-pruned allocation A/B and assembles the `BENCH_PR7` JSON.
+///
+/// Two serial arms from identical seeded starts on the extended-tier
+/// `s15850` circuit, windowed allocation:
+///
+/// * `pruned_incremental` — PR 7's defaults: bound-pruned trial scoring
+///   with row-hoisted exact rescoring plus the incremental per-cell
+///   goodness cache;
+/// * `legacy_exhaustive` — the pre-PR 7 engine (`bound_pruning` off,
+///   `incremental_goodness` off), every candidate scored in full and the
+///   goodness vector rebuilt from scratch each refresh.
+///
+/// Both arms run in the same process on the same host, so the headline
+/// `windowed_serial_speedup_vs_legacy` is machine-relative — a single-core
+/// container measures it as honestly as a 32-core runner, which is why
+/// `perf_guard --pr7` gates it without a low-core skip. Wall-clock is the
+/// best of `REPS` repetitions of an `ITERS`-iteration run (the second
+/// iteration exercises the carried goodness cache), reported per iteration.
+/// Per-arm phase wall shares (cost refresh / goodness / selection /
+/// allocation / delay) come from the fastest repetition; `print_phases`
+/// additionally prints them as a table. The cross-PR
+/// `windowed_serial_speedup_vs_pr6_baseline` reads the *checked-in*
+/// `BENCH_PR6.json` windowed-serial wall when present (null otherwise) —
+/// meaningful on the host that pinned that snapshot, indicative elsewhere.
+fn bound_pruned_report(print_phases: bool) -> String {
+    let circuit = SuiteCircuit::Extended(ExtendedCircuit::S15850);
+    let netlist = Arc::new(circuit.generate());
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    const REPS: usize = 3;
+    const ITERS: usize = 2;
+
+    let optimized = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+    assert!(
+        optimized.allocation.bound_pruning && optimized.incremental_goodness,
+        "PR 7 fast paths must be the default"
+    );
+    let legacy = {
+        let mut config = optimized;
+        config.allocation.bound_pruning = false;
+        config.incremental_goodness = false;
+        config
+    };
+    let arms: [(&str, SimEConfig); 2] = [
+        ("pruned_incremental", optimized),
+        ("legacy_exhaustive", legacy),
+    ];
+
+    // The checked-in PR 6 snapshot's windowed serial wall, for the cross-PR
+    // headline. Validated against the run's labels so a reshuffled report
+    // cannot silently feed the wrong cell.
+    let pr6_baseline_ns: Option<f64> = std::fs::read("BENCH_PR6.json")
+        .ok()
+        .and_then(|bytes| Json::parse_bytes(&bytes).ok())
+        .filter(|report| {
+            report.string("runs.0.allocation") == Some("windowed")
+                && report.string("runs.0.mode") == Some("serial")
+        })
+        .and_then(|report| report.number("runs.0.iteration_wall_ns"));
+
+    struct Arm {
+        label: &'static str,
+        per_iter_ns: u128,
+        phase_ns: Vec<(&'static str, u128)>,
+        end_bits: Vec<u64>,
+    }
+    let mut measured: Vec<Arm> = Vec::new();
+    for (label, config) in arms {
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(1);
+        let initial = engine.initial_placement(&mut seed_rng);
+        let mut best_total_ns = u128::MAX;
+        let mut best_profile = ProfileReport::new();
+        let mut end_bits: Vec<u64> = Vec::new();
+        for _ in 0..REPS {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut placement = initial.clone();
+            let mut scratch = engine.new_scratch();
+            let mut profile = ProfileReport::new();
+            let mut bits: Vec<u64> = Vec::new();
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                let (avg, selected, _stats) = black_box(engine.iterate(
+                    &mut placement,
+                    &mut scratch,
+                    &mut rng,
+                    &mut profile,
+                    &[],
+                    &[],
+                ));
+                bits.push(avg.to_bits());
+                bits.push(selected as u64);
+            }
+            let total_ns = t0.elapsed().as_nanos();
+            let cost = engine.cost_with(&placement, &mut scratch);
+            bits.push(cost.mu.to_bits());
+            bits.push(cost.wirelength.to_bits());
+            bits.push(cost.power.to_bits());
+            if total_ns < best_total_ns {
+                best_total_ns = total_ns;
+                best_profile = profile;
+            }
+            end_bits = bits;
+        }
+        measured.push(Arm {
+            label,
+            per_iter_ns: best_total_ns / ITERS as u128,
+            phase_ns: Phase::ALL
+                .iter()
+                .map(|&p| (p.label(), best_profile.time(p).as_nanos()))
+                .collect(),
+            end_bits,
+        });
+    }
+
+    let bitwise_ok = measured[0].end_bits == measured[1].end_bits;
+    let optimized_ns = measured[0].per_iter_ns;
+    let legacy_ns = measured[1].per_iter_ns;
+    let speedup_vs_legacy = legacy_ns as f64 / optimized_ns.max(1) as f64;
+    let speedup_vs_pr6 = pr6_baseline_ns.map(|base| base / optimized_ns.max(1) as f64);
+
+    if print_phases {
+        println!("per-phase wall shares (windowed serial, s15850, best of {REPS} reps):");
+        for arm in &measured {
+            let total: u128 = arm.phase_ns.iter().map(|(_, ns)| ns).sum();
+            print!("  {:<20}", arm.label);
+            for &(label, ns) in &arm.phase_ns {
+                print!(" {label} {:.1} %", ns as f64 / total.max(1) as f64 * 100.0);
+            }
+            println!();
+        }
+    }
+
+    let mut rows = String::new();
+    for (i, arm) in measured.iter().enumerate() {
+        let total: u128 = arm.phase_ns.iter().map(|(_, ns)| ns).sum();
+        let mut phases = String::new();
+        for (j, &(label, ns)) in arm.phase_ns.iter().enumerate() {
+            if j > 0 {
+                phases.push_str(", ");
+            }
+            phases.push_str(&format!(
+                "{{\"phase\": \"{label}\", \"wall_ns\": {ns}, \"share\": {share:.4}}}",
+                share = ns as f64 / total.max(1) as f64,
+            ));
+        }
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"config\": \"{label}\", \"mode\": \"serial\", \"reps\": {REPS}, \
+             \"iterations_per_rep\": {ITERS}, \"iteration_wall_ns\": {ns}, \
+             \"phases\": [{phases}]}}",
+            label = arm.label,
+            ns = arm.per_iter_ns,
+        ));
+    }
+
+    format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"report\": \"BENCH_PR7\",\n\
+         \x20 \"bench\": \"bound_pruned_allocation\",\n\
+         \x20 \"circuit\": \"s15850\",\n\
+         \x20 \"cells\": {cells},\n\
+         \x20 \"nets\": {nets},\n\
+         \x20 \"host_parallelism\": {host_parallelism},\n\
+         \x20 \"bitwise_identical_across_configs\": {bitwise_ok},\n\
+         \x20 \"windowed_serial_iteration_ns\": {optimized_ns},\n\
+         \x20 \"legacy_serial_iteration_ns\": {legacy_ns},\n\
+         \x20 \"windowed_serial_speedup_vs_legacy\": {vs_legacy:.2},\n\
+         \x20 \"windowed_serial_speedup_vs_pr6_baseline\": {vs_pr6},\n\
+         \x20 \"runs\": [\n{rows}\n  ]\n\
+         }}\n",
+        cells = netlist.num_cells(),
+        nets = netlist.num_nets(),
+        vs_legacy = speedup_vs_legacy,
+        vs_pr6 = speedup_vs_pr6.map_or("null".to_string(), |s| format!("{s:.2}")),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg = |flag: &str| {
@@ -503,19 +695,24 @@ fn main() {
     let out3_path = arg("--out3").unwrap_or_else(|| "BENCH_PR3.json".into());
     let out5_path = arg("--out5").unwrap_or_else(|| "BENCH_PR5.json".into());
     let out6_path = arg("--out6").unwrap_or_else(|| "BENCH_PR6.json".into());
+    let out7_path = arg("--out7").unwrap_or_else(|| "BENCH_PR7.json".into());
     let iters: usize = arg("--iters").and_then(|v| v.parse().ok()).unwrap_or(10);
     let scaling_iters: usize = arg("--scaling-iters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
+    let print_phases = args.iter().any(|a| a == "--phases");
     let only = arg("--only");
-    let (run_pr2, run_pr3, run_pr5, run_pr6) = match only.as_deref() {
-        None => (true, true, true, true),
-        Some("pr2") => (true, false, false, false),
-        Some("pr3") => (false, true, false, false),
-        Some("pr5") => (false, false, true, false),
-        Some("pr6") => (false, false, false, true),
+    let (run_pr2, run_pr3, run_pr5, run_pr6, run_pr7) = match only.as_deref() {
+        None => (true, true, true, true, true),
+        Some("pr2") => (true, false, false, false, false),
+        Some("pr3") => (false, true, false, false, false),
+        Some("pr5") => (false, false, true, false, false),
+        Some("pr6") => (false, false, false, true, false),
+        Some("pr7") => (false, false, false, false, true),
         Some(other) => {
-            eprintln!("unknown --only value '{other}' (expected 'pr2', 'pr3', 'pr5' or 'pr6')");
+            eprintln!(
+                "unknown --only value '{other}' (expected 'pr2', 'pr3', 'pr5', 'pr6' or 'pr7')"
+            );
             std::process::exit(2);
         }
     };
@@ -538,6 +735,12 @@ fn main() {
             std::fs::write(&out6_path, &json6).expect("write persistent-epoch report");
             println!("wrote {out6_path}");
             print!("{json6}");
+        }
+        if run_pr7 {
+            let json7 = bound_pruned_report(print_phases);
+            std::fs::write(&out7_path, &json7).expect("write bound-pruned allocation report");
+            println!("wrote {out7_path}");
+            print!("{json7}");
         }
         return;
     }
@@ -708,5 +911,12 @@ fn main() {
         std::fs::write(&out6_path, &json6).expect("write persistent-epoch report");
         println!("wrote {out6_path}");
         print!("{json6}");
+    }
+    if run_pr7 {
+        // -- Bound-pruned allocation snapshot (PR 7).
+        let json7 = bound_pruned_report(print_phases);
+        std::fs::write(&out7_path, &json7).expect("write bound-pruned allocation report");
+        println!("wrote {out7_path}");
+        print!("{json7}");
     }
 }

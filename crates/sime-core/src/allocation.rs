@@ -22,9 +22,10 @@ use crate::parallel::{chunk_ranges, EvalContext};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use vlsi_netlist::CellId;
 use vlsi_place::cost::CostEvaluator;
-use vlsi_place::kernel::{PreparedCell, TrialScorer};
+use vlsi_place::kernel::{PreparedCell, PreparedSummaries, TrialScorer};
 use vlsi_place::layout::{Placement, Slot};
 
 /// Minimum candidate count before the trial-scoring loop fans out across
@@ -68,6 +69,11 @@ pub struct AllocScratch {
     /// Step counter of the last insertion into each row within the current
     /// allocation pass (wave staleness tracking).
     row_step: Vec<u64>,
+    /// Per-row counting scratch for the summary-derived y median of the
+    /// pruned windowed search (left all-zero between uses).
+    row_merge: Vec<u32>,
+    /// `(distance, row)` top-k buffer of the pruned windowed row ordering.
+    row_dist: Vec<(f64, usize)>,
 }
 
 impl AllocScratch {
@@ -82,6 +88,8 @@ impl AllocScratch {
             rows_by_distance: Vec::new(),
             prepared_cells: Vec::new(),
             row_step: Vec::new(),
+            row_merge: Vec::new(),
+            row_dist: Vec::new(),
         }
     }
 
@@ -144,6 +152,15 @@ pub struct AllocationConfig {
     /// Number of rows (centred on the optimal row) considered by
     /// [`AllocationStrategy::WindowedBestFit`].
     pub best_fit_rows: usize,
+    /// Enable the bound-pruned trial scan (and the summary-derived windowed
+    /// candidate search it feeds): candidates whose score lower bound
+    /// (exact per-net length bounds folded in the score's own accumulation
+    /// order) already exceeds the best score seen are skipped without being
+    /// scored. The strict-inequality rule keeps the argmin and its
+    /// first-index tie-break — and therefore every placement, trajectory and
+    /// work count — bitwise identical to the exhaustive scan; `false` forces
+    /// the legacy full scan (A/B baseline and differential tests).
+    pub bound_pruning: bool,
 }
 
 impl Default for AllocationConfig {
@@ -154,6 +171,7 @@ impl Default for AllocationConfig {
             random_window: 32,
             best_fit_window: 48,
             best_fit_rows: 3,
+            bound_pruning: true,
         }
     }
 }
@@ -286,10 +304,20 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
 
     scratch.fill_rows(placement, allowed_rows);
 
+    // One pass over the cell's pins up front; every candidate slot below is
+    // then scored from the per-net summaries in O(distinct rows). A wave
+    // snapshot already holds those summaries, bit for bit. The pass runs
+    // before candidate enumeration because the pruned windowed search derives
+    // its optimal position from the same summaries instead of re-walking the
+    // CSR.
+    if snapshot.is_none() {
+        scratch.scorer.prepare_cell(evaluator, placement, cell);
+    }
+
     // Enumerate candidate slots according to the strategy.
     scratch.candidates.clear();
     if config.strategy == AllocationStrategy::WindowedBestFit {
-        windowed_candidates(evaluator, placement, cell, config, scratch);
+        windowed_candidates(evaluator, placement, cell, config, scratch, snapshot);
     } else {
         for r in 0..scratch.rows.len() {
             let row = scratch.rows[r];
@@ -323,12 +351,11 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
 
     let mut best_slot = None;
     let mut best_score = f64::INFINITY;
-    // One pass over the cell's pins up front; every candidate slot below is
-    // then scored from the per-net summaries in O(distinct rows). A wave
-    // snapshot already holds those summaries, bit for bit.
-    if snapshot.is_none() {
-        scratch.scorer.prepare_cell(evaluator, placement, cell);
-    }
+    // Pruning is sound for every strategy; the convex early row exit
+    // additionally needs candidates sorted by x within a row run, which the
+    // shuffled RandomWindow list does not provide.
+    let prune = config.bound_pruning;
+    let sorted_runs = config.strategy != AllocationStrategy::RandomWindow;
     let fan_out = match ctx.fan_out() {
         Some((pool, chunks))
             if config.strategy != AllocationStrategy::FirstFit
@@ -349,21 +376,17 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
                 .into_iter()
                 .map(|range| {
                     Box::new(move || {
-                        let mut local_score = f64::INFINITY;
-                        let mut local_index = usize::MAX;
-                        for i in range {
-                            let pos = placement.trial_position(cell, candidates[i]);
-                            let cost = match snapshot {
-                                Some(prepared) => prepared.cost_at(pos),
-                                None => scorer.prepared_cost_at(pos),
-                            };
-                            let score = evaluator.allocation_score(&cost);
-                            if score < local_score {
-                                local_score = score;
-                                local_index = i;
-                            }
-                        }
-                        (local_score, local_index)
+                        scan_candidates(
+                            evaluator,
+                            placement,
+                            cell,
+                            scorer,
+                            snapshot,
+                            candidates,
+                            range,
+                            prune,
+                            sorted_runs,
+                        )
                     }) as Box<dyn FnOnce() -> (f64, usize) + Send + '_>
                 })
                 .collect();
@@ -377,7 +400,9 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
         }
         stats.trial_positions += candidates.len();
         stats.net_evaluations += candidates.len() * nets_of_cell;
-    } else {
+    } else if config.strategy == AllocationStrategy::FirstFit {
+        // First fit scans unpruned: its early exit depends on *scoring* each
+        // slot in order, and its work count reflects where it stopped.
         for i in 0..scratch.candidates.len() {
             let slot = scratch.candidates[i];
             let pos = placement.trial_position(cell, slot);
@@ -393,14 +418,32 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
                 best_score = score;
                 best_slot = Some(slot);
             }
-            if config.strategy == AllocationStrategy::FirstFit
-                && better
-                && stats.trial_positions > 1
-            {
+            if better && stats.trial_positions > 1 {
                 // First fit: stop at the first slot that beats the initial one.
                 break;
             }
         }
+    } else {
+        let (_, index) = scan_candidates(
+            evaluator,
+            placement,
+            cell,
+            &scratch.scorer,
+            snapshot,
+            &scratch.candidates,
+            0..scratch.candidates.len(),
+            prune,
+            sorted_runs,
+        );
+        if index != usize::MAX {
+            best_slot = Some(scratch.candidates[index]);
+        }
+        // The nominal work counts charge the full candidate list whether or
+        // not the bound pruned individual scores: they feed the modeled
+        // cluster time and the cross-config stats-equality tests, and the
+        // *algorithmic* work of the strategy is unchanged.
+        stats.trial_positions += scratch.candidates.len();
+        stats.net_evaluations += scratch.candidates.len() * nets_of_cell;
     }
 
     let slot = best_slot.unwrap_or(Slot {
@@ -411,87 +454,307 @@ fn allocate_cell_inner<R: Rng + ?Sized>(
     stats
 }
 
+/// Scans `candidates[range]` with the serial strictly-less argmin and returns
+/// `(best_score, best_index)` (`usize::MAX` when nothing was scored). The
+/// shared scan of the serial non-FirstFit path and each chunk of the trial
+/// fan-out.
+///
+/// With `prune` set, the scan walks the list as contiguous same-row runs:
+///
+/// * **run floor**: `allocation_score(bound_floor(row)) > best` skips the
+///   whole run without scoring it (every candidate in the run costs at least
+///   the floor, component-wise — the lower bound of the §3a invariant);
+/// * **row-hoisted scoring**: surviving runs score each candidate through
+///   per-net vertical constants prepared once per run
+///   (`PreparedSummaries::prepare_row`), bit-identical to the full score at
+///   a fraction of its cost — within a run the candidate x only moves the
+///   exact horizontal trunk, so the per-candidate "bound" is *tight* and
+///   pruning degenerates to the strict argmin comparison itself;
+/// * **monotone tail exit** (`sorted_runs` only): once a candidate sits at
+///   `x ≥ max_other_x()`, every net's trunk is on its increasing branch, so
+///   all later candidates of the run score `≥` the current one
+///   (component-wise through the fold) and can never *strictly* beat the
+///   running best — the rest of the run is skipped.
+///
+/// Every skip rule respects the strict-less argmin: a skipped candidate's
+/// true score can tie but never win, so the argmin index (first-wins) — and
+/// with it every placement and trajectory — is bitwise identical to the
+/// exhaustive scan. Under `debug_assertions` the hoisted score is
+/// cross-checked bit-for-bit against the full score and every skipped
+/// candidate is fully scored and checked against the value it was skipped
+/// for (the always-on oracle of the differential tests).
+#[allow(clippy::too_many_arguments)]
+fn scan_candidates(
+    evaluator: &CostEvaluator,
+    placement: &Placement,
+    cell: CellId,
+    scorer: &TrialScorer,
+    snapshot: Option<&PreparedCell>,
+    candidates: &[Slot],
+    range: Range<usize>,
+    prune: bool,
+    sorted_runs: bool,
+) -> (f64, usize) {
+    let score_at = |pos: (f64, f64)| -> f64 {
+        let cost = match snapshot {
+            Some(prepared) => prepared.cost_at(pos),
+            None => scorer.prepared_cost_at(pos),
+        };
+        evaluator.allocation_score(&cost)
+    };
+    let mut best_score = f64::INFINITY;
+    let mut best_index = usize::MAX;
+    if !prune {
+        for i in range {
+            let score = score_at(placement.trial_position(cell, candidates[i]));
+            if score < best_score {
+                best_score = score;
+                best_index = i;
+            }
+        }
+        return (best_score, best_index);
+    }
+
+    let view: PreparedSummaries<'_> = match snapshot {
+        Some(prepared) => prepared.summaries(),
+        None => scorer.prepared_summaries(),
+    };
+    // Debug oracle: a pruned candidate must score at least its bound and
+    // must not beat the best score it was pruned against.
+    #[cfg(debug_assertions)]
+    let check_pruned = |i: usize, bound: f64, best: f64| {
+        let pos = placement.trial_position(cell, candidates[i]);
+        let score = score_at(pos);
+        debug_assert!(
+            score >= bound && score >= best,
+            "pruned candidate {i} scores {score} below its bound {bound} (best {best})"
+        );
+    };
+    let max_other_x = view.max_other_x();
+    let mut vertical: Vec<f64> = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        let row = candidates[i].row;
+        let mut run_end = i + 1;
+        while run_end < range.end && candidates[run_end].row == row {
+            run_end += 1;
+        }
+        let floor = evaluator.allocation_score(&view.bound_floor(row as u32));
+        if floor > best_score {
+            #[cfg(debug_assertions)]
+            for j in i..run_end {
+                check_pruned(j, floor, best_score);
+            }
+            i = run_end;
+            continue;
+        }
+        view.prepare_row(row as u32, &mut vertical);
+        for (j, &candidate) in candidates.iter().enumerate().take(run_end).skip(i) {
+            let pos = placement.trial_position(cell, candidate);
+            let score = evaluator.allocation_score(&view.cost_at_in_row(pos.0, &vertical));
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                score.to_bits(),
+                score_at(pos).to_bits(),
+                "row-hoisted score diverged from the full score"
+            );
+            if score < best_score {
+                best_score = score;
+                best_index = j;
+            }
+            if sorted_runs && pos.0 >= max_other_x {
+                // Monotone tail: every remaining candidate of the run sits
+                // at x' ≥ x ≥ max_other_x, where the exact score is
+                // non-decreasing in x — none can strictly beat `best_score`
+                // (which now reflects this candidate).
+                #[cfg(debug_assertions)]
+                for k in j + 1..run_end {
+                    check_pruned(k, score, best_score);
+                }
+                break;
+            }
+        }
+        i = run_end;
+    }
+    (best_score, best_index)
+}
+
 /// Candidate slots for [`AllocationStrategy::WindowedBestFit`]: the cell's
 /// optimal position is the median of the positions of the other cells it
 /// connects to; candidates are the insertion indices closest to that x
 /// coordinate in the allowed rows closest to the optimal row, capped at
 /// `config.best_fit_window` slots in total.
+///
+/// With `config.bound_pruning` the optimal position comes straight from the
+/// prepared per-net summaries (one CSR walk, already performed) instead of a
+/// fresh gather-and-sort, the nearest rows from a top-k pass that evaluates
+/// each row distance once, and the per-row insertion index from a binary
+/// search over the rows' exact cached left edges — all bitwise identical to
+/// the legacy path, which is kept verbatim as the `false` branch (the A/B
+/// baseline).
 fn windowed_candidates(
     evaluator: &CostEvaluator,
     placement: &Placement,
     cell: CellId,
     config: &AllocationConfig,
     scratch: &mut AllocScratch,
+    snapshot: Option<&PreparedCell>,
 ) {
     let netlist = evaluator.netlist();
+    let keep_rows = config.best_fit_rows.max(1);
 
-    // Optimal position: median of connected-cell coordinates.
-    scratch.xs.clear();
-    scratch.ys.clear();
-    for &net in netlist.nets_of_cell(cell) {
-        for &other in evaluator.net_cells(net) {
-            if other == cell {
-                continue;
-            }
-            let (x, y) = placement.position(other);
-            scratch.xs.push(x);
-            scratch.ys.push(y);
-        }
-    }
-    let (opt_x, opt_y) = if scratch.xs.is_empty() {
-        placement.position(cell)
+    let AllocScratch {
+        scorer,
+        rows,
+        candidates,
+        xs,
+        ys,
+        rows_by_distance,
+        row_merge,
+        row_dist,
+        ..
+    } = scratch;
+
+    let (opt_x, opt_y) = if config.bound_pruning {
+        let view = match snapshot {
+            Some(prepared) => prepared.summaries(),
+            None => scorer.prepared_summaries(),
+        };
+        view.median_position(xs, row_merge)
+            .unwrap_or_else(|| placement.position(cell))
     } else {
-        scratch.xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        scratch.ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        (
-            scratch.xs[scratch.xs.len() / 2],
-            scratch.ys[scratch.ys.len() / 2],
-        )
+        // Legacy gather: median of connected-cell coordinates via sort.
+        xs.clear();
+        ys.clear();
+        for &net in netlist.nets_of_cell(cell) {
+            for &other in evaluator.net_cells(net) {
+                if other == cell {
+                    continue;
+                }
+                let (x, y) = placement.position(other);
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        if xs.is_empty() {
+            placement.position(cell)
+        } else {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            (xs[xs.len() / 2], ys[ys.len() / 2])
+        }
     };
 
     // Rows nearest the optimal y, limited to `best_fit_rows`. `scratch.rows`
     // is already deduplicated, so the per-row windows below cannot emit the
     // same slot twice.
-    scratch.rows_by_distance.clear();
-    scratch.rows_by_distance.extend_from_slice(&scratch.rows);
-    scratch.rows_by_distance.sort_by(|&a, &b| {
-        let da = ((a as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
-        let db = ((b as f64 + 0.5) * crate::allocation::row_height() - opt_y).abs();
-        da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
-    });
-    scratch
-        .rows_by_distance
-        .truncate(config.best_fit_rows.max(1));
-
-    let per_row = (config.best_fit_window.max(1) / scratch.rows_by_distance.len()).max(1);
-    for &row in &scratch.rows_by_distance {
-        let cells_in_row = placement.row(row);
-        // Find the insertion index whose left edge is closest to opt_x by a
-        // linear scan over the row's cached coordinates (cheap: no net
-        // evaluations are involved).
-        let mut best_index = cells_in_row.len();
-        let mut best_dist = f64::INFINITY;
-        let mut x = 0.0;
-        for (i, &c) in cells_in_row.iter().enumerate() {
-            let d = (x - opt_x).abs();
-            if d < best_dist {
-                best_dist = d;
-                best_index = i;
+    rows_by_distance.clear();
+    if config.bound_pruning {
+        // Top-k insertion under the same (distance, row) total order as the
+        // legacy sort+truncate: identical rows in identical order, but each
+        // row's distance is evaluated once instead of per comparison.
+        row_dist.clear();
+        for &row in rows.iter() {
+            let d = ((row as f64 + 0.5) * row_height() - opt_y).abs();
+            let mut pos = row_dist.len();
+            while pos > 0 {
+                let (pd, pr) = row_dist[pos - 1];
+                if d < pd || (d == pd && row < pr) {
+                    pos -= 1;
+                } else {
+                    break;
+                }
             }
-            x += netlist.cell(c).width as f64;
+            if pos < keep_rows {
+                if row_dist.len() == keep_rows {
+                    row_dist.pop();
+                }
+                row_dist.insert(pos, (d, row));
+            }
         }
-        if (x - opt_x).abs() < best_dist {
-            best_index = cells_in_row.len();
-        }
+        rows_by_distance.extend(row_dist.iter().map(|&(_, row)| row));
+    } else {
+        rows_by_distance.extend_from_slice(rows);
+        rows_by_distance.sort_by(|&a, &b| {
+            let da = ((a as f64 + 0.5) * row_height() - opt_y).abs();
+            let db = ((b as f64 + 0.5) * row_height() - opt_y).abs();
+            da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
+        });
+        rows_by_distance.truncate(keep_rows);
+    }
+
+    let per_row = (config.best_fit_window.max(1) / rows_by_distance.len()).max(1);
+    for &row in rows_by_distance.iter() {
+        let cells_in_row = placement.row(row);
+        let len = cells_in_row.len();
+        let best_index = if config.bound_pruning {
+            // Binary search over the row's insertion boundaries. Boundary i
+            // is cell i's exact left edge (`x_of - width/2`, an exact
+            // integer equal to the legacy cumulative-width sum), boundary
+            // `len` the row's total width; boundaries are non-decreasing, so
+            // `partition_point` finds the first boundary ≥ opt_x and the
+            // winner is that boundary or its left neighbour — ties and
+            // bit-equal plateaus (zero-width cells) resolve to the smallest
+            // index, exactly the legacy scan's first-wins rule.
+            let left_edge = |c: CellId| placement.x_of(c) - netlist.cell(c).width as f64 / 2.0;
+            let end_edge = placement.row_width(row) as f64;
+            let boundary = |i: usize| {
+                if i < len {
+                    left_edge(cells_in_row[i])
+                } else {
+                    end_edge
+                }
+            };
+            let j = cells_in_row.partition_point(|&c| left_edge(c) < opt_x);
+            let jb = if j == len && end_edge < opt_x {
+                len + 1
+            } else {
+                j
+            };
+            let mut best = if jb == 0 {
+                0
+            } else if jb == len + 1 {
+                len
+            } else {
+                let d_left = opt_x - boundary(jb - 1);
+                let d_right = boundary(jb) - opt_x;
+                if d_right < d_left {
+                    jb
+                } else {
+                    jb - 1
+                }
+            };
+            while best > 0 && boundary(best - 1) == boundary(best) {
+                best -= 1;
+            }
+            best
+        } else {
+            // Legacy: linear scan over the row's cumulative widths.
+            let mut best_index = len;
+            let mut best_dist = f64::INFINITY;
+            let mut x = 0.0;
+            for (i, &c) in cells_in_row.iter().enumerate() {
+                let d = (x - opt_x).abs();
+                if d < best_dist {
+                    best_dist = d;
+                    best_index = i;
+                }
+                x += netlist.cell(c).width as f64;
+            }
+            if (x - opt_x).abs() < best_dist {
+                best_index = len;
+            }
+            best_index
+        };
         // Take indices around the best one.
         let half = per_row / 2;
         let lo = best_index.saturating_sub(half);
-        let hi = (best_index + half.max(1)).min(cells_in_row.len());
+        let hi = (best_index + half.max(1)).min(len);
         for index in lo..=hi {
-            scratch.candidates.push(Slot { row, index });
+            candidates.push(Slot { row, index });
         }
     }
-    scratch.candidates.truncate(config.best_fit_window.max(1));
+    candidates.truncate(config.best_fit_window.max(1));
 }
 
 /// Row height re-exported for the windowed candidate search (kept here so the
@@ -1050,6 +1313,66 @@ mod tests {
                     p.row(row),
                     "workers={workers} chunks={chunks}: placement must be bitwise serial"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_pruning_is_bitwise_identical_to_full_scan() {
+        // The §3a pruning invariant, end to end: for every strategy the
+        // pruned scan must produce the same placement and the same nominal
+        // work counts as the legacy full scan. (In debug builds the scan
+        // additionally oracle-checks every pruned candidate's true score
+        // against its bound.)
+        let nl = Arc::new(
+            CircuitGenerator::new(GeneratorConfig::sized("alloc_prune_test", 260, 31)).generate(),
+        );
+        for objectives in [
+            Objectives::WirelengthPower,
+            Objectives::WirelengthPowerDelay,
+        ] {
+            let eval = CostEvaluator::new(Arc::clone(&nl), objectives);
+            let ge = GoodnessEvaluator::new(eval.clone());
+            let placement = Placement::round_robin(&nl, 7);
+            let goodness = ge.all_goodness(&placement);
+            for strategy in [
+                AllocationStrategy::WindowedBestFit,
+                AllocationStrategy::SortedBestFit,
+                AllocationStrategy::RandomWindow,
+            ] {
+                let run = |bound_pruning: bool| {
+                    let mut p = placement.clone();
+                    let mut selected: Vec<CellId> = nl.cell_ids().take(80).collect();
+                    let mut rng = ChaCha8Rng::seed_from_u64(11);
+                    let stats = allocate_all(
+                        &eval,
+                        &mut AllocScratch::for_evaluator(&eval),
+                        &mut p,
+                        &mut selected,
+                        &goodness,
+                        &AllocationConfig {
+                            strategy,
+                            bound_pruning,
+                            ..Default::default()
+                        },
+                        &[],
+                        &mut rng,
+                    );
+                    (stats, p)
+                };
+                let (legacy_stats, legacy_placement) = run(false);
+                let (pruned_stats, pruned_placement) = run(true);
+                assert_eq!(
+                    legacy_stats, pruned_stats,
+                    "{objectives:?}/{strategy:?}: nominal work counts must not change"
+                );
+                for row in 0..legacy_placement.num_rows() {
+                    assert_eq!(
+                        legacy_placement.row(row),
+                        pruned_placement.row(row),
+                        "{objectives:?}/{strategy:?}: pruning must be bitwise invisible"
+                    );
+                }
             }
         }
     }

@@ -21,6 +21,11 @@ use vlsi_place::layout::Placement;
 /// and the wide delta after an allocation pass parallelise well.
 const PARALLEL_REFRESH_THRESHOLD: usize = 64;
 
+/// Minimum number of invalidated cells before the incremental goodness
+/// recompute fans out over the worker pool; below this the per-cell pass is
+/// cheaper serial.
+const PARALLEL_GOODNESS_THRESHOLD: usize = 64;
+
 /// Per-worker mutable state of a SimE run: the allocation scratch buffers
 /// (including the allocation-free [`vlsi_place::kernel::TrialScorer`]) and
 /// the incremental [`NetLengthCache`].
@@ -52,6 +57,24 @@ pub struct SimEScratch {
     chunk_lengths: Vec<Vec<f64>>,
     /// Dirty-net plan buffer of the split refresh.
     dirty_nets: Vec<NetId>,
+    /// Whether `goodness` holds the per-cell values for the cache's current
+    /// net lengths, except for the cells listed in `pending_cells`. `false`
+    /// forces the next Evaluation to rebuild the whole vector.
+    goodness_valid: bool,
+    /// Cells whose cached goodness is stale (some incident net or some
+    /// critical path through them was re-priced since the vector was last
+    /// completed). Deduplicated via `cell_stamp`; accumulates across
+    /// refreshes until the next goodness pass consumes it.
+    pending_cells: Vec<CellId>,
+    /// Per-cell membership stamps for `pending_cells` (`== cell_stamp_cur`
+    /// means already pending).
+    cell_stamp: Vec<u64>,
+    /// Current pending-set stamp; advanced whenever `pending_cells` is
+    /// consumed or discarded, which empties the set in O(1).
+    cell_stamp_cur: u64,
+    /// Cells recomputed through the incremental goodness path (telemetry for
+    /// differential tests; the full rebuilds are not counted).
+    goodness_delta_recomputes: u64,
 }
 
 impl SimEScratch {
@@ -65,7 +88,19 @@ impl SimEScratch {
             chunk_scorers: Vec::new(),
             chunk_lengths: Vec::new(),
             dirty_nets: Vec::new(),
+            goodness_valid: false,
+            pending_cells: Vec::new(),
+            cell_stamp: Vec::new(),
+            cell_stamp_cur: 0,
+            goodness_delta_recomputes: 0,
         }
+    }
+
+    /// Number of per-cell goodness values recomputed through the incremental
+    /// (dirty-subset) path instead of a full rebuild. Pure telemetry — the
+    /// values themselves are bitwise identical either way.
+    pub fn goodness_delta_recomputes(&self) -> u64 {
+        self.goodness_delta_recomputes
     }
 }
 
@@ -119,6 +154,13 @@ pub struct SimEConfig {
     pub stopping: StoppingCriteria,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Carry the per-cell goodness vector across iterations and recompute
+    /// only the cells invalidated by re-priced nets (and re-priced critical
+    /// paths). Per-cell goodness is a pure function of the net lengths the
+    /// cell reads, so the incremental pass is bitwise identical to the full
+    /// per-iteration rebuild; `false` forces the legacy full pass (the A/B
+    /// baseline of the perf reports).
+    pub incremental_goodness: bool,
 }
 
 impl SimEConfig {
@@ -132,6 +174,7 @@ impl SimEConfig {
             allocation: AllocationConfig::default(),
             stopping: StoppingCriteria::fixed(iterations),
             seed: 1,
+            incremental_goodness: true,
         }
     }
 
@@ -148,6 +191,7 @@ impl SimEConfig {
             },
             stopping: StoppingCriteria::fixed(iterations),
             seed: 1,
+            incremental_goodness: true,
         }
     }
 }
@@ -210,9 +254,56 @@ pub struct SimEEngine {
 
 impl SimEEngine {
     /// Builds an engine (and its cost/goodness evaluators) for a netlist.
+    ///
+    /// The fuzzy goal multiples are calibrated to the circuit (see
+    /// `calibrate_fuzzy`) so the quality measure `µ(s)` keeps discriminating
+    /// on circuits whose achievable cost-to-lower-bound ratios exceed the
+    /// defaults.
     pub fn new(netlist: Arc<Netlist>, config: SimEConfig) -> Self {
         let evaluator = CostEvaluator::new(netlist, config.objectives);
+        let evaluator = Self::calibrate_fuzzy(evaluator, config.num_rows);
         Self::from_evaluator(evaluator, config)
+    }
+
+    /// Scales the fuzzy goal multiples to the circuit when the defaults are
+    /// too tight for it.
+    ///
+    /// The per-net lower bounds assume every net packed contiguously in one
+    /// row; how far real placements sit above them grows with circuit size,
+    /// so a fixed goal multiple that discriminates well on the paper-sized
+    /// circuits pins the memberships (and with them `µ(s)`) to the
+    /// width-only floor on the larger extended-tier circuits. As a
+    /// deterministic, placement-quality yardstick this uses the round-robin
+    /// placement (`Φ_rr`, the same layout the interchange importer and the
+    /// bounds tests use): per objective, with `r = cost(Φ_rr) / lower_bound`,
+    /// when `2r ≥ goal_default` the goal becomes `2.5 r` — round-robin is a
+    /// mediocre placement, SimE converges to roughly `r/2`…`r` of the bound,
+    /// so `2.5 r` keeps converged placements inside the linear membership
+    /// band — and otherwise the default stays, which keeps every paper-tier
+    /// circuit (whose ratios sit far below the defaults) bitwise unchanged.
+    fn calibrate_fuzzy(evaluator: CostEvaluator, num_rows: usize) -> CostEvaluator {
+        let yardstick = Placement::round_robin(evaluator.netlist(), num_rows);
+        let cost = evaluator.evaluate(&yardstick);
+        let bounds = evaluator.bounds();
+        let mut fuzzy = *evaluator.fuzzy();
+        let calibrate = |goal: &mut f64, cost: f64, lower: f64| {
+            if lower > 0.0 {
+                let ratio = cost / lower;
+                if ratio * 2.0 >= *goal {
+                    *goal = ratio * 2.5;
+                }
+            }
+        };
+        calibrate(
+            &mut fuzzy.goal_wirelength,
+            cost.wirelength,
+            bounds.wirelength_lower,
+        );
+        calibrate(&mut fuzzy.goal_power, cost.power, bounds.power_lower);
+        if evaluator.objectives().includes_delay() {
+            calibrate(&mut fuzzy.goal_delay, cost.delay, bounds.delay_lower);
+        }
+        evaluator.with_fuzzy(fuzzy)
     }
 
     /// Builds an engine on top of an existing cost evaluator (so several
@@ -303,15 +394,20 @@ impl SimEEngine {
     }
 
     /// The Evaluation step under an explicit [`EvalContext`]: the net-length
-    /// refresh stays serial (it is a delta pass over `scratch.cache`), and
-    /// the per-cell goodness pass — the dominant Evaluation cost on the
-    /// extended tier — fans out over the context's worker pool in
-    /// index-contiguous cell chunks. Chunk boundaries depend only on the cell
-    /// count and the chunk count, each chunk computes exactly the serial
-    /// per-cell values into its own buffer, and the merge concatenates the
-    /// buffers in chunk order, so the resulting goodness vector is **bitwise
-    /// identical** to [`SimEEngine::evaluate_with`] for every chunk count
-    /// (the intra-rank extension of the DESIGN.md §4 determinism contract).
+    /// refresh re-evaluates only dirty nets (fanning out when the delta is
+    /// wide), and the per-cell goodness pass — the dominant Evaluation cost
+    /// on the extended tier — is incremental when
+    /// [`SimEConfig::incremental_goodness`] is on: the goodness vector is
+    /// carried in the scratch across iterations and only the cells
+    /// invalidated by the re-priced nets (and, under the delay objective,
+    /// re-priced critical paths) are recomputed, chunking over the dirty
+    /// subset when it is wide. Per-cell goodness is a pure function of the
+    /// net lengths the cell reads, untouched cells kept bit-identical
+    /// lengths, and every recomputed cell runs the exact serial per-cell
+    /// arithmetic, so the resulting goodness vector is **bitwise identical**
+    /// to [`SimEEngine::evaluate_with`] for every chunk count and to the full
+    /// rebuild (the intra-rank extension of the DESIGN.md §4 determinism
+    /// contract; invalidation rules in DESIGN.md §3a).
     ///
     /// Profile work counts are the nominal algorithmic counts either way;
     /// only wall-clock changes.
@@ -328,38 +424,104 @@ impl SimEEngine {
         profile.add_net_evals(Phase::CostCalculation, scratch.cache.lengths().len() as u64);
 
         let t1 = Instant::now();
-        match ctx.fan_out() {
-            None => {
-                self.goodness
-                    .all_goodness_into(scratch.cache.lengths(), &mut scratch.goodness);
-            }
-            Some((pool, chunks)) => {
-                let num_cells = self.evaluator.netlist().num_cells();
-                let ranges = chunk_ranges(num_cells, chunks);
+        let num_cells = self.evaluator.netlist().num_cells();
+        let use_delta = self.config.incremental_goodness
+            && scratch.goodness_valid
+            && scratch.goodness.len() == num_cells;
+        if use_delta {
+            // Incremental path: only the cells invalidated since the vector
+            // was last completed are recomputed, in place. Each cell's value
+            // is the same pure function of the (already refreshed) net
+            // lengths the full pass computes, and untouched cells kept nets
+            // with bit-identical lengths, so the completed vector is bitwise
+            // identical to a full rebuild.
+            let pending = std::mem::take(&mut scratch.pending_cells);
+            scratch.goodness_delta_recomputes += pending.len() as u64;
+            let fan_out = match ctx.fan_out() {
+                Some((pool, chunks))
+                    if pending.len() >= PARALLEL_GOODNESS_THRESHOLD.max(2 * chunks) =>
+                {
+                    Some((pool, chunks))
+                }
+                _ => None,
+            };
+            if let Some((pool, chunks)) = fan_out {
+                let ranges = chunk_ranges(pending.len(), chunks);
                 if scratch.chunk_goodness.len() < ranges.len() {
                     scratch.chunk_goodness.resize_with(ranges.len(), Vec::new);
                 }
                 // Split borrows: the chunk tasks read the shared net lengths
-                // and each writes its own output buffer.
+                // and the pending list, each writing its own output buffer.
                 let lengths: &[f64] = scratch.cache.lengths();
                 let goodness = &self.goodness;
+                let pending_ref: &[CellId] = &pending;
                 let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = scratch.chunk_goodness
                     [..ranges.len()]
                     .iter_mut()
-                    .zip(ranges)
+                    .zip(ranges.iter().cloned())
                     .map(|(buf, range)| {
-                        Box::new(move || goodness.goodness_range_into(lengths, range, buf))
-                            as Box<dyn FnOnce() + Send + '_>
+                        Box::new(move || {
+                            buf.clear();
+                            buf.extend(pending_ref[range].iter().map(|&cell| {
+                                goodness.cell_goodness_from_lengths(cell, lengths).combined
+                            }));
+                        }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
-                let chunks_used = tasks.len();
                 pool.run_scoped_tasks(tasks);
-                scratch.goodness.clear();
-                for buf in &scratch.chunk_goodness[..chunks_used] {
-                    scratch.goodness.extend_from_slice(buf);
+                for (buf, range) in scratch.chunk_goodness.iter().zip(ranges) {
+                    for (&cell, &g) in pending[range].iter().zip(buf.iter()) {
+                        scratch.goodness[cell.index()] = g;
+                    }
+                }
+            } else {
+                let lengths: &[f64] = scratch.cache.lengths();
+                for &cell in &pending {
+                    scratch.goodness[cell.index()] = self
+                        .goodness
+                        .cell_goodness_from_lengths(cell, lengths)
+                        .combined;
                 }
             }
+            scratch.pending_cells = pending;
+        } else {
+            match ctx.fan_out() {
+                None => {
+                    self.goodness
+                        .all_goodness_into(scratch.cache.lengths(), &mut scratch.goodness);
+                }
+                Some((pool, chunks)) => {
+                    let ranges = chunk_ranges(num_cells, chunks);
+                    if scratch.chunk_goodness.len() < ranges.len() {
+                        scratch.chunk_goodness.resize_with(ranges.len(), Vec::new);
+                    }
+                    // Split borrows: the chunk tasks read the shared net
+                    // lengths and each writes its own output buffer.
+                    let lengths: &[f64] = scratch.cache.lengths();
+                    let goodness = &self.goodness;
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = scratch.chunk_goodness
+                        [..ranges.len()]
+                        .iter_mut()
+                        .zip(ranges)
+                        .map(|(buf, range)| {
+                            Box::new(move || goodness.goodness_range_into(lengths, range, buf))
+                                as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    let chunks_used = tasks.len();
+                    pool.run_scoped_tasks(tasks);
+                    scratch.goodness.clear();
+                    for buf in &scratch.chunk_goodness[..chunks_used] {
+                        scratch.goodness.extend_from_slice(buf);
+                    }
+                }
+            }
+            scratch.goodness_valid = self.config.incremental_goodness;
         }
+        // The vector is complete for the cache's current lengths: empty the
+        // pending set (stamp advance keeps the dedup table consistent).
+        scratch.pending_cells.clear();
+        scratch.cell_stamp_cur = scratch.cell_stamp_cur.wrapping_add(1);
         profile.add_time(Phase::GoodnessEvaluation, t1.elapsed());
         profile.add_net_evals(Phase::GoodnessEvaluation, self.pins);
 
@@ -377,9 +539,18 @@ impl SimEEngine {
     /// monolithic serial [`NetLengthCache::refresh`] for every chunk count.
     fn refresh_on(&self, placement: &Placement, scratch: &mut SimEScratch, ctx: &EvalContext<'_>) {
         let mut dirty = std::mem::take(&mut scratch.dirty_nets);
-        scratch
+        let full = scratch
             .cache
             .plan_refresh(&self.evaluator, placement, &mut dirty);
+        if full {
+            // Every net was re-priced (fresh scratch, placement swap, size
+            // change): the carried goodness vector has no usable baseline.
+            scratch.goodness_valid = false;
+            scratch.pending_cells.clear();
+            scratch.cell_stamp_cur = scratch.cell_stamp_cur.wrapping_add(1);
+        } else if self.config.incremental_goodness && scratch.goodness_valid && !dirty.is_empty() {
+            self.note_dirty_cells(scratch, &dirty);
+        }
         let fan_out = match ctx.fan_out() {
             Some((pool, chunks)) if dirty.len() >= PARALLEL_REFRESH_THRESHOLD.max(2 * chunks) => {
                 Some((pool, chunks))
@@ -429,6 +600,45 @@ impl SimEEngine {
             }
         }
         scratch.dirty_nets = dirty;
+    }
+
+    /// Marks every cell whose goodness may change when the `dirty` nets are
+    /// re-priced: the cells incident to a dirty net, plus — under the delay
+    /// objective — the cells of every stored critical path containing a dirty
+    /// net (their delay goodness reads the path's total length). Cells are
+    /// stamp-deduplicated into `scratch.pending_cells`, which accumulates
+    /// across refreshes until the next goodness pass consumes it.
+    fn note_dirty_cells(&self, scratch: &mut SimEScratch, dirty: &[NetId]) {
+        let num_cells = self.evaluator.netlist().num_cells();
+        if scratch.cell_stamp.len() != num_cells {
+            scratch.cell_stamp.clear();
+            scratch.cell_stamp.resize(num_cells, 0);
+            // Stamp 0 is reserved as "never pending" for freshly zeroed slots.
+            scratch.cell_stamp_cur = 1;
+            scratch.pending_cells.clear();
+        }
+        let stamp = scratch.cell_stamp_cur;
+        let include_paths = self.config.objectives.includes_delay();
+        for &net in dirty {
+            for &cell in self.evaluator.net_cells(net) {
+                let i = cell.index();
+                if scratch.cell_stamp[i] != stamp {
+                    scratch.cell_stamp[i] = stamp;
+                    scratch.pending_cells.push(cell);
+                }
+            }
+            if include_paths {
+                for &pi in self.evaluator.paths_through_net(net) {
+                    for &cell in &self.evaluator.paths()[pi as usize].cells {
+                        let i = cell.index();
+                        if scratch.cell_stamp[i] != stamp {
+                            scratch.cell_stamp[i] = stamp;
+                            scratch.pending_cells.push(cell);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Charges the delay-calculation phase (a full path sweep) when the delay
@@ -568,6 +778,12 @@ impl SimEEngine {
         );
         scratch.goodness.clear();
         scratch.goodness.extend_from_slice(goodness);
+        // The staged vector came from outside the engine's Evaluation step;
+        // conservatively drop it as an incremental-goodness baseline (the
+        // Type I master re-gathers a fresh vector every iteration anyway).
+        scratch.goodness_valid = false;
+        scratch.pending_cells.clear();
+        scratch.cell_stamp_cur = scratch.cell_stamp_cur.wrapping_add(1);
         self.select_allocate_from_scratch(
             placement,
             scratch,
@@ -859,6 +1075,98 @@ mod tests {
             scratch.cache.full_refreshes(),
             1,
             "in-place mutation must stay on the delta path"
+        );
+    }
+
+    #[test]
+    fn fuzzy_calibration_keeps_defaults_on_small_circuits() {
+        // Paper-tier-sized circuits sit far below the default goal multiples;
+        // the calibration must leave them bitwise untouched.
+        use vlsi_place::fuzzy::FuzzyConfig;
+        let nl = netlist(150, 43);
+        let engine = SimEEngine::new(nl, SimEConfig::fast(Objectives::WirelengthPowerDelay, 7, 1));
+        assert_eq!(*engine.evaluator().fuzzy(), FuzzyConfig::default());
+    }
+
+    #[test]
+    fn fuzzy_calibration_scales_goals_on_large_ratio_circuits() {
+        // On a circuit whose round-robin cost-to-bound ratio crosses half the
+        // default goal, the goal must become exactly 2.5x that ratio.
+        use vlsi_netlist::bench_suite::{ExtendedCircuit, SuiteCircuit};
+        use vlsi_place::fuzzy::FuzzyConfig;
+        let circuit = SuiteCircuit::Extended(ExtendedCircuit::S9234);
+        let nl = Arc::new(circuit.generate());
+        let config = SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), 1);
+        let engine = SimEEngine::new(Arc::clone(&nl), config);
+        let fuzzy = *engine.evaluator().fuzzy();
+        let defaults = FuzzyConfig::default();
+        assert!(fuzzy.goal_wirelength > defaults.goal_wirelength);
+        assert!(fuzzy.goal_power > defaults.goal_power);
+        // Delay is not an active objective here: its goal stays the default.
+        assert_eq!(fuzzy.goal_delay.to_bits(), defaults.goal_delay.to_bits());
+        // The scaled goals are exactly 2.5x the measured round-robin ratio.
+        let yardstick = Placement::round_robin(&nl, circuit.num_rows());
+        let cost = engine.evaluator().evaluate(&yardstick);
+        let bounds = engine.evaluator().bounds();
+        let expect_wl = cost.wirelength / bounds.wirelength_lower * 2.5;
+        let expect_pw = cost.power / bounds.power_lower * 2.5;
+        assert_eq!(fuzzy.goal_wirelength.to_bits(), expect_wl.to_bits());
+        assert_eq!(fuzzy.goal_power.to_bits(), expect_pw.to_bits());
+    }
+
+    #[test]
+    fn incremental_goodness_matches_full_rebuild_bitwise() {
+        // The carried goodness vector must reproduce the full per-iteration
+        // rebuild exactly: same selection sizes, same goodness averages, same
+        // cost bits, iteration by iteration.
+        let nl = netlist(150, 41);
+        let on = SimEConfig::fast(Objectives::WirelengthPowerDelay, 7, 12);
+        assert!(on.incremental_goodness, "cache must be the default");
+        let mut off = on;
+        off.incremental_goodness = false;
+        let a = SimEEngine::new(Arc::clone(&nl), on).run();
+        let b = SimEEngine::new(nl, off).run();
+        assert_eq!(a.iterations, b.iterations);
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.mu.to_bits(), hb.mu.to_bits());
+            assert_eq!(ha.avg_goodness.to_bits(), hb.avg_goodness.to_bits());
+            assert_eq!(ha.selected, hb.selected);
+            assert_eq!(ha.cost.wirelength.to_bits(), hb.cost.wirelength.to_bits());
+            assert_eq!(ha.cost.power.to_bits(), hb.cost.power.to_bits());
+            assert_eq!(ha.cost.delay.to_bits(), hb.cost.delay.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_goodness_recomputes_only_dirty_cells() {
+        // The delta path must actually fire on steady-state iterations (the
+        // scratch survives the interleaved cost refreshes of the run loop)
+        // and must not degenerate into a full rebuild every iteration.
+        let nl = netlist(140, 42);
+        let config = SimEConfig::fast(Objectives::WirelengthPowerDelay, 7, 1);
+        let engine = SimEEngine::new(nl, config);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut placement = engine.initial_placement(&mut rng);
+        let mut scratch = engine.new_scratch();
+        let mut profile = ProfileReport::new();
+        let iters = 6u64;
+        for _ in 0..iters {
+            engine.iterate(
+                &mut placement,
+                &mut scratch,
+                &mut rng,
+                &mut profile,
+                &[],
+                &[],
+            );
+            engine.cost_with(&placement, &mut scratch);
+        }
+        let num_cells = engine.evaluator().netlist().num_cells() as u64;
+        let delta = scratch.goodness_delta_recomputes();
+        assert!(delta > 0, "the incremental goodness path never fired");
+        assert!(
+            delta < num_cells * iters,
+            "the incremental path recomputed as much as full rebuilds would ({delta})"
         );
     }
 

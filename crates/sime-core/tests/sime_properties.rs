@@ -140,6 +140,99 @@ proptest! {
         prop_assert_eq!(a.history.len(), b.history.len());
     }
 
+    /// Bound-pruned trial scoring is pure strength reduction: a full run with
+    /// pruning enabled walks the exhaustive-scan run's trajectory bit for
+    /// bit — same µ, same selection sizes, same nominal work counts — for
+    /// random circuits, seeds and both objective sets.
+    #[test]
+    fn pruned_trial_scoring_matches_exhaustive_bitwise(
+        netlist in arb_netlist(),
+        seed in any::<u64>(),
+        delay in proptest::bool::ANY,
+    ) {
+        let objectives = if delay {
+            Objectives::WirelengthPowerDelay
+        } else {
+            Objectives::WirelengthPower
+        };
+        let mut config = SimEConfig::fast(objectives, 6, 6);
+        config.seed = seed;
+        prop_assert!(config.allocation.bound_pruning, "pruning must be the default");
+        let mut legacy = config;
+        legacy.allocation.bound_pruning = false;
+        let a = SimEEngine::new(Arc::clone(&netlist), config).run();
+        let b = SimEEngine::new(Arc::clone(&netlist), legacy).run();
+        prop_assert_eq!(a.history.len(), b.history.len());
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            prop_assert_eq!(ha.mu.to_bits(), hb.mu.to_bits());
+            prop_assert_eq!(ha.avg_goodness.to_bits(), hb.avg_goodness.to_bits());
+            prop_assert_eq!(ha.selected, hb.selected);
+            prop_assert_eq!(ha.allocation.trial_positions, hb.allocation.trial_positions);
+            prop_assert_eq!(ha.allocation.net_evaluations, hb.allocation.net_evaluations);
+            prop_assert_eq!(ha.cost.wirelength.to_bits(), hb.cost.wirelength.to_bits());
+            prop_assert_eq!(ha.cost.power.to_bits(), hb.cost.power.to_bits());
+        }
+    }
+
+    /// The carried goodness vector tracks the from-scratch oracle bit for bit
+    /// through random interleavings of iterations, cost refreshes and
+    /// evaluations — each op invalidates a different random net subset — and
+    /// the incremental path actually fires.
+    #[test]
+    fn incremental_goodness_matches_oracle_through_random_sequences(
+        netlist in arb_netlist(),
+        seed in any::<u64>(),
+        ops in prop::collection::vec(0u8..3, 3..12),
+    ) {
+        let config = SimEConfig::fast(Objectives::WirelengthPowerDelay, 6, 1);
+        let engine = SimEEngine::new(Arc::clone(&netlist), config);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut placement = engine.initial_placement(&mut rng);
+        let mut scratch = engine.new_scratch();
+        let mut profile = ProfileReport::new();
+        // Two unconditional iterations guarantee at least one post-mutation
+        // delta pass before the random interleaving starts.
+        for _ in 0..2 {
+            engine.iterate(&mut placement, &mut scratch, &mut rng, &mut profile, &[], &[]);
+        }
+        for &op in &ops {
+            match op {
+                0 => {
+                    engine.iterate(&mut placement, &mut scratch, &mut rng, &mut profile, &[], &[]);
+                }
+                1 => {
+                    let cached = engine.cost_with(&placement, &mut scratch);
+                    let oracle = engine.evaluator().evaluate(&placement);
+                    prop_assert_eq!(cached.mu.to_bits(), oracle.mu.to_bits());
+                    prop_assert_eq!(cached.wirelength.to_bits(), oracle.wirelength.to_bits());
+                }
+                _ => {
+                    let (naive_lengths, naive_goodness) =
+                        engine.evaluate(&placement, &mut ProfileReport::new());
+                    let (lengths, goodness) =
+                        engine.evaluate_with(&placement, &mut scratch, &mut profile);
+                    prop_assert_eq!(naive_lengths.len(), lengths.len());
+                    prop_assert_eq!(naive_goodness.len(), goodness.len());
+                    for (a, b) in naive_lengths.iter().zip(lengths.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    for (a, b) in naive_goodness.iter().zip(goodness.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+        let (_, naive_goodness) = engine.evaluate(&placement, &mut ProfileReport::new());
+        let (_, goodness) = engine.evaluate_with(&placement, &mut scratch, &mut profile);
+        for (a, b) in naive_goodness.iter().zip(goodness.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert!(
+            scratch.goodness_delta_recomputes() > 0,
+            "the incremental goodness path never fired"
+        );
+    }
+
     /// Iterating with a frozen mask never moves frozen cells between rows.
     #[test]
     fn frozen_cells_never_change_rows(netlist in arb_netlist(), seed in any::<u64>()) {

@@ -152,6 +152,39 @@ proptest! {
         );
     }
 
+    /// The incremental goodness cache is bitwise-neutral under the parallel
+    /// strategies: disabling it (full per-epoch rebuilds) leaves the Type II
+    /// and Type III trajectories — whose random row patterns and rank merges
+    /// produce a different dirty-net sequence every epoch — unchanged bit for
+    /// bit, on both backends.
+    #[test]
+    fn incremental_goodness_cache_is_bitwise_neutral(
+        (netlist, seed) in arb_netlist(),
+        iterations in 3usize..5,
+    ) {
+        let cached = engine_for(Arc::clone(&netlist), seed, iterations);
+        let mut config = *cached.config();
+        assert!(config.incremental_goodness, "cache must be the default");
+        config.incremental_goodness = false;
+        let rebuilt = SimEEngine::new(netlist, config);
+        let ranks = 4;
+        let cluster = ClusterConfig::paper_cluster(ranks);
+
+        let t2_cfg = Type2Config { ranks, iterations, pattern: RowPattern::Random };
+        assert_bitwise_equal(
+            &run_type2(&cached, cluster, t2_cfg),
+            &run_type2(&rebuilt, cluster, t2_cfg),
+            "type2 cached vs rebuilt (modeled)",
+        );
+
+        let t3_cfg = Type3Config { ranks, iterations, retry_threshold: 1 };
+        assert_bitwise_equal(
+            &run_type3_on(&cached, cluster, t3_cfg, &Threaded::new(2)),
+            &run_type3(&rebuilt, cluster, t3_cfg),
+            "type3 cached threaded vs rebuilt modeled",
+        );
+    }
+
     /// The fused-epoch execution path (persistent worker lanes, wave-prepared
     /// windowed allocation, fanned net-length refresh) is bitwise identical
     /// to the pre-fusion serial trajectory for a *random* point of the whole

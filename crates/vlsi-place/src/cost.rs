@@ -156,6 +156,15 @@ impl CostEvaluator {
         }
     }
 
+    /// Returns the evaluator with its fuzzy aggregation configuration
+    /// replaced; every other component (paths, bounds, models) is shared with
+    /// `self`. This is the hook the engine's per-circuit fuzzy calibration
+    /// uses — only the membership mapping changes, never the raw costs.
+    pub fn with_fuzzy(mut self, fuzzy: FuzzyConfig) -> Self {
+        self.fuzzy = fuzzy;
+        self
+    }
+
     /// The netlist the evaluator operates on.
     pub fn netlist(&self) -> &Arc<Netlist> {
         &self.netlist

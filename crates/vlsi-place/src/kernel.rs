@@ -86,6 +86,15 @@ struct NetSummary {
     switching_prob: f64,
     /// Whether the net lies on a stored critical path.
     critical: bool,
+    /// Minimum vertical contribution of this net over every candidate row
+    /// inside the other pins' row extent, under the prepare-time wirelength
+    /// model. For half-perimeter this is `(max_row - min_row) * ROW_HEIGHT`
+    /// (exact); for single-trunk Steiner it is the other pins' branch sum at
+    /// their own counting upper median, which lower-bounds the merged branch
+    /// sum for *any* trunk row the full score can pick. Exact multiple of
+    /// [`ROW_HEIGHT`]. Candidate rows outside the extent additionally pay a
+    /// `gap * ROW_HEIGHT` term (see [`PreparedSummaries::bound_floor`]).
+    min_branch: f64,
 }
 
 /// Row holding the `k`-th (0-based) smallest pin y among a sorted-by-row
@@ -156,6 +165,11 @@ pub struct TrialScorer {
     /// Flat `(row, count)` histogram arena for the prepared summaries,
     /// sorted by row within each net's range.
     hist: Vec<(u32, u32)>,
+    /// Flat arena of every *other* pin's x coordinate gathered during the
+    /// last prepare, in canonical (net, pin) walk order — one entry per
+    /// incidence, duplicates included, exactly the multiset the legacy
+    /// windowed-candidate gather produced.
+    pin_xs: Vec<f64>,
 }
 
 impl TrialScorer {
@@ -168,6 +182,7 @@ impl TrialScorer {
             row_counts: Vec::new(),
             prepared: Vec::new(),
             hist: Vec::new(),
+            pin_xs: Vec::new(),
         }
     }
 
@@ -268,10 +283,25 @@ impl TrialScorer {
             evaluator,
             placement,
             cell,
+            self.model,
             &mut self.row_counts,
             &mut self.prepared,
             &mut self.hist,
+            &mut self.pin_xs,
         );
+    }
+
+    /// Borrowed view over the summaries of the last
+    /// [`TrialScorer::prepare_cell`], exposing the candidate lower-bound and
+    /// median-position machinery. Valid under the same conditions as
+    /// [`TrialScorer::prepared_cost_at`].
+    pub fn prepared_summaries(&self) -> PreparedSummaries<'_> {
+        PreparedSummaries {
+            model: self.model,
+            prepared: &self.prepared,
+            hist: &self.hist,
+            xs: &self.pin_xs,
+        }
     }
 
     /// Cost of the prepared cell's nets if the cell sat at `pos` (a
@@ -352,26 +382,37 @@ impl TrialScorer {
 /// and [`PreparedCell::prepare`]; a pure function of the *other* pins'
 /// positions, so equal placements yield bit-equal summaries no matter which
 /// buffer (or thread) runs the pass.
+///
+/// Also fills `pin_xs` with every other pin's x coordinate in canonical
+/// walk order (the legacy windowed-candidate gather multiset) and computes
+/// each net's `min_branch` — both byproducts of the walk the pass already
+/// performs.
+#[allow(clippy::too_many_arguments)]
 fn build_cell_summaries(
     evaluator: &CostEvaluator,
     placement: &Placement,
     cell: CellId,
+    model: WirelengthModel,
     row_counts: &mut Vec<u32>,
     prepared: &mut Vec<NetSummary>,
     hist: &mut Vec<(u32, u32)>,
+    pin_xs: &mut Vec<f64>,
 ) {
     let netlist = evaluator.netlist();
     prepared.clear();
     hist.clear();
+    pin_xs.clear();
     for &net in netlist.nets_of_cell(cell) {
         let cells = evaluator.net_cells(net);
         let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut min_row, mut max_row) = (u32::MAX, 0u32);
+        let mut others = 0usize;
         for &c in cells {
             if c == cell {
                 continue;
             }
             let x = placement.x_of(c);
+            pin_xs.push(x);
             min_x = min_x.min(x);
             max_x = max_x.max(x);
             let r = placement.row_of(c) as u32;
@@ -381,6 +422,7 @@ fn build_cell_summaries(
                 row_counts.resize(r as usize + 1, 0);
             }
             row_counts[r as usize] += 1;
+            others += 1;
         }
         let hist_start = hist.len() as u32;
         if min_row != u32::MAX {
@@ -392,6 +434,42 @@ fn build_cell_summaries(
                 }
             }
         }
+        let mut min_branch = 0.0f64;
+        if cells.len() >= 2 && min_row != u32::MAX {
+            min_branch = match model {
+                WirelengthModel::HalfPerimeter => (max_row - min_row) as f64 * ROW_HEIGHT,
+                WirelengthModel::SingleTrunkSteiner => {
+                    // Branch sum of the other pins at their own counting
+                    // upper median m* (k = others / 2): any trunk row m the
+                    // merged median can pick satisfies Σ|r_p − m| ≥ Σ|r_p −
+                    // m*| because a weighted median minimises the sum of
+                    // absolute deviations. Every term is an exact multiple
+                    // of ROW_HEIGHT, so the sum is exact.
+                    let h = &hist[hist_start as usize..];
+                    let k = others / 2;
+                    let mut acc = 0usize;
+                    let mut m = max_row;
+                    for &(r, c) in h {
+                        acc += c as usize;
+                        if acc > k {
+                            m = r;
+                            break;
+                        }
+                    }
+                    let mf = m as f64;
+                    let mut sum = 0.0f64;
+                    for &(r, c) in h {
+                        let d = if r < m {
+                            (mf - r as f64) * ROW_HEIGHT
+                        } else {
+                            (r as f64 - mf) * ROW_HEIGHT
+                        };
+                        sum += c as f64 * d;
+                    }
+                    sum
+                }
+            };
+        }
         prepared.push(NetSummary {
             total_pins: cells.len() as u32,
             min_x,
@@ -402,6 +480,7 @@ fn build_cell_summaries(
             hist_end: hist.len() as u32,
             switching_prob: netlist.net(net).switching_prob,
             critical: evaluator.net_is_critical(net),
+            min_branch,
         });
     }
 }
@@ -460,6 +539,280 @@ fn summaries_cost_at(
     cost
 }
 
+/// Borrowed view over the per-net summaries of one prepared cell (from
+/// either a [`TrialScorer`] or a [`PreparedCell`]), exposing the candidate
+/// **score lower bound** and the median-position machinery that the
+/// allocation operator's pruned trial scan builds on.
+///
+/// # Bound validity (the §3a pruning invariant)
+///
+/// For a candidate position `(x, row)` each net's *length* lower bound
+/// decomposes into three exact, independently-valid parts:
+///
+/// * horizontal: `trunk(x) = (max(max_x, x) - min(min_x, x)) =
+///   trunk_min + max(0, min_x - x) + max(0, x - max_x)` — the *exact*
+///   horizontal span, not an estimate;
+/// * vertical floor: the summary's precomputed `min_branch` plus
+///   `gap(row) * ROW_HEIGHT` where `gap = max(0, min_row - row,
+///   row - max_row)` — a lower bound on the model's vertical term for any
+///   trunk row;
+/// * every operand is an exact double (half-integer x, `ROW_HEIGHT`
+///   multiples vertically), so the per-net length bound `lb_net` is exact
+///   and satisfies `lb_net ≤ len_net` as real numbers *and* as doubles.
+///
+/// The bound methods then fold `lb_net` into a [`CellCost`] with **the same
+/// per-net accumulation the full score uses** (`wirelength += lb`,
+/// `power += lb * switching_prob`, `critical += lb`, in net order). Since
+/// IEEE-754 multiplication by a non-negative factor and round-to-nearest
+/// addition are monotone, term-wise domination in identical accumulation
+/// order carries through every rounding step:
+/// `bound.cmp ≤ cost.cmp` for each component, hence
+/// `allocation_score(bound) ≤ allocation_score(cost)` for the full score of
+/// the same candidate. A strict `bound > best_so_far` comparison can never
+/// prune the true argmin.
+///
+/// [`PreparedSummaries::exit_bound_at`] additionally lower-bounds *every*
+/// candidate at `x' ≥ x` in the same row (per net: the increasing branch of
+/// the hinge when `x` already passed `max_x`, the row floor otherwise),
+/// which the scan uses for early row exit over sorted-by-x candidates.
+/// Beyond the bounds, the view exposes the **row-hoisted exact score**: at a
+/// fixed candidate row, each net's vertical (branch) contribution is a
+/// constant — only the horizontal trunk depends on the candidate `x`.
+/// [`PreparedSummaries::prepare_row`] computes those per-net constants once
+/// (bit-identical to the walk the full per-candidate scorer performs)
+/// and [`PreparedSummaries::cost_at_in_row`] then scores each candidate of
+/// the row in a handful of flops, still bit-identical to the full score.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedSummaries<'a> {
+    model: WirelengthModel,
+    prepared: &'a [NetSummary],
+    hist: &'a [(u32, u32)],
+    xs: &'a [f64],
+}
+
+/// Per-net length lower bound at candidate row `row`, independent of the
+/// horizontal position: exact trunk minimum plus the vertical floor.
+#[inline]
+fn net_floor_len(s: &NetSummary, row: u32) -> f64 {
+    let gap = if row < s.min_row {
+        s.min_row - row
+    } else {
+        row.saturating_sub(s.max_row)
+    };
+    (s.max_x - s.min_x) + s.min_branch + gap as f64 * ROW_HEIGHT
+}
+
+/// Folds one net's length bound into `cost` exactly the way
+/// [`summaries_cost_at`] folds the net's true length — same operations, same
+/// order, so term-wise `lb ≤ len` survives rounding component-wise.
+#[inline]
+fn fold_net_bound(cost: &mut CellCost, s: &NetSummary, lb: f64) {
+    cost.wirelength += lb;
+    cost.power += lb * s.switching_prob;
+    if s.critical {
+        cost.critical_wirelength += lb;
+    }
+}
+
+impl<'a> PreparedSummaries<'a> {
+    /// Every other pin's x coordinate of the prepared cell's nets, one entry
+    /// per incidence in canonical (net, pin) order — the exact multiset the
+    /// legacy windowed-candidate gather assembled by re-walking the CSR.
+    pub fn other_pin_xs(&self) -> &'a [f64] {
+        self.xs
+    }
+
+    /// Median position `(opt_x, opt_y)` of the other pins, bitwise identical
+    /// to sorting the gathered x and y vectors and taking index `len / 2` —
+    /// the optimum the windowed allocation strategy centres its window on.
+    /// Returns `None` when the cell has no connected pins. `xs_scratch` and
+    /// `row_counts` are caller scratch (contents irrelevant; `row_counts`
+    /// is left all-zero).
+    pub fn median_position(
+        &self,
+        xs_scratch: &mut Vec<f64>,
+        row_counts: &mut Vec<u32>,
+    ) -> Option<(f64, f64)> {
+        if self.xs.is_empty() {
+            return None;
+        }
+        let k = self.xs.len() / 2;
+        xs_scratch.clear();
+        xs_scratch.extend_from_slice(self.xs);
+        // k-th smallest: the same *value* sort_by + index k selects, and all
+        // pin x's are positive finite doubles, so equal values share bits.
+        let (_, &mut opt_x, _) = xs_scratch
+            .select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("pin x must be finite"));
+        // Counting median over the merged per-net row histograms: the row
+        // lattice is monotone in the row index, so the first row whose
+        // cumulative merged count exceeds k holds sorted_ys[k].
+        let (mut min_row, mut max_row) = (u32::MAX, 0u32);
+        for s in self.prepared {
+            for &(r, c) in &self.hist[s.hist_start as usize..s.hist_end as usize] {
+                if r as usize >= row_counts.len() {
+                    row_counts.resize(r as usize + 1, 0);
+                }
+                row_counts[r as usize] += c;
+                min_row = min_row.min(r);
+                max_row = max_row.max(r);
+            }
+        }
+        let mut acc = 0usize;
+        let mut median_row = max_row;
+        for r in min_row..=max_row {
+            acc += row_counts[r as usize] as usize;
+            if acc > k {
+                median_row = r;
+                break;
+            }
+        }
+        for r in min_row..=max_row {
+            row_counts[r as usize] = 0;
+        }
+        Some((opt_x, (median_row as f64 + 0.5) * ROW_HEIGHT))
+    }
+
+    /// Row-dependent, position-independent floor of the score bound: each
+    /// scoreable net contributes `trunk_min + min_branch + gap(row) *
+    /// ROW_HEIGHT`, folded per net exactly like the full score. Every
+    /// candidate in `row` costs at least this much component-wise; compute
+    /// it once per row run.
+    pub fn bound_floor(&self, row: u32) -> CellCost {
+        let mut cost = CellCost::default();
+        for s in self.prepared {
+            if s.total_pins < 2 || s.min_row == u32::MAX {
+                continue;
+            }
+            fold_net_bound(&mut cost, s, net_floor_len(s, row));
+        }
+        cost
+    }
+
+    /// Score lower bound for a candidate at `(x, row)`: per net the floor
+    /// length plus the exact horizontal extension of the trunk, folded like
+    /// the full score. Component-wise `≤` the full [`CellCost`] of the same
+    /// candidate (see the type-level invariant), so
+    /// `allocation_score(bound) ≤ allocation_score(cost)`.
+    pub fn bound_at(&self, x: f64, row: u32) -> CellCost {
+        let mut cost = CellCost::default();
+        for s in self.prepared {
+            if s.total_pins < 2 || s.min_row == u32::MAX {
+                continue;
+            }
+            let mut lb = net_floor_len(s, row);
+            if x < s.min_x {
+                lb += s.min_x - x;
+            } else if x > s.max_x {
+                lb += x - s.max_x;
+            }
+            fold_net_bound(&mut cost, s, lb);
+        }
+        cost
+    }
+
+    /// Fills `vertical` with each prepared net's vertical (branch)
+    /// contribution to the score of **any** candidate in `row` — one entry
+    /// per net, in net order, with unscoreable nets as `0.0`. The walk is
+    /// bit-identical to the per-candidate walk of the full score, so
+    /// [`PreparedSummaries::cost_at_in_row`] over these constants reproduces
+    /// [`TrialScorer::prepared_cost_at`] exactly. Compute once per
+    /// contiguous same-row candidate run.
+    pub fn prepare_row(&self, row: u32, vertical: &mut Vec<f64>) {
+        vertical.clear();
+        for s in self.prepared {
+            if s.total_pins < 2 {
+                vertical.push(0.0);
+                continue;
+            }
+            let v = match self.model {
+                WirelengthModel::HalfPerimeter => {
+                    let min_row = s.min_row.min(row);
+                    let max_row = s.max_row.max(row);
+                    (max_row - min_row) as f64 * ROW_HEIGHT
+                }
+                WirelengthModel::SingleTrunkSteiner => {
+                    let hist = &self.hist[s.hist_start as usize..s.hist_end as usize];
+                    let median_row = merged_median_row(hist, row, s.total_pins as usize / 2);
+                    let m = median_row as f64;
+                    let split = hist.partition_point(|&(r, _)| r < median_row);
+                    let mut branches = 0.0f64;
+                    for &(r, c) in &hist[..split] {
+                        branches += c as f64 * ((m - r as f64) * ROW_HEIGHT);
+                    }
+                    for &(r, c) in &hist[split..] {
+                        branches += c as f64 * ((r as f64 - m) * ROW_HEIGHT);
+                    }
+                    branches += ((row as f64 - m) * ROW_HEIGHT).abs();
+                    branches
+                }
+            };
+            vertical.push(v);
+        }
+    }
+
+    /// Exact score of a candidate at horizontal position `x` in the row
+    /// `vertical` was prepared for: per net the exact merged trunk span plus
+    /// the hoisted vertical constant, folded like the full score — bitwise
+    /// identical to [`TrialScorer::prepared_cost_at`] at the same position,
+    /// at a fraction of the cost (no median walk per candidate).
+    pub fn cost_at_in_row(&self, x: f64, vertical: &[f64]) -> CellCost {
+        debug_assert_eq!(vertical.len(), self.prepared.len());
+        let mut cost = CellCost::default();
+        for (s, &v) in self.prepared.iter().zip(vertical) {
+            if s.total_pins < 2 {
+                continue;
+            }
+            let min_x = s.min_x.min(x);
+            let max_x = s.max_x.max(x);
+            let len = (max_x - min_x) + v;
+            cost.wirelength += len;
+            cost.power += len * s.switching_prob;
+            if s.critical {
+                cost.critical_wirelength += len;
+            }
+        }
+        cost
+    }
+
+    /// Maximum other-pin x over the scoreable nets (`-inf` when there is
+    /// none). For candidates at `x ≥ max_other_x` every net's trunk is on
+    /// its increasing branch, so the exact score is non-decreasing in `x`
+    /// (term-wise, hence component-wise through the fold) — the scan uses
+    /// this for its monotone tail exit over sorted-by-x runs.
+    pub fn max_other_x(&self) -> f64 {
+        let mut max_x = f64::NEG_INFINITY;
+        for s in self.prepared {
+            if s.total_pins < 2 || s.min_row == u32::MAX {
+                continue;
+            }
+            max_x = max_x.max(s.max_x);
+        }
+        max_x
+    }
+
+    /// Score lower bound valid for **every** candidate at `x' ≥ x` in `row`
+    /// — the early-row-exit bound for ascending-x candidate runs. Per net:
+    /// once `x ≥ max_x` the net's hinge is on its increasing branch, so its
+    /// bound at any `x' ≥ x` is at least its bound at `x` (exact reals,
+    /// exact doubles); otherwise the row floor applies. Folded in the same
+    /// net order as the full score, so the component-wise domination chain
+    /// `exit_bound_at(x) ≤ bound_at(x') ≤ cost(x')` survives rounding.
+    pub fn exit_bound_at(&self, x: f64, row: u32) -> CellCost {
+        let mut cost = CellCost::default();
+        for s in self.prepared {
+            if s.total_pins < 2 || s.min_row == u32::MAX {
+                continue;
+            }
+            let mut lb = net_floor_len(s, row);
+            if x >= s.max_x {
+                lb += x - s.max_x;
+            }
+            fold_net_bound(&mut cost, s, lb);
+        }
+        cost
+    }
+}
+
 /// Detached snapshot of the per-net summaries [`TrialScorer::prepare_cell`]
 /// builds for one cell, with its own counting scratch — so the prepare
 /// passes of *many* cells can run concurrently on different worker threads
@@ -478,6 +831,7 @@ pub struct PreparedCell {
     prepared: Vec<NetSummary>,
     hist: Vec<(u32, u32)>,
     row_counts: Vec<u32>,
+    pin_xs: Vec<f64>,
 }
 
 impl PreparedCell {
@@ -501,10 +855,30 @@ impl PreparedCell {
             evaluator,
             placement,
             cell,
+            model,
             &mut self.row_counts,
             &mut self.prepared,
             &mut self.hist,
+            &mut self.pin_xs,
         );
+    }
+
+    /// Borrowed view over this snapshot's summaries, exposing the candidate
+    /// lower-bound and median-position machinery — bitwise identical to
+    /// [`TrialScorer::prepared_summaries`] after an equivalent prepare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was never prepared.
+    pub fn summaries(&self) -> PreparedSummaries<'_> {
+        PreparedSummaries {
+            model: self
+                .model
+                .expect("PreparedCell::summaries called before prepare"),
+            prepared: &self.prepared,
+            hist: &self.hist,
+            xs: &self.pin_xs,
+        }
     }
 
     /// Cost of the prepared cell's nets if it sat at `pos` (a row-lattice
@@ -932,6 +1306,84 @@ mod tests {
         cache.refresh(&eval, &mut scorer, &placement);
         assert_eq!(cache.nets_recomputed(), before);
         assert_eq!(cache.full_refreshes(), 1);
+    }
+
+    #[test]
+    fn prepared_bound_is_a_true_lower_bound_and_median_matches_sort() {
+        // The §3a pruning invariant: for every candidate position,
+        // bound_at ≤ the full score's wirelength (no rounding slack), the
+        // per-row floor ≤ the bound, and the summary-derived median position
+        // is bit-identical to the sort-based gather it replaces.
+        for model in [
+            WirelengthModel::SingleTrunkSteiner,
+            WirelengthModel::HalfPerimeter,
+        ] {
+            let (eval, mut placement) = setup(model);
+            let mut scorer = TrialScorer::for_evaluator(&eval);
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut xs_scratch = Vec::new();
+            let mut row_counts = Vec::new();
+            for _ in 0..40 {
+                let cell =
+                    vlsi_netlist::CellId(rng.gen_range(0..eval.netlist().num_cells() as u32));
+                placement.remove_cell(cell);
+                scorer.prepare_cell(&eval, &placement, cell);
+                let view = scorer.prepared_summaries();
+
+                let mut gx = Vec::new();
+                let mut gy = Vec::new();
+                for &net in eval.netlist().nets_of_cell(cell) {
+                    for &other in eval.net_cells(net) {
+                        if other == cell {
+                            continue;
+                        }
+                        let (x, y) = placement.position(other);
+                        gx.push(x);
+                        gy.push(y);
+                    }
+                }
+                match view.median_position(&mut xs_scratch, &mut row_counts) {
+                    Some((opt_x, opt_y)) => {
+                        gx.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        gy.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        assert_eq!(opt_x.to_bits(), gx[gx.len() / 2].to_bits(), "{model:?}");
+                        assert_eq!(opt_y.to_bits(), gy[gy.len() / 2].to_bits(), "{model:?}");
+                    }
+                    None => assert!(gx.is_empty()),
+                }
+
+                let le = |a: &CellCost, b: &CellCost| {
+                    a.wirelength <= b.wirelength
+                        && a.power <= b.power
+                        && a.critical_wirelength <= b.critical_wirelength
+                };
+                for _ in 0..12 {
+                    let row = rng.gen_range(0..placement.num_rows());
+                    let index = rng.gen_range(0..placement.row(row).len() + 1);
+                    let pos = placement.trial_position(cell, Slot { row, index });
+                    let floor = view.bound_floor(row as u32);
+                    let bound = view.bound_at(pos.0, row as u32);
+                    let cost = scorer.prepared_cost_at(pos);
+                    assert!(le(&floor, &bound), "{model:?}: floor above bound");
+                    assert!(le(&bound, &cost), "{model:?}: bound above cost");
+                    // The exit bound must stay below the bound of every
+                    // position at x' ≥ x in the same row.
+                    let exit = view.exit_bound_at(pos.0, row as u32);
+                    assert!(le(&exit, &bound), "{model:?}: exit above own bound");
+                    for dx in [0.0, 0.5, 3.0, 1e4] {
+                        let later = view.bound_at(pos.0 + dx, row as u32);
+                        assert!(le(&exit, &later), "{model:?}: exit above later bound");
+                    }
+                }
+                placement.insert_cell(
+                    cell,
+                    Slot {
+                        row: placement.num_rows() - 1,
+                        index: 0,
+                    },
+                );
+            }
+        }
     }
 
     #[test]

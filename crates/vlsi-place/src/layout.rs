@@ -301,7 +301,8 @@ impl Placement {
         let slot = self.slot_of(cell);
         self.rows[slot.row].remove(slot.index);
         self.row_width[slot.row] -= self.cell_width[cell.index()] as u64;
-        self.rebuild_row_x(slot.row);
+        // Cells left of the removal point keep their exact coordinates.
+        self.rebuild_row_x_from(slot.row, slot.index);
         slot
     }
 
@@ -312,7 +313,8 @@ impl Placement {
         self.rows[slot.row].insert(index, cell);
         self.cell_row[cell.index()] = slot.row as u32;
         self.row_width[slot.row] += self.cell_width[cell.index()] as u64;
-        self.rebuild_row_x(slot.row);
+        // Cells left of the insertion point keep their exact coordinates.
+        self.rebuild_row_x_from(slot.row, index);
     }
 
     /// Moves `cell` to `slot` (remove + insert).
@@ -338,9 +340,11 @@ impl Placement {
             self.row_width[sa.row] = self.row_width[sa.row] - wa + wb;
             self.row_width[sb.row] = self.row_width[sb.row] - wb + wa;
         }
-        self.rebuild_row_x(sa.row);
-        if sa.row != sb.row {
-            self.rebuild_row_x(sb.row);
+        if sa.row == sb.row {
+            self.rebuild_row_x_from(sa.row, sa.index.min(sb.index));
+        } else {
+            self.rebuild_row_x_from(sa.row, sa.index);
+            self.rebuild_row_x_from(sb.row, sb.index);
         }
     }
 
@@ -435,11 +439,27 @@ impl Placement {
     /// Rebuilds the cached x coordinates and ordinals of every cell in `row`
     /// and records the mutation in the row's epoch.
     fn rebuild_row_x(&mut self, row: usize) {
-        let mut x = 0.0f64;
+        self.rebuild_row_x_from(row, 0);
+    }
+
+    /// Rebuilds the cached x coordinates and ordinals of `row` starting at
+    /// ordinal `start`, resuming from the (untouched) left neighbour's right
+    /// edge. Left edges are exact cumulative integer sums in doubles, so the
+    /// resumed prefix sum reproduces a from-zero rebuild bit for bit — this
+    /// is what lets every single-slot mutation repack only the row suffix.
+    /// Records the mutation in the row's epoch regardless of `start`.
+    fn rebuild_row_x_from(&mut self, row: usize, start: usize) {
         // Split borrows: the row list is read while the coordinate cache is
         // written, so take the row out temporarily.
         let cells = std::mem::take(&mut self.rows[row]);
-        for (i, &cell) in cells.iter().enumerate() {
+        let start = start.min(cells.len());
+        let mut x = if start == 0 {
+            0.0
+        } else {
+            let prev = cells[start - 1].index();
+            self.cell_x[prev] + self.cell_width[prev] as f64 / 2.0
+        };
+        for (i, &cell) in cells.iter().enumerate().skip(start) {
             let w = self.cell_width[cell.index()] as f64;
             self.cell_x[cell.index()] = x + w / 2.0;
             self.cell_index[cell.index()] = i as u32;

@@ -142,6 +142,75 @@ proptest! {
         }
     }
 
+    /// The score-bound machinery behind the pruned allocation scan
+    /// (DESIGN.md §3a), pinned against the exhaustive scorer: for arbitrary
+    /// ripped-up cells and trial slots, (a) the run floor and the
+    /// per-candidate bound never exceed the exact cost component-wise in
+    /// computed arithmetic — so a strict `bound > best` prune can never kill
+    /// the argmin — (b) the row-hoisted score equals the full prepared score
+    /// bit for bit, and (c) past the rightmost other pin the exact score is
+    /// monotone in x, the invariant behind the sorted-run tail exit.
+    #[test]
+    fn pruned_scan_bounds_and_hoisted_scores_match_exhaustive(
+        (netlist, seed) in arb_netlist(),
+        rows in 4usize..10,
+        picks in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let le = |a: &vlsi_place::cost::CellCost, b: &vlsi_place::cost::CellCost| {
+            a.wirelength <= b.wirelength
+                && a.power <= b.power
+                && a.critical_wirelength <= b.critical_wirelength
+        };
+        for model in MODELS {
+            for objectives in OBJECTIVES {
+                let eval = evaluator(&netlist, model, objectives);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+                let mut placement = Placement::random(&netlist, rows, &mut rng);
+                let mut scorer = TrialScorer::for_evaluator(&eval);
+                let mut vertical: Vec<f64> = Vec::new();
+                for &pick in &picks {
+                    let cell = CellId((pick as u32) % netlist.num_cells() as u32);
+                    let home = placement.remove_cell(cell);
+                    scorer.prepare_cell(&eval, &placement, cell);
+                    let view = scorer.prepared_summaries();
+                    let max_other_x = view.max_other_x();
+                    for probe in 0..4u64 {
+                        let h = pick.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(probe);
+                        let row = (h as usize) % rows;
+                        let index = (h as usize / rows) % (placement.row(row).len() + 1);
+                        let pos = placement.trial_position(cell, Slot { row, index });
+                        let exact = scorer.prepared_cost_at(pos);
+                        let view = scorer.prepared_summaries();
+                        // (a) bounds dominate component-wise.
+                        let floor = view.bound_floor(row as u32);
+                        let bound = view.bound_at(pos.0, row as u32);
+                        prop_assert!(le(&floor, &bound));
+                        prop_assert!(le(&bound, &exact));
+                        // (b) row-hoisted score is bit-identical.
+                        view.prepare_row(row as u32, &mut vertical);
+                        let hoisted = view.cost_at_in_row(pos.0, &vertical);
+                        prop_assert_eq!(hoisted.wirelength.to_bits(), exact.wirelength.to_bits());
+                        prop_assert_eq!(hoisted.power.to_bits(), exact.power.to_bits());
+                        prop_assert_eq!(
+                            hoisted.critical_wirelength.to_bits(),
+                            exact.critical_wirelength.to_bits()
+                        );
+                        // (c) monotone tail: past the rightmost other pin the
+                        // exact score never decreases as x grows.
+                        let x0 = pos.0.max(max_other_x);
+                        let mut last = view.cost_at_in_row(x0, &vertical);
+                        for dx in [0.5f64, 2.0, 17.0, 1e4] {
+                            let next = view.cost_at_in_row(x0 + dx, &vertical);
+                            prop_assert!(le(&last, &next));
+                            last = next;
+                        }
+                    }
+                    placement.insert_cell(cell, home);
+                }
+            }
+        }
+    }
+
     /// Scorer-computed single net lengths equal the oracle's for every net of
     /// a random placement (the cache's building block, checked directly).
     #[test]

@@ -98,6 +98,81 @@ fn goldens_replay_bitwise_across_the_worker_chunk_stress_grid() {
     }
 }
 
+/// The bound-pruned allocation scan (the default since PR 7) under the
+/// persistent-worker scheduler: at 1, 4 and 8 OS workers (8 oversubscribes
+/// any CI runner) the pruned engine must reproduce, bit for bit, the
+/// trajectory of the legacy exhaustive scan run on the modeled backend —
+/// pruning is pure strength reduction, and the scheduler must not perturb it.
+#[test]
+fn pruned_allocation_replays_bitwise_at_stress_worker_counts() {
+    use cluster_sim::timeline::ClusterConfig;
+    use sime_core::engine::{SimEConfig, SimEEngine};
+    use sime_parallel::exec::Threaded;
+    use sime_parallel::prelude::*;
+    use vlsi_netlist::bench_suite::SuiteCircuit;
+    use vlsi_place::cost::Objectives;
+
+    let circuit = SuiteCircuit::from_name("s1196").expect("suite circuit");
+    let netlist = Arc::new(circuit.generate());
+    let iterations = 3;
+    let config =
+        SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iterations);
+    assert!(
+        config.allocation.bound_pruning,
+        "bound pruning must be the default"
+    );
+    let pruned = SimEEngine::new(Arc::clone(&netlist), config);
+    let mut legacy_cfg = config;
+    legacy_cfg.allocation.bound_pruning = false;
+    let legacy = SimEEngine::new(netlist, legacy_cfg);
+
+    let ranks = 3;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+    let cfg = Type2Config {
+        ranks,
+        iterations,
+        pattern: RowPattern::Random,
+    };
+    let reference = run_type2(&legacy, cluster, cfg);
+    for workers in [1usize, 4, 8] {
+        let outcome = run_type2_on(&pruned, cluster, cfg, &Threaded::new(workers));
+        assert_eq!(
+            reference.mu_history.len(),
+            outcome.mu_history.len(),
+            "workers={workers}"
+        );
+        for (i, (a, b)) in reference
+            .mu_history
+            .iter()
+            .zip(&outcome.mu_history)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "pruned trajectory diverged at iteration {i}, workers={workers}"
+            );
+        }
+        assert_eq!(
+            reference.best_cost.mu.to_bits(),
+            outcome.best_cost.mu.to_bits(),
+            "workers={workers}"
+        );
+        assert_eq!(
+            reference.best_cost.wirelength.to_bits(),
+            outcome.best_cost.wirelength.to_bits(),
+            "workers={workers}"
+        );
+        for row in 0..reference.best_placement.num_rows() {
+            assert_eq!(
+                reference.best_placement.row(row),
+                outcome.best_placement.row(row),
+                "best placement differs in row {row}, workers={workers}"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Random epoch schedules against the inline oracle.
 // ---------------------------------------------------------------------------
