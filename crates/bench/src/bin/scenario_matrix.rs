@@ -252,60 +252,21 @@ fn bless(dir: &Path, driver: &mut BatchDriver, specs: &[ScenarioSpec]) {
 }
 
 /// Compares every run scenario that has a golden file in `dir`; returns the
-/// number of mismatches. A missing/unreadable golden *directory* or an
-/// empty intersection is itself a failure — a mistyped path must not turn
-/// the regression gate into a green no-op.
+/// number of failures. The comparison itself (including the hard failures on
+/// a missing golden *directory* or an empty intersection) lives in
+/// [`sime_parallel::batch::check_goldens`] so the server suite and this
+/// binary share one gate; this wrapper only does the I/O.
 fn check_against_goldens(dir: &Path, by_id: &BTreeMap<String, TrajectoryFingerprint>) -> usize {
-    if !dir.is_dir() {
-        eprintln!("--check: golden directory {} does not exist", dir.display());
-        return 1;
-    }
-    let mut mismatches = 0;
-    let mut checked = 0;
-    for (id, fingerprint) in by_id {
-        let path = dir.join(format!("{id}.golden"));
-        if !path.exists() {
-            continue; // no golden pinned for this cell
-        }
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read golden {}: {e}", path.display());
-                mismatches += 1;
-                continue;
-            }
-        };
-        checked += 1;
-        match TrajectoryFingerprint::parse_text(&text) {
-            Ok((_, golden)) if &golden == fingerprint => {}
-            Ok((_, golden)) => {
-                eprintln!(
-                    "GOLDEN MISMATCH for {id}:\n  golden  placement_hash {:#018x} trajectory_hash {:#018x}\n  current placement_hash {:#018x} trajectory_hash {:#018x}",
-                    golden.placement_hash,
-                    golden.trajectory_hash,
-                    fingerprint.placement_hash,
-                    fingerprint.trajectory_hash
-                );
-                mismatches += 1;
-            }
-            Err(e) => {
-                eprintln!("cannot parse golden {}: {e}", path.display());
-                mismatches += 1;
-            }
-        }
+    let check = sime_parallel::batch::check_goldens(dir, by_id);
+    for failure in &check.failures {
+        eprintln!("--check: {failure}");
     }
     println!(
-        "checked {checked} scenarios against goldens in {}",
+        "checked {} scenarios against goldens in {}",
+        check.checked,
         dir.display()
     );
-    if checked == 0 {
-        eprintln!(
-            "--check: no run scenario matched any golden in {} — the gate compared nothing",
-            dir.display()
-        );
-        mismatches += 1;
-    }
-    mismatches
+    check.failures.len()
 }
 
 fn main() {

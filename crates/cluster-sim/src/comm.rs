@@ -465,6 +465,20 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// Number of jobs currently queued across the per-worker lanes, i.e.
+    /// submitted but not yet popped by any worker or helper. Quiesced pools
+    /// report 0; a non-zero value after every batch has merged means a job
+    /// was leaked. This is a monitoring snapshot (lanes drain concurrently),
+    /// not a synchronisation primitive — but a pool with no in-flight
+    /// batches cannot spontaneously grow it, so `assert_eq!(queued_jobs(),
+    /// 0)` after a join point is a sound leak check.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared
+            .as_ref()
+            .map(|shared| shared.lanes.iter().map(|lane| lane.len()).sum())
+            .unwrap_or(0)
+    }
+
     /// Executes `tasks` on the pool and returns their results **in
     /// submission (index) order** — the deterministic merge barrier.
     ///
@@ -915,6 +929,18 @@ mod tests {
             2,
             "every non-panicking task must have completed before the unwind"
         );
+    }
+
+    #[test]
+    fn quiesced_pool_reports_no_queued_jobs() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.queued_jobs(), 0);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..16).map(|i| Box::new(move || i) as _).collect();
+        let _ = pool.run_tasks(tasks);
+        // run_tasks is a join point: every submitted job has been popped and
+        // completed, so the lanes must be empty again.
+        assert_eq!(pool.queued_jobs(), 0);
     }
 
     #[test]

@@ -162,3 +162,78 @@ fn nested_jobs_take_priority_over_queued_top_level_work_under_contention() {
     assert_eq!(&log[..4], &vec!["nested"; 4][..], "full log: {log:?}");
     assert_eq!(&log[4..], &vec!["flood"; 8][..], "full log: {log:?}");
 }
+
+#[test]
+fn no_leaked_jobs_or_slots_after_batches_panics_and_nesting() {
+    // `queued_jobs()` is the pool's leak detector: at every join point —
+    // after a normal batch, after a panicking batch, after nested batches
+    // under contention — every lane must be empty. A non-zero count here
+    // means a job was enqueued and never drained (leaked job) or a slot was
+    // claimed and never merged (leaked slot), both of which would wedge a
+    // long-running server that reuses one pool forever.
+    let pool = Arc::new(WorkerPool::new(3));
+    assert_eq!(pool.queued_jobs(), 0, "fresh pool must be empty");
+
+    // Normal batch.
+    let tasks: Vec<Task<usize>> = (0..32).map(|i| boxed(move || i)).collect();
+    assert_eq!(pool.run_tasks(tasks).len(), 32);
+    assert_eq!(pool.queued_jobs(), 0, "leak after a plain batch");
+
+    // Panicking batch: the panic re-raises at the merge, and the drain
+    // guarantee means no task of the batch is left behind in a lane.
+    for round in 0..3 {
+        let tasks: Vec<Task<()>> = (0..6)
+            .map(|i| {
+                boxed(move || {
+                    if i == 3 {
+                        panic!("leak-check boom {round}");
+                    }
+                })
+            })
+            .collect();
+        let pool2 = Arc::clone(&pool);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || pool2.run_tasks(tasks)));
+        assert!(caught.is_err(), "round {round} must re-raise");
+        assert_eq!(pool.queued_jobs(), 0, "leak after a panicking batch");
+    }
+
+    // Nested batches from worker threads, more outer tasks than workers, so
+    // helping-while-waiting is exercised; then the same leak assertion.
+    let outer: Vec<Task<usize>> = (0..8)
+        .map(|o| {
+            let pool = Arc::clone(&pool);
+            boxed(move || {
+                let inner: Vec<Task<usize>> = (0..4).map(|i| boxed(move || o * 10 + i)).collect();
+                pool.run_tasks(inner).into_iter().sum()
+            })
+        })
+        .collect();
+    let sums = pool.run_tasks(outer);
+    assert_eq!(sums.len(), 8);
+    assert_eq!(pool.queued_jobs(), 0, "leak after nested batches");
+
+    // External threads hammering one pool concurrently (the server shape:
+    // many jobs sharing one pool), then the pool is quiet.
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for round in 0..5 {
+                    let tasks: Vec<Task<usize>> = (0..8)
+                        .map(move |i| boxed(move || t * 100 + round * 10 + i))
+                        .collect();
+                    assert_eq!(pool.run_tasks(tasks).len(), 8);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        pool.queued_jobs(),
+        0,
+        "leak after concurrent external batches"
+    );
+}

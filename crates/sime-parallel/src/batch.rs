@@ -30,12 +30,8 @@
 
 use crate::exec::{ExecBackend, Modeled, Threaded};
 use crate::report::StrategyOutcome;
-use crate::type1::{run_type1_on, Type1Config};
-use crate::type2::{run_type2_on, RowPattern, Type2Config};
-use crate::type3::{run_type3_on, Type3Config};
-use cluster_sim::timeline::ClusterConfig;
-use sime_core::engine::{SimEConfig, SimEEngine};
-use std::collections::HashMap;
+use crate::type2::RowPattern;
+use sime_core::engine::SimEEngine;
 use std::sync::Arc;
 use vlsi_netlist::bench_suite::SuiteCircuit;
 use vlsi_netlist::Netlist;
@@ -498,12 +494,15 @@ impl ScenarioRecord {
 }
 
 /// Runs scenario cells while reusing per-circuit netlists and per-
-/// `(circuit, objectives)` engines across the whole batch. See the
-/// [module docs](self) for what is shared and what stays per-run.
+/// `(circuit, objectives)` engines across the whole batch.
+///
+/// Since the job-engine refactor this is a thin `&mut self` façade over the
+/// thread-safe [`crate::jobs::JobRunner`] — the batch binaries keep their
+/// simple sequential API, the server shares the identical execution path
+/// (and therefore the identical fingerprints) through the runner directly.
 #[derive(Default)]
 pub struct BatchDriver {
-    netlists: HashMap<String, Arc<Netlist>>,
-    engines: HashMap<(String, Objectives), SimEEngine>,
+    runner: crate::jobs::JobRunner,
 }
 
 impl BatchDriver {
@@ -512,39 +511,36 @@ impl BatchDriver {
         Self::default()
     }
 
+    /// The underlying thread-safe job runner (shared caches, typed errors).
+    pub fn runner(&self) -> &crate::jobs::JobRunner {
+        &self.runner
+    }
+
     /// Registers a pre-built netlist (e.g. one reloaded from a Bookshelf
     /// dump) under its circuit name, bypassing suite generation. The circuit
     /// still needs a row count the suite knows, so `name` must resolve via
     /// [`SuiteCircuit::from_name`] for specs to run against it.
     pub fn register_netlist(&mut self, netlist: Arc<Netlist>) {
-        self.netlists.insert(netlist.name().to_string(), netlist);
+        self.runner.register_netlist(netlist);
     }
 
     /// The netlist for a suite circuit, generating and caching it on first
     /// use.
     pub fn netlist(&mut self, circuit: SuiteCircuit) -> Arc<Netlist> {
-        self.netlists
-            .entry(circuit.name().to_string())
-            .or_insert_with(|| Arc::new(circuit.generate()))
-            .clone()
+        self.runner
+            .netlist(circuit.name())
+            .expect("suite circuits always resolve")
+            .0
     }
 
     /// The engine for a `(circuit, objectives)` pair, building and caching
     /// it on first use. Engine construction (CSR cost tables, critical-path
     /// extraction, fuzzy goal calibration) dominates small-run setup time,
     /// which is why it is the unit of reuse.
-    pub fn engine(&mut self, circuit: SuiteCircuit, objectives: Objectives) -> &SimEEngine {
-        let key = (circuit.name().to_string(), objectives);
-        if !self.engines.contains_key(&key) {
-            let netlist = self.netlist(circuit);
-            // The stopping criterion in the engine config only governs
-            // `SimEEngine::run` (the serial baseline); strategy runs carry
-            // their own iteration budget in the strategy config.
-            let config = SimEConfig::paper_defaults(objectives, circuit.num_rows(), 1);
-            let engine = SimEEngine::new(netlist, config);
-            self.engines.insert(key.clone(), engine);
-        }
-        &self.engines[&key]
+    pub fn engine(&mut self, circuit: SuiteCircuit, objectives: Objectives) -> Arc<SimEEngine> {
+        self.runner
+            .engine_for(circuit.name(), objectives, None)
+            .expect("suite circuits always resolve")
     }
 
     /// Runs one cell of the matrix.
@@ -553,58 +549,96 @@ impl BatchDriver {
     ///
     /// Panics if the spec's circuit is not a suite circuit, or if its rank
     /// count violates the strategy's minimum (see
-    /// [`StrategyKind::min_ranks`]).
+    /// [`StrategyKind::min_ranks`]). Service layers that need errors instead
+    /// of panics use [`crate::jobs::JobRunner::run_job`].
     pub fn run_cell(&mut self, spec: &ScenarioSpec) -> ScenarioRecord {
-        let circuit = SuiteCircuit::from_name(&spec.circuit)
-            .unwrap_or_else(|| panic!("unknown suite circuit `{}`", spec.circuit));
-        assert!(
-            spec.ranks >= spec.strategy.min_ranks(),
-            "{} needs at least {} ranks, spec has {}",
-            spec.strategy.label(),
-            spec.strategy.min_ranks(),
-            spec.ranks
-        );
-        let backend = spec.backend();
-        let engine = self.engine(circuit, spec.objectives);
-        let cluster = ClusterConfig::paper_cluster(spec.ranks);
-        let outcome = match spec.strategy {
-            StrategyKind::Type1 => run_type1_on(
-                engine,
-                cluster,
-                Type1Config {
-                    ranks: spec.ranks,
-                    iterations: spec.iterations,
-                },
-                backend.as_ref(),
-            ),
-            StrategyKind::Type2(pattern) => run_type2_on(
-                engine,
-                cluster,
-                Type2Config {
-                    ranks: spec.ranks,
-                    iterations: spec.iterations,
-                    pattern,
-                },
-                backend.as_ref(),
-            ),
-            StrategyKind::Type3 => run_type3_on(
-                engine,
-                cluster,
-                Type3Config {
-                    ranks: spec.ranks,
-                    iterations: spec.iterations,
-                    retry_threshold: 3,
-                },
-                backend.as_ref(),
-            ),
-        };
-        let fingerprint = TrajectoryFingerprint::from_outcome(&outcome);
-        ScenarioRecord {
-            spec: spec.clone(),
-            outcome,
-            fingerprint,
+        match self.runner.run_scenario(spec) {
+            Ok(outcome) => outcome.into_record(),
+            Err(crate::jobs::JobError::UnknownCircuit(name)) => {
+                panic!("unknown suite circuit `{name}`")
+            }
+            Err(err) => panic!("{err}"),
         }
     }
+}
+
+/// Result of comparing run fingerprints against a golden directory.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenCheck {
+    /// How many scenarios had a pinned golden and were actually compared.
+    pub checked: usize,
+    /// One human-readable line per failure (mismatch, unreadable or
+    /// unparsable golden, missing directory, empty intersection). Empty iff
+    /// the check passed.
+    pub failures: Vec<String>,
+}
+
+impl GoldenCheck {
+    /// Whether the gate passed: at least one comparison ran and none failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares every entry of `by_id` (scenario id → fresh fingerprint) that
+/// has a `<id>.golden` file in `dir`, bitwise.
+///
+/// Two *absence* cases are hard failures, not green no-ops: a missing or
+/// unreadable golden **directory**, and an **empty intersection** (no run
+/// scenario matched any golden). Both turn a mistyped `--check` path or a
+/// drifted scenario grid into a loud gate failure — without this, a CI job
+/// pointed at the wrong directory would pass forever while comparing
+/// nothing. This is the library form of `scenario_matrix --check`, shared
+/// with the server suite so both gates fail identically.
+pub fn check_goldens(
+    dir: &std::path::Path,
+    by_id: &std::collections::BTreeMap<String, TrajectoryFingerprint>,
+) -> GoldenCheck {
+    let mut check = GoldenCheck::default();
+    if !dir.is_dir() {
+        check
+            .failures
+            .push(format!("golden directory {} does not exist", dir.display()));
+        return check;
+    }
+    for (id, fingerprint) in by_id {
+        let path = dir.join(format!("{id}.golden"));
+        if !path.exists() {
+            continue; // no golden pinned for this cell
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                check
+                    .failures
+                    .push(format!("cannot read golden {}: {e}", path.display()));
+                continue;
+            }
+        };
+        check.checked += 1;
+        match TrajectoryFingerprint::parse_text(&text) {
+            Ok((_, golden)) if &golden == fingerprint => {}
+            Ok((_, golden)) => {
+                let mut lines = vec![format!("GOLDEN MISMATCH for {id}:")];
+                for change in golden.diff(fingerprint) {
+                    lines.push(format!("  {change}"));
+                }
+                check.failures.push(lines.join("\n"));
+            }
+            Err(e) => {
+                check
+                    .failures
+                    .push(format!("cannot parse golden {}: {e}", path.display()));
+            }
+        }
+    }
+    if check.checked == 0 {
+        check.failures.push(format!(
+            "no run scenario matched any golden in {} — the gate compared nothing",
+            dir.display()
+        ));
+    }
+    check
 }
 
 /// The pinned golden subset: the scenarios whose fingerprints are checked
@@ -839,12 +873,10 @@ mod tests {
         let mut other = small_spec();
         other.strategy = StrategyKind::Type1;
         driver.run_cell(&other);
-        assert_eq!(
-            driver.engines.len(),
-            1,
-            "same circuit+objectives → one engine"
-        );
-        assert_eq!(driver.netlists.len(), 1);
+        let stats = driver.runner().stats();
+        assert_eq!(stats.engines, 1, "same circuit+objectives → one engine");
+        assert_eq!(stats.engines_calibrated, 1);
+        assert_eq!(stats.circuits, 1);
     }
 
     #[test]
@@ -881,6 +913,88 @@ mod tests {
         assert!(json.contains("\"scenario\": \"s1196.type2_random.r3.i3.wp\""));
         assert!(json.contains("\"backend\": \"modeled\""));
         assert!(json.contains("placement_hash"));
+    }
+
+    fn golden_temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sime-golden-check-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp golden dir");
+        dir
+    }
+
+    #[test]
+    fn check_goldens_fails_hard_on_a_missing_directory() {
+        let mut driver = BatchDriver::new();
+        let spec = small_spec();
+        let record = driver.run_cell(&spec);
+        let mut by_id = std::collections::BTreeMap::new();
+        by_id.insert(spec.id(), record.fingerprint);
+        let check = check_goldens(std::path::Path::new("/nonexistent/sime/golden/dir"), &by_id);
+        assert!(!check.passed(), "missing directory must be a hard failure");
+        assert_eq!(check.checked, 0);
+        assert!(
+            check.failures[0].contains("does not exist"),
+            "{:?}",
+            check.failures
+        );
+    }
+
+    #[test]
+    fn check_goldens_fails_hard_when_nothing_intersects() {
+        let mut driver = BatchDriver::new();
+        let spec = small_spec();
+        let record = driver.run_cell(&spec);
+        let mut by_id = std::collections::BTreeMap::new();
+        by_id.insert(spec.id(), record.fingerprint);
+        let dir = golden_temp_dir("empty");
+        let check = check_goldens(&dir, &by_id);
+        assert!(!check.passed(), "an empty intersection must not pass");
+        assert_eq!(check.checked, 0);
+        assert!(
+            check.failures[0].contains("compared nothing"),
+            "{:?}",
+            check.failures
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_goldens_accepts_matches_and_reports_mismatches() {
+        let mut driver = BatchDriver::new();
+        let spec = small_spec();
+        let record = driver.run_cell(&spec);
+        let dir = golden_temp_dir("roundtrip");
+        let path = dir.join(format!("{}.golden", spec.id()));
+        std::fs::write(&path, record.fingerprint.to_text(&spec)).unwrap();
+
+        let mut by_id = std::collections::BTreeMap::new();
+        by_id.insert(spec.id(), record.fingerprint.clone());
+        let check = check_goldens(&dir, &by_id);
+        assert!(check.passed(), "{:?}", check.failures);
+        assert_eq!(check.checked, 1);
+
+        let mut perturbed = record.fingerprint.clone();
+        perturbed.trajectory_hash ^= 1;
+        by_id.insert(spec.id(), perturbed);
+        let check = check_goldens(&dir, &by_id);
+        assert!(!check.passed());
+        assert_eq!(check.checked, 1);
+        assert!(
+            check.failures[0].contains("GOLDEN MISMATCH"),
+            "{:?}",
+            check.failures
+        );
+
+        std::fs::write(&path, "not a fingerprint\n").unwrap();
+        let check = check_goldens(&dir, &by_id);
+        assert!(!check.passed());
+        assert!(
+            check.failures[0].contains("cannot parse golden"),
+            "{:?}",
+            check.failures
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -231,6 +231,67 @@ impl ExecBackend for Threaded {
     }
 }
 
+/// A threaded backend over a pool the caller already owns: every run built
+/// from this backend submits its fan-outs to the **same** long-lived
+/// [`WorkerPool`] instead of spawning a private one.
+///
+/// This is the execution substrate of the `sime-server` job engine: one pool
+/// serves many concurrent placement jobs. Each job's external submitter
+/// blocks passively on its own merges while workers interleave tasks from
+/// every active job; nested intra-rank fan-outs keep the help-while-waiting
+/// discipline, so sharing never deadlocks. The determinism contract is
+/// unaffected — tasks are pure and merges are submission-ordered, so a job's
+/// results are bitwise identical whether its pool is private or shared, busy
+/// or idle.
+#[derive(Clone)]
+pub struct SharedPool {
+    pool: Arc<WorkerPool>,
+    eval_chunks: usize,
+}
+
+impl SharedPool {
+    /// A backend whose runs all execute on `pool`, with no intra-rank
+    /// fan-out (one evaluation chunk).
+    pub fn new(pool: Arc<WorkerPool>) -> Self {
+        SharedPool {
+            pool,
+            eval_chunks: 1,
+        }
+    }
+
+    /// The same backend with its `EvalParallelism` knob set; semantics match
+    /// [`Threaded::with_eval_chunks`].
+    pub fn with_eval_chunks(self, chunks: usize) -> Self {
+        SharedPool {
+            eval_chunks: chunks.max(1),
+            ..self
+        }
+    }
+
+    /// A handle to the underlying shared pool.
+    pub fn pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.pool)
+    }
+}
+
+impl ExecBackend for SharedPool {
+    fn label(&self) -> String {
+        if self.eval_chunks > 1 {
+            format!("shared({},ev{})", self.pool.workers(), self.eval_chunks)
+        } else {
+            format!("shared({})", self.pool.workers())
+        }
+    }
+
+    fn executor(&self) -> Executor {
+        Executor::Pool(Arc::clone(&self.pool))
+    }
+
+    fn eval_chunks(&self) -> usize {
+        self.eval_chunks
+    }
+}
+
 /// Parses a backend by name, as accepted by the CLI surfaces
 /// (`--backend modeled` / `--backend threaded --workers N`).
 ///
@@ -333,5 +394,21 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn threaded_rejects_zero_workers() {
         let _ = Threaded::new(0);
+    }
+
+    #[test]
+    fn shared_pool_backend_reuses_one_pool_across_runs() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let backend = SharedPool::new(Arc::clone(&pool));
+        assert_eq!(backend.label(), "shared(2)");
+        assert_eq!(backend.clone().with_eval_chunks(3).label(), "shared(2,ev3)");
+        let expected: Vec<usize> = (0..24).map(|i| i * i).collect();
+        // Two executors from the same backend share the same pool instance.
+        let a = backend.executor();
+        let b = backend.executor();
+        assert_eq!(squares(&a, 24), expected);
+        assert_eq!(squares(&b, 24), expected);
+        assert!(Arc::ptr_eq(&a.pool().unwrap(), &b.pool().unwrap()));
+        assert_eq!(pool.queued_jobs(), 0);
     }
 }

@@ -50,35 +50,51 @@
 //! every run into a [`batch::TrajectoryFingerprint`] that the checked-in
 //! golden registry (`tests/golden/`, replayed by the root `golden_suite`
 //! test) compares bitwise across pushes, backends and worker counts.
+//!
+//! On top of the batch layer, the [`jobs`] module packages the same machinery
+//! as **session state** for long-running services: a thread-safe
+//! [`jobs::JobRunner`] with content-addressed circuit and engine caches, the
+//! [`control::RunControl`] hook for progress streaming and cooperative
+//! cancellation (`run_typeN_ctl`), and the [`exec::SharedPool`] backend that
+//! lets many concurrent jobs share one persistent worker pool. The
+//! `sime-server` crate builds its placement-as-a-service daemon on these.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod control;
 pub mod exec;
+pub mod jobs;
 pub mod report;
 pub mod type1;
 pub mod type2;
 pub mod type3;
 
 pub use batch::{
-    golden_subset, intra_rank_golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec,
-    StrategyKind, TrajectoryFingerprint,
+    check_goldens, golden_subset, intra_rank_golden_subset, BatchDriver, GoldenCheck,
+    ScenarioRecord, ScenarioSpec, StrategyKind, TrajectoryFingerprint,
 };
-pub use exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, Threaded};
+pub use control::{CancelAfter, CancelToken, FreeRun, ObservedRun, RunControl};
+pub use exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, SharedPool, Threaded};
+pub use jobs::{JobError, JobOutcome, JobRunner, JobSpec};
 pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
-pub use type1::{run_type1, run_type1_on, Type1Config};
-pub use type2::{run_type2, run_type2_on, RowPattern, Type2Config};
-pub use type3::{run_type3, run_type3_on, Type3Config};
+pub use type1::{run_type1, run_type1_ctl, run_type1_on, Type1Config};
+pub use type2::{run_type2, run_type2_ctl, run_type2_on, RowPattern, Type2Config};
+pub use type3::{run_type3, run_type3_ctl, run_type3_on, Type3Config};
 
 /// Convenience prelude bringing the parallel-strategy API into scope.
 pub mod prelude {
     pub use crate::batch::{
-        golden_subset, intra_rank_golden_subset, BatchDriver, ScenarioRecord, ScenarioSpec,
-        StrategyKind, TrajectoryFingerprint,
+        check_goldens, golden_subset, intra_rank_golden_subset, BatchDriver, GoldenCheck,
+        ScenarioRecord, ScenarioSpec, StrategyKind, TrajectoryFingerprint,
     };
-    pub use crate::exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, Threaded};
+    pub use crate::control::{CancelAfter, CancelToken, FreeRun, ObservedRun, RunControl};
+    pub use crate::exec::{
+        backend_from_name, backend_from_spec, ExecBackend, Modeled, SharedPool, Threaded,
+    };
+    pub use crate::jobs::{JobError, JobOutcome, JobRunner, JobSpec};
     pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
-    pub use crate::type1::{run_type1, run_type1_on, Type1Config};
-    pub use crate::type2::{run_type2, run_type2_on, RowPattern, Type2Config};
-    pub use crate::type3::{run_type3, run_type3_on, Type3Config};
+    pub use crate::type1::{run_type1, run_type1_ctl, run_type1_on, Type1Config};
+    pub use crate::type2::{run_type2, run_type2_ctl, run_type2_on, RowPattern, Type2Config};
+    pub use crate::type3::{run_type3, run_type3_ctl, run_type3_on, Type3Config};
 }

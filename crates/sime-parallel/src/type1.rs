@@ -41,6 +41,7 @@
 //! assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
 //! ```
 
+use crate::control::{FreeRun, RunControl};
 use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{
     partition_evaluation_workload, StrategyOutcome, BYTES_PER_CELL, BYTES_PER_GOODNESS,
@@ -219,6 +220,21 @@ pub fn run_type1_on(
     config: Type1Config,
     backend: &dyn ExecBackend,
 ) -> StrategyOutcome {
+    run_type1_ctl(engine, cluster, config, backend, &FreeRun)
+}
+
+/// [`run_type1_on`] with a [`RunControl`]: the control observes every
+/// completed iteration and may end the run at that boundary (see the
+/// [`crate::control`] docs for the exact call point and the prefix-bitwise
+/// guarantee). [`StrategyOutcome::iterations`] reports the iterations that
+/// actually ran.
+pub fn run_type1_ctl(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type1Config,
+    backend: &dyn ExecBackend,
+    control: &dyn RunControl,
+) -> StrategyOutcome {
     assert!(
         config.ranks >= 2,
         "Type I needs a master and at least one slave"
@@ -282,7 +298,7 @@ pub fn run_type1_on(
     // which are not the members of partition at the master node").
     let extra_master_fraction = 0.5 * (1.0 - 1.0 / config.ranks as f64);
 
-    for _ in 0..config.iterations {
+    for iteration in 0..config.iterations {
         // 1. Broadcast the current placement (binomial tree, as MPI_Bcast in
         //    MPICH 1.x does).
         timeline.broadcast_tree(0, placement_bytes);
@@ -360,14 +376,18 @@ pub fn run_type1_on(
             best_cost = cost;
             best_placement = placement.clone();
         }
+        if !control.keep_going(iteration, cost.mu, best_cost.mu) {
+            break;
+        }
     }
 
+    let iterations_run = mu_history.len();
     StrategyOutcome {
         best_placement,
         best_cost,
         modeled_seconds: timeline.makespan(),
         comm: timeline.stats(),
-        iterations: config.iterations,
+        iterations: iterations_run,
         mu_history,
         wall_seconds: started.elapsed().as_secs_f64(),
         backend: backend.label(),

@@ -45,6 +45,7 @@
 //! assert_eq!(modeled.comm, threaded.comm);
 //! ```
 
+use crate::control::{FreeRun, RunControl};
 use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{StrategyOutcome, BYTES_PER_CELL};
 use cluster_sim::machine::Workload;
@@ -164,6 +165,21 @@ pub fn run_type2_on(
     cluster: ClusterConfig,
     config: Type2Config,
     backend: &dyn ExecBackend,
+) -> StrategyOutcome {
+    run_type2_ctl(engine, cluster, config, backend, &FreeRun)
+}
+
+/// [`run_type2_on`] with a [`RunControl`]: the control observes every
+/// completed iteration and may end the run at that boundary (see the
+/// [`crate::control`] docs for the exact call point and the prefix-bitwise
+/// guarantee). [`StrategyOutcome::iterations`] reports the iterations that
+/// actually ran.
+pub fn run_type2_ctl(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type2Config,
+    backend: &dyn ExecBackend,
+    control: &dyn RunControl,
 ) -> StrategyOutcome {
     assert!(config.ranks >= 2, "Type II needs at least two processors");
     assert_eq!(
@@ -298,14 +314,18 @@ pub fn run_type2_on(
             best_cost = cost;
             best_placement = placement.clone();
         }
+        if !control.keep_going(iteration, cost.mu, best_cost.mu) {
+            break;
+        }
     }
 
+    let iterations_run = mu_history.len();
     StrategyOutcome {
         best_placement,
         best_cost,
         modeled_seconds: timeline.makespan(),
         comm: timeline.stats(),
-        iterations: config.iterations,
+        iterations: iterations_run,
         mu_history,
         wall_seconds: started.elapsed().as_secs_f64(),
         backend: backend.label(),
@@ -531,6 +551,30 @@ mod tests {
                 .best_placement
                 .validate(engine.evaluator().netlist())
                 .unwrap();
+        }
+    }
+
+    #[test]
+    fn type2_cancelled_run_is_a_bitwise_prefix() {
+        use crate::control::CancelAfter;
+        let engine = engine(6);
+        let cfg = Type2Config {
+            ranks: 3,
+            iterations: 6,
+            pattern: RowPattern::Random,
+        };
+        let full = run_type2(&engine, ClusterConfig::paper_cluster(3), cfg);
+        let cut = run_type2_ctl(
+            &engine,
+            ClusterConfig::paper_cluster(3),
+            cfg,
+            &Modeled,
+            &CancelAfter(3),
+        );
+        assert_eq!(cut.iterations, 4, "stops after the boundary iteration");
+        assert_eq!(cut.mu_history.len(), 4);
+        for (a, b) in cut.mu_history.iter().zip(&full.mu_history) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -47,6 +47,7 @@
 //! assert_eq!(modeled.modeled_seconds, threaded.modeled_seconds);
 //! ```
 
+use crate::control::{FreeRun, RunControl};
 use crate::exec::{ExecBackend, Modeled, Task};
 use crate::report::{StrategyOutcome, BYTES_PER_CELL};
 use cluster_sim::machine::Workload;
@@ -118,6 +119,21 @@ pub fn run_type3_on(
     config: Type3Config,
     backend: &dyn ExecBackend,
 ) -> StrategyOutcome {
+    run_type3_ctl(engine, cluster, config, backend, &FreeRun)
+}
+
+/// [`run_type3_on`] with a [`RunControl`]: the control observes every
+/// completed iteration and may end the run at that boundary (see the
+/// [`crate::control`] docs for the exact call point and the prefix-bitwise
+/// guarantee). [`StrategyOutcome::iterations`] reports the iterations that
+/// actually ran.
+pub fn run_type3_ctl(
+    engine: &SimEEngine,
+    cluster: ClusterConfig,
+    config: Type3Config,
+    backend: &dyn ExecBackend,
+    control: &dyn RunControl,
+) -> StrategyOutcome {
     assert!(
         config.ranks >= 3,
         "Type III needs a central store and at least two workers"
@@ -165,7 +181,7 @@ pub fn run_type3_on(
     let mut central_placement = initial.clone();
     let mut mu_history = Vec::with_capacity(config.iterations);
 
-    for _ in 0..config.iterations {
+    for iteration in 0..config.iterations {
         // Fan out: every worker runs one full serial SimE iteration on its
         // own placement. The iteration reads nothing but the worker's own
         // state, which is what makes the barrier placement below exact.
@@ -242,6 +258,9 @@ pub fn run_type3_on(
             worker_state[w] = Some(worker);
         }
         mu_history.push(best_mu_this_iteration);
+        if !control.keep_going(iteration, best_mu_this_iteration, central_cost.mu) {
+            break;
+        }
     }
 
     // The best solution over all workers is what the run reports.
@@ -254,12 +273,13 @@ pub fn run_type3_on(
         }
     }
 
+    let iterations_run = mu_history.len();
     StrategyOutcome {
         best_placement,
         best_cost,
         modeled_seconds: timeline.makespan(),
         comm: timeline.stats(),
-        iterations: config.iterations,
+        iterations: iterations_run,
         mu_history,
         wall_seconds: started.elapsed().as_secs_f64(),
         backend: backend.label(),

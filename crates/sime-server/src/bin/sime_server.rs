@@ -1,0 +1,79 @@
+//! The placement daemon.
+//!
+//! ```text
+//! sime_server [--workers N] [--max-active N] [--max-queue N] [--tcp ADDR]
+//! ```
+//!
+//! Default transport is stdio (one JSON request per line on stdin, one JSON
+//! event per line on stdout). With `--tcp ADDR` (e.g. `--tcp 127.0.0.1:0`)
+//! the daemon serves TCP clients instead and prints the bound address to
+//! stderr — `:0` picks an ephemeral port.
+
+use sime_server::{serve_stdio, serve_tcp, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sime_server [--workers N] [--max-active N] [--max-queue N] \
+         [--max-request-bytes N] [--tcp ADDR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("flag {name} needs a value");
+                    usage();
+                }
+            }
+        };
+        match flag.as_str() {
+            "--workers" => config.workers = parse_count(&value("--workers")),
+            "--max-active" => config.max_active = parse_count(&value("--max-active")),
+            "--max-queue" => config.max_queue = parse_count(&value("--max-queue")),
+            "--max-request-bytes" => {
+                config.max_request_bytes = parse_count(&value("--max-request-bytes"))
+            }
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let server = Server::new(config);
+    eprintln!(
+        "sime_server: pool={} workers, max_active={}, max_queue={}",
+        config.workers, config.max_active, config.max_queue
+    );
+    match tcp {
+        Some(addr) => {
+            let result = serve_tcp(server, addr.as_str(), |bound| {
+                eprintln!("sime_server: listening on {bound}");
+            });
+            if let Err(e) = result {
+                eprintln!("sime_server: TCP error: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => serve_stdio(server),
+    }
+}
+
+fn parse_count(value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("not a count: `{value}`");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sime-server
+//!
+//! Placement-as-a-service over the strategies of [`sime_parallel`]: a
+//! long-running daemon that owns **one** shared worker pool
+//! ([`cluster_sim::comm::WorkerPool`]) and **one** job runner
+//! ([`sime_parallel::JobRunner`] — content-addressed circuit and engine
+//! caches), and accepts concurrent placement jobs over a line-delimited JSON
+//! protocol on stdio or TCP.
+//!
+//! The three layers:
+//!
+//! * [`protocol`] — the wire types: [`protocol::Request`] in,
+//!   [`protocol::Event`] out, every failure a typed error code.
+//! * [`server`] — the job engine: admission-controlled FIFO queue,
+//!   per-job [`sime_parallel::control::CancelToken`]s, µ-checkpoint progress
+//!   streaming, per-session event channels.
+//! * [`transport`] — stdio and TCP framing over the same [`server::Session`].
+//!
+//! The correctness oracle is the batch path's golden registry: a job that
+//! runs to completion with the default seed produces a
+//! [`sime_parallel::TrajectoryFingerprint`] **bitwise identical** to the
+//! `scenario_matrix` fingerprint for the same scenario, no matter how many
+//! clients, jobs or pool workers were interleaved with it (the root
+//! `server_suite` test replays all six goldens through an in-process server
+//! at several client concurrencies to enforce exactly this).
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use protocol::{Event, ProtocolError, Request, SubmitRequest};
+pub use server::{Server, ServerConfig, ServerStats, Session};
+pub use transport::{serve_connection, serve_stdio, serve_tcp};

@@ -1,0 +1,211 @@
+//! Load generator for the placement server: replays the scenario matrix as
+//! concurrent client traffic against an **in-process** `sime-server` and
+//! reports job-latency percentiles.
+//!
+//! ```text
+//! cargo run --release --example load_generator -- \
+//!     [--jobs N] [--clients N] [--workers N] [--max-active N] [--out PATH]
+//! ```
+//!
+//! The workload cycles the golden scenario subset (the same cells
+//! `scenario_matrix` pins) into `--jobs` submissions, deals them round-robin
+//! onto `--clients` concurrent sessions, submits everything up front (so the
+//! admission queue engages) and measures per-job latency from submission to
+//! the `done` event. The report (`--out`, default `LOAD_REPORT.json`)
+//! carries p50/p90/p99/max latency and throughput; CI uploads it as an
+//! artifact. Every fingerprint coming back is cross-checked against a batch
+//! run in-process, so the load test doubles as a correctness sweep.
+
+use bench::json::Json;
+use sime_parallel::batch::{golden_subset, TrajectoryFingerprint};
+use sime_parallel::{JobRunner, JobSpec};
+use sime_server::{Event, Request, Server, ServerConfig, Session, SubmitRequest};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const EVENT_TIMEOUT: Duration = Duration::from_secs(600);
+
+struct Args {
+    jobs: usize,
+    clients: usize,
+    workers: usize,
+    max_active: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 12,
+        clients: 4,
+        workers: 2,
+        max_active: 3,
+        out: "LOAD_REPORT.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = value().parse().expect("--jobs"),
+            "--clients" => args.clients = value().parse().expect("--clients"),
+            "--workers" => args.workers = value().parse().expect("--workers"),
+            "--max-active" => args.max_active = value().parse().expect("--max-active"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.jobs >= 1 && args.clients >= 1);
+    args
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((q / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let specs = golden_subset();
+    let server = Server::new(ServerConfig {
+        workers: args.workers,
+        max_active: args.max_active,
+        max_queue: args.jobs + 1,
+        max_request_bytes: 64 * 1024,
+    });
+
+    // Batch-path reference fingerprints, computed once per distinct scenario.
+    let reference: BTreeMap<String, TrajectoryFingerprint> = {
+        let runner = JobRunner::new();
+        specs
+            .iter()
+            .map(|spec| {
+                let outcome = runner.run_scenario(spec).expect("reference run");
+                (spec.id(), outcome.fingerprint)
+            })
+            .collect()
+    };
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let mismatches: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..args.clients {
+            let server = Arc::clone(&server);
+            let specs = &specs;
+            let reference = &reference;
+            let latencies = &latencies;
+            let mismatches = &mismatches;
+            let jobs = args.jobs;
+            let clients = args.clients;
+            scope.spawn(move || {
+                let session = Session::new(server);
+                let mut submitted_at: BTreeMap<String, Instant> = BTreeMap::new();
+                for job in (0..jobs).filter(|j| j % clients == client) {
+                    let spec = &specs[job % specs.len()];
+                    let id = format!("c{client}-j{job}");
+                    submitted_at.insert(id.clone(), Instant::now());
+                    session.request(Request::Submit(SubmitRequest {
+                        id,
+                        spec: JobSpec::batch(spec.clone()),
+                    }));
+                }
+                let mut done = 0;
+                while done < submitted_at.len() {
+                    match session.next_event(EVENT_TIMEOUT) {
+                        Some(Event::Done {
+                            id,
+                            scenario,
+                            fingerprint,
+                            ..
+                        }) => {
+                            let elapsed = submitted_at[&id].elapsed();
+                            latencies.lock().unwrap().push(elapsed.as_secs_f64() * 1e3);
+                            let (_, fp) = TrajectoryFingerprint::parse_text(&fingerprint)
+                                .expect("parsable fingerprint");
+                            if reference.get(&scenario) != Some(&fp) {
+                                mismatches
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("{id} ({scenario})"));
+                            }
+                            done += 1;
+                        }
+                        Some(Event::Accepted { .. }) | Some(Event::Progress { .. }) => {}
+                        other => panic!("client {client}: unexpected event {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    server.drain();
+
+    let mismatches = mismatches.into_inner().unwrap();
+    assert!(
+        mismatches.is_empty(),
+        "fingerprints diverged under load: {mismatches:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.active, 0, "leaked active slot");
+    assert_eq!(server.pool().queued_jobs(), 0, "leaked pool work");
+
+    let mut sorted = latencies.into_inner().unwrap();
+    assert_eq!(sorted.len(), args.jobs, "every job must complete");
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut latency = BTreeMap::new();
+    latency.insert(
+        "p50_ms".to_string(),
+        Json::Number(percentile(&sorted, 50.0)),
+    );
+    latency.insert(
+        "p90_ms".to_string(),
+        Json::Number(percentile(&sorted, 90.0)),
+    );
+    latency.insert(
+        "p99_ms".to_string(),
+        Json::Number(percentile(&sorted, 99.0)),
+    );
+    latency.insert(
+        "max_ms".to_string(),
+        Json::Number(*sorted.last().expect("non-empty")),
+    );
+    let mut report = BTreeMap::new();
+    report.insert("schema_version".to_string(), Json::Number(1.0));
+    report.insert(
+        "report".to_string(),
+        Json::String("LOAD_REPORT".to_string()),
+    );
+    report.insert("jobs".to_string(), Json::Number(args.jobs as f64));
+    report.insert("clients".to_string(), Json::Number(args.clients as f64));
+    report.insert("workers".to_string(), Json::Number(args.workers as f64));
+    report.insert(
+        "max_active".to_string(),
+        Json::Number(args.max_active as f64),
+    );
+    report.insert("wall_seconds".to_string(), Json::Number(wall));
+    report.insert(
+        "throughput_jobs_per_s".to_string(),
+        Json::Number(args.jobs as f64 / wall.max(1e-9)),
+    );
+    report.insert("latency".to_string(), Json::Object(latency));
+    let rendered = Json::Object(report).to_string();
+    std::fs::write(&args.out, format!("{rendered}\n")).expect("write report");
+
+    println!(
+        "load_generator: {} jobs, {} clients, {} workers → p50 {:.1} ms, p99 {:.1} ms, {:.2} jobs/s ({})",
+        args.jobs,
+        args.clients,
+        args.workers,
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 99.0),
+        args.jobs as f64 / wall.max(1e-9),
+        args.out
+    );
+}

@@ -1,0 +1,150 @@
+//! The server's correctness oracle: every checked-in golden scenario,
+//! replayed through an **in-process** `sime-server` at client concurrencies
+//! 1, 2, 4 and 8, must produce a `TrajectoryFingerprint` **bitwise
+//! identical** to the batch path's golden file — regardless of how the jobs
+//! interleave on the shared pool, which client submitted them, or how deep
+//! the admission queue got.
+//!
+//! The comparison runs through `sime_parallel::batch::check_goldens`, the
+//! same gate `scenario_matrix --check` uses, so a missing golden directory
+//! or an empty intersection is a hard failure here too — the suite can never
+//! rot into a green no-op.
+
+use sime_parallel::batch::{check_goldens, golden_subset, TrajectoryFingerprint};
+use sime_parallel::JobSpec;
+use sime_server::{Event, Request, Server, ServerConfig, Session, SubmitRequest};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Generous per-job ceiling; the whole subset runs in seconds.
+const EVENT_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn golden_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs the full golden subset through one server with `clients` concurrent
+/// sessions (jobs dealt round-robin), returning scenario id → fingerprint.
+fn run_subset_through_server(clients: usize) -> BTreeMap<String, TrajectoryFingerprint> {
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        max_active: 3, // below the job count so the admission queue engages
+        max_queue: 64,
+        max_request_bytes: 64 * 1024,
+    });
+    let specs = golden_subset();
+    let results: Mutex<BTreeMap<String, TrajectoryFingerprint>> = Mutex::new(BTreeMap::new());
+
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = Arc::clone(&server);
+            let results = &results;
+            let mine: Vec<(usize, sime_parallel::ScenarioSpec)> = specs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == client)
+                .map(|(i, spec)| (i, spec.clone()))
+                .collect();
+            scope.spawn(move || {
+                let session = Session::new(server);
+                // Submit everything up front over the wire protocol, then
+                // drain: forces real queueing and interleaved completion.
+                for (i, spec) in &mine {
+                    let request = Request::Submit(SubmitRequest {
+                        id: format!("c{client}-j{i}"),
+                        spec: JobSpec::batch(spec.clone()),
+                    });
+                    session.handle_line(&request.render());
+                }
+                let mut done = 0;
+                while done < mine.len() {
+                    let event = session
+                        .next_event(EVENT_TIMEOUT)
+                        .expect("server went quiet with jobs outstanding");
+                    match event {
+                        Event::Done { fingerprint, .. } => {
+                            let (spec, fp) = TrajectoryFingerprint::parse_text(&fingerprint)
+                                .expect("done event carries a parsable fingerprint");
+                            results.lock().unwrap().insert(spec.id(), fp);
+                            done += 1;
+                        }
+                        Event::Accepted { .. } | Event::Progress { .. } => {}
+                        other => panic!("unexpected event for client {client}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Leak checks: every slot returned, nothing stuck in any lane.
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.active, 0, "leaked active slot");
+    assert_eq!(stats.queued, 0, "leaked queued job");
+    assert_eq!(stats.finished as usize, specs.len());
+    assert_eq!(server.pool().queued_jobs(), 0, "leaked work in a pool lane");
+    results.into_inner().unwrap()
+}
+
+#[test]
+fn golden_subset_is_bitwise_stable_through_the_server_at_every_client_concurrency() {
+    let dir = golden_dir();
+    let expected = golden_subset().len();
+    for clients in [1usize, 2, 4, 8] {
+        let by_id = run_subset_through_server(clients);
+        assert_eq!(by_id.len(), expected, "{clients} clients: lost a scenario");
+        let check = check_goldens(&dir, &by_id);
+        assert!(
+            check.passed(),
+            "{clients} clients: server fingerprints diverged from the goldens:\n{}",
+            check.failures.join("\n")
+        );
+        assert_eq!(
+            check.checked, expected,
+            "{clients} clients: some scenario had no golden pinned — \
+             the oracle must cover the whole subset"
+        );
+    }
+}
+
+#[test]
+fn progress_stream_samples_the_fingerprint_checkpoints() {
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        max_active: 1,
+        max_queue: 4,
+        max_request_bytes: 64 * 1024,
+    });
+    let spec = golden_subset()
+        .into_iter()
+        .find(|s| s.iterations >= 5)
+        .expect("subset has a scenario with enough iterations");
+    let iterations = spec.iterations;
+    let session = Session::new(Arc::clone(&server));
+    session.request(Request::Submit(SubmitRequest {
+        id: "progress".into(),
+        spec: JobSpec::batch(spec),
+    }));
+    let events = session
+        .wait_for_terminal("progress", EVENT_TIMEOUT)
+        .expect("job reaches a terminal event");
+    let progressed: Vec<usize> = events
+        .iter()
+        .filter_map(|event| match event {
+            Event::Progress { iteration, .. } => Some(*iteration),
+            _ => None,
+        })
+        .collect();
+    let expected = sime_parallel::batch::checkpoint_iterations(iterations);
+    assert_eq!(
+        progressed, expected,
+        "progress events must sample exactly the fingerprint checkpoints"
+    );
+    assert!(
+        matches!(events.last(), Some(Event::Done { .. })),
+        "job must finish Done"
+    );
+    server.drain();
+}
