@@ -1,6 +1,7 @@
 //! `scenario_matrix` — executes the scenario cross-product
-//! `{circuit × strategy Type I/II/III × backend Modeled/Threaded × worker
-//! count × objective mix}` through the reusable batch driver of
+//! `{circuit × strategy Type I/II (both row patterns)/III + island
+//! portfolios × backend Modeled/Threaded × worker count × objective mix}`
+//! through the reusable batch driver of
 //! `sime_parallel::batch`, emitting one JSON record per cell and verifying
 //! the determinism contract (equal golden fingerprints across every backend
 //! and worker count of a cell) as it goes.
@@ -14,10 +15,10 @@
 //! ```
 //!
 //! * `--quick` (default) — the 5 paper circuits plus the two smallest
-//!   extended circuits (`s5378`, `s9234`), 3 strategies, Modeled +
-//!   Threaded{1,2,4}, wirelength+power everywhere plus the three-objective
-//!   mix on the paper tier. Completes in well under a minute and is the grid
-//!   CI archives on every push.
+//!   extended circuits (`s5378`, `s9234`), the 4 matrix strategies plus the
+//!   portfolio sweep, Modeled + Threaded{1,2,4}, wirelength+power everywhere
+//!   plus the three-objective mix on the paper tier. Completes in a couple
+//!   of minutes and is the grid CI archives on every push.
 //! * `--full` — all nine suite circuits, both objective mixes everywhere and
 //!   a longer iteration budget.
 //! * `--circuits` — comma-separated override of the circuit axis.
@@ -39,6 +40,7 @@ use sime_parallel::batch::{
     golden_subset, objectives_tag, BatchDriver, ScenarioRecord, ScenarioSpec, StrategyKind,
     TrajectoryFingerprint,
 };
+use sime_parallel::portfolio::PortfolioMix;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use vlsi_netlist::bench_suite::{ExtendedCircuit, PaperCircuit, SuiteCircuit};
@@ -140,6 +142,29 @@ fn build_grid(
                     eval_chunks: 1,
                 });
             }
+        }
+        // Portfolio cells sweep the *island count* (2–5 ranks, the
+        // composition cycles through the mix) on the paper tier, plus the
+        // baselines-only composition at the standard rank count; extended
+        // circuits get one probe per composition. WirelengthPower only —
+        // the race varies the optimizer, not the objective mix.
+        let portfolio = |mix: PortfolioMix, ranks: usize| ScenarioSpec {
+            circuit: circuit.name().to_string(),
+            strategy: StrategyKind::Portfolio(mix),
+            ranks,
+            iterations: iters,
+            objectives: Objectives::WirelengthPower,
+            workers: None,
+            eval_chunks: 1,
+        };
+        if circuit.is_extended() {
+            specs.push(portfolio(PortfolioMix::Mixed, 4));
+            specs.push(portfolio(PortfolioMix::Baselines, 4));
+        } else {
+            for ranks in 2..=5 {
+                specs.push(portfolio(PortfolioMix::Mixed, ranks));
+            }
+            specs.push(portfolio(PortfolioMix::Baselines, 4));
         }
     }
     specs

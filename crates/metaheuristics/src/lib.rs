@@ -21,11 +21,13 @@
 
 pub mod common;
 pub mod ga;
+pub mod optimizer;
 pub mod sa;
 pub mod tabu;
 
 pub use common::{HeuristicResult, MoveKind};
 pub use ga::{GaConfig, GeneticPlacer};
+pub use optimizer::{EpochWork, GaIsland, Optimizer, SaIsland, TabuIsland};
 pub use sa::{acceptance_probability, SaConfig, SimulatedAnnealingPlacer};
 pub use tabu::{TabuConfig, TabuList, TabuSearchPlacer};
 
@@ -33,6 +35,7 @@ pub use tabu::{TabuConfig, TabuList, TabuSearchPlacer};
 pub mod prelude {
     pub use crate::common::HeuristicResult;
     pub use crate::ga::{GaConfig, GeneticPlacer};
+    pub use crate::optimizer::{EpochWork, GaIsland, Optimizer, SaIsland, TabuIsland};
     pub use crate::sa::{SaConfig, SimulatedAnnealingPlacer};
     pub use crate::tabu::{TabuConfig, TabuSearchPlacer};
 }

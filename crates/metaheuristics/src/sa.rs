@@ -50,6 +50,31 @@ impl SaConfig {
             ..Default::default()
         }
     }
+
+    /// Checks the annealing-schedule invariants: the initial temperature must
+    /// be strictly positive and the geometric cooling factor must lie in the
+    /// open interval (0, 1). A configuration violating either would not
+    /// anneal at all — `exp(−Δ/T)` degenerates and the walk is near-pure
+    /// greedy — so it is rejected here instead of silently masked by the
+    /// ε-clamp in [`acceptance_probability`] (which exists only for the
+    /// legitimate T→0 tail of a *valid* schedule).
+    pub fn validate(&self) -> Result<(), String> {
+        // `is_finite` first so NaN (which fails every comparison) is
+        // rejected too, without tripping over partial-order negation.
+        if !self.initial_temperature.is_finite() || self.initial_temperature <= 0.0 {
+            return Err(format!(
+                "SaConfig: initial_temperature must be > 0, got {}",
+                self.initial_temperature
+            ));
+        }
+        if !self.cooling.is_finite() || self.cooling <= 0.0 || self.cooling >= 1.0 {
+            return Err(format!(
+                "SaConfig: cooling must lie in (0, 1), got {}",
+                self.cooling
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The Metropolis acceptance probability for an energy change `delta` at
@@ -75,7 +100,16 @@ pub struct SimulatedAnnealingPlacer {
 
 impl SimulatedAnnealingPlacer {
     /// Creates a placer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the annealing schedule is invalid (see
+    /// [`SaConfig::validate`]): `initial_temperature ≤ 0` or
+    /// `cooling ∉ (0, 1)`.
     pub fn new(evaluator: CostEvaluator, config: SaConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("{msg}");
+        }
         SimulatedAnnealingPlacer { evaluator, config }
     }
 
@@ -168,6 +202,50 @@ mod tests {
             last = mu;
         }
         assert_eq!(result.mu_history.len(), SaConfig::fast(9).temperature_steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_temperature must be > 0")]
+    fn rejects_non_positive_initial_temperature() {
+        let (eval, _) = setup();
+        let cfg = SaConfig {
+            initial_temperature: 0.0,
+            ..SaConfig::fast(1)
+        };
+        let _ = SimulatedAnnealingPlacer::new(eval, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling must lie in (0, 1)")]
+    fn rejects_cooling_outside_the_open_unit_interval() {
+        let (eval, _) = setup();
+        let cfg = SaConfig {
+            cooling: 1.0,
+            ..SaConfig::fast(1)
+        };
+        let _ = SimulatedAnnealingPlacer::new(eval, cfg);
+    }
+
+    #[test]
+    fn validate_covers_both_rejection_paths_and_accepts_defaults() {
+        assert!(SaConfig::default().validate().is_ok());
+        for bad_t in [0.0, -1.0, f64::NAN] {
+            let cfg = SaConfig {
+                initial_temperature: bad_t,
+                ..SaConfig::default()
+            };
+            assert!(cfg.validate().unwrap_err().contains("initial_temperature"));
+        }
+        for bad_c in [0.0, 1.0, 1.5, -0.2, f64::NAN] {
+            let cfg = SaConfig {
+                cooling: bad_c,
+                ..SaConfig::default()
+            };
+            assert!(cfg.validate().unwrap_err().contains("cooling"));
+        }
+        // The ε-clamp stays: a valid schedule's T→0 tail never divides by 0.
+        assert!(acceptance_probability(0.1, 0.0).is_finite());
+        assert_eq!(acceptance_probability(-0.1, 0.0), 1.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   `tests/golden/` and replayed by the `golden_suite` integration test.
 
 use crate::exec::{ExecBackend, Modeled, Threaded};
+use crate::portfolio::PortfolioMix;
 use crate::report::StrategyOutcome;
 use crate::type2::RowPattern;
 use sime_core::engine::SimEEngine;
@@ -46,13 +47,20 @@ pub enum StrategyKind {
     Type2(RowPattern),
     /// Type III — cooperating parallel searches.
     Type3,
+    /// Island-model optimizer portfolio with the given composition mix.
+    Portfolio(PortfolioMix),
 }
 
 impl StrategyKind {
-    /// The strategies of the standard matrix: Type I, Type II (random
-    /// pattern, the authors' variant), Type III.
-    pub const MATRIX: [StrategyKind; 3] = [
+    /// The strategies of the standard matrix: Type I, Type II in **both**
+    /// row patterns (the fixed Kling & Banerjee pattern and the authors'
+    /// random variant — the paper's Tables 2 and 3 compare them side by
+    /// side, so the matrix must sweep both), and Type III. The portfolio
+    /// strategies are swept separately by the `scenario_matrix` grid — they
+    /// race different optimizers rather than organise one.
+    pub const MATRIX: [StrategyKind; 4] = [
         StrategyKind::Type1,
+        StrategyKind::Type2(RowPattern::Fixed),
         StrategyKind::Type2(RowPattern::Random),
         StrategyKind::Type3,
     ];
@@ -64,6 +72,8 @@ impl StrategyKind {
             StrategyKind::Type2(RowPattern::Fixed) => "type2_fixed",
             StrategyKind::Type2(RowPattern::Random) => "type2_random",
             StrategyKind::Type3 => "type3",
+            StrategyKind::Portfolio(PortfolioMix::Mixed) => "portfolio_mixed",
+            StrategyKind::Portfolio(PortfolioMix::Baselines) => "portfolio_baselines",
         }
     }
 
@@ -74,15 +84,18 @@ impl StrategyKind {
             "type2_fixed" => Some(StrategyKind::Type2(RowPattern::Fixed)),
             "type2_random" => Some(StrategyKind::Type2(RowPattern::Random)),
             "type3" => Some(StrategyKind::Type3),
+            "portfolio_mixed" => Some(StrategyKind::Portfolio(PortfolioMix::Mixed)),
+            "portfolio_baselines" => Some(StrategyKind::Portfolio(PortfolioMix::Baselines)),
             _ => None,
         }
     }
 
     /// The smallest rank count the strategy accepts (Type I needs a master
-    /// and a slave; Type III a store and two workers).
+    /// and a slave; Type III a store and two workers; a portfolio needs two
+    /// islands).
     pub fn min_ranks(self) -> usize {
         match self {
-            StrategyKind::Type1 | StrategyKind::Type2(_) => 2,
+            StrategyKind::Type1 | StrategyKind::Type2(_) | StrategyKind::Portfolio(_) => 2,
             StrategyKind::Type3 => 3,
         }
     }
@@ -644,9 +657,10 @@ pub fn check_goldens(
 /// The pinned golden subset: the scenarios whose fingerprints are checked
 /// into `tests/golden/` and replayed by the `golden_suite` integration test
 /// on every push. Small circuits and short runs — the gate must stay cheap —
-/// but covering all three strategies, both objective mixes and two
-/// extended-tier circuits (the `s9234` entry is additionally replayed with
-/// intra-rank parallelism at 1/2/4 chunks by the golden suite).
+/// but covering all three SimE strategies (Type II in both row patterns),
+/// the island portfolio, both objective mixes and two extended-tier circuits
+/// (the `s9234` entry is additionally replayed with intra-rank parallelism
+/// at 1/2/4 chunks by the golden suite).
 pub fn golden_subset() -> Vec<ScenarioSpec> {
     let wp = Objectives::WirelengthPower;
     let wpd = Objectives::WirelengthPowerDelay;
@@ -688,8 +702,26 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             eval_chunks: 1,
         },
         ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Portfolio(PortfolioMix::Mixed),
+            ranks: 4,
+            iterations: 4,
+            objectives: wp,
+            workers: None,
+            eval_chunks: 1,
+        },
+        ScenarioSpec {
             circuit: "s5378".into(),
             strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 4,
+            iterations: 3,
+            objectives: wp,
+            workers: None,
+            eval_chunks: 1,
+        },
+        ScenarioSpec {
+            circuit: "s5378".into(),
+            strategy: StrategyKind::Type2(RowPattern::Fixed),
             ranks: 4,
             iterations: 3,
             objectives: wp,
@@ -753,10 +785,37 @@ mod tests {
             StrategyKind::Type2(RowPattern::Fixed),
             StrategyKind::Type2(RowPattern::Random),
             StrategyKind::Type3,
+            StrategyKind::Portfolio(PortfolioMix::Mixed),
+            StrategyKind::Portfolio(PortfolioMix::Baselines),
         ] {
             assert_eq!(StrategyKind::from_label(s.label()), Some(s));
         }
         assert_eq!(StrategyKind::from_label("type4"), None);
+        assert_eq!(StrategyKind::from_label("portfolio"), None);
+    }
+
+    #[test]
+    fn matrix_sweeps_both_type2_row_patterns() {
+        assert!(StrategyKind::MATRIX.contains(&StrategyKind::Type2(RowPattern::Fixed)));
+        assert!(StrategyKind::MATRIX.contains(&StrategyKind::Type2(RowPattern::Random)));
+        let mut labels: Vec<_> = StrategyKind::MATRIX.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StrategyKind::MATRIX.len());
+    }
+
+    #[test]
+    fn golden_subset_pins_the_portfolio_and_both_row_patterns() {
+        let subset = golden_subset();
+        assert!(subset
+            .iter()
+            .any(|s| s.strategy == StrategyKind::Portfolio(PortfolioMix::Mixed)));
+        for pattern in [RowPattern::Fixed, RowPattern::Random] {
+            assert!(subset
+                .iter()
+                .any(|s| s.strategy == StrategyKind::Type2(pattern)
+                    && s.objectives == Objectives::WirelengthPower));
+        }
     }
 
     #[test]

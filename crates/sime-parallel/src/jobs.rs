@@ -35,6 +35,7 @@
 use crate::batch::{ScenarioRecord, ScenarioSpec, StrategyKind, TrajectoryFingerprint};
 use crate::control::{FreeRun, RunControl};
 use crate::exec::ExecBackend;
+use crate::portfolio::{run_portfolio_ctl, PortfolioConfig};
 use crate::type1::{run_type1_ctl, Type1Config};
 use crate::type2::{run_type2_ctl, Type2Config};
 use crate::type3::{run_type3_ctl, Type3Config};
@@ -386,6 +387,13 @@ impl JobRunner {
                     iterations: scenario.iterations,
                     retry_threshold: 3,
                 },
+                backend,
+                control,
+            ),
+            StrategyKind::Portfolio(mix) => run_portfolio_ctl(
+                &engine,
+                cluster,
+                PortfolioConfig::scenario(mix, scenario.ranks, scenario.iterations),
                 backend,
                 control,
             ),

@@ -28,6 +28,15 @@
 //!   parallel SA. There is no workload division, so the runtime stays at the
 //!   serial level; the benefit (if any) is solution quality.
 //!
+//! * **Portfolio — island-model optimizer race** ([`portfolio`]): `N`
+//!   islands, each running a *different* optimizer (a serial SimE chain or
+//!   one of the GA/SA/TS baselines from the `metaheuristics` crate), step in
+//!   bulk-synchronous epochs with deterministic ring migration of the best
+//!   solutions and cooperative early stop when a target quality µ is
+//!   reached. This generalises the paper's strategy comparison (Section 7)
+//!   from "which SimE organisation" to "which optimizer" under identical
+//!   cluster modelling. See `DESIGN.md` §7.
+//!
 //! Every strategy runs on an **execution backend** ([`exec`]): the
 //! [`exec::Modeled`] backend executes the per-rank work inline (the virtual
 //! cluster timeline is the only notion of parallel time), the
@@ -65,6 +74,7 @@ pub mod batch;
 pub mod control;
 pub mod exec;
 pub mod jobs;
+pub mod portfolio;
 pub mod report;
 pub mod type1;
 pub mod type2;
@@ -77,6 +87,9 @@ pub use batch::{
 pub use control::{CancelAfter, CancelToken, FreeRun, ObservedRun, RunControl};
 pub use exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, SharedPool, Threaded};
 pub use jobs::{JobError, JobOutcome, JobRunner, JobSpec};
+pub use portfolio::{
+    run_portfolio, run_portfolio_ctl, run_portfolio_on, IslandKind, PortfolioConfig, PortfolioMix,
+};
 pub use report::{modeled_serial_seconds, run_serial_baseline, SerialBaseline, StrategyOutcome};
 pub use type1::{run_type1, run_type1_ctl, run_type1_on, Type1Config};
 pub use type2::{run_type2, run_type2_ctl, run_type2_on, RowPattern, Type2Config};
@@ -93,6 +106,10 @@ pub mod prelude {
         backend_from_name, backend_from_spec, ExecBackend, Modeled, SharedPool, Threaded,
     };
     pub use crate::jobs::{JobError, JobOutcome, JobRunner, JobSpec};
+    pub use crate::portfolio::{
+        run_portfolio, run_portfolio_ctl, run_portfolio_on, IslandKind, PortfolioConfig,
+        PortfolioMix,
+    };
     pub use crate::report::{run_serial_baseline, SerialBaseline, StrategyOutcome};
     pub use crate::type1::{run_type1, run_type1_ctl, run_type1_on, Type1Config};
     pub use crate::type2::{run_type2, run_type2_ctl, run_type2_on, RowPattern, Type2Config};

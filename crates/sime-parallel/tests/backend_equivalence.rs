@@ -185,6 +185,29 @@ proptest! {
         );
     }
 
+    /// The island portfolio honours the same contract as the SimE
+    /// strategies: Modeled and Threaded (any worker count) walk bitwise-
+    /// identical trajectories for both composition mixes, ring migration
+    /// included.
+    #[test]
+    fn portfolio_modeled_and_threaded_trajectories_match(
+        (netlist, seed) in arb_netlist(),
+        iterations in 2usize..4,
+        workers in 1usize..5,
+        baselines_only in any::<bool>(),
+    ) {
+        let engine = engine_for(netlist, seed, iterations);
+        let ranks = 4;
+        let cluster = ClusterConfig::paper_cluster(ranks);
+        let mix = if baselines_only { PortfolioMix::Baselines } else { PortfolioMix::Mixed };
+        let cfg = PortfolioConfig { ranks, iterations, migration_interval: 2, target_mu: None, mix };
+        assert_bitwise_equal(
+            &run_portfolio(&engine, cluster, cfg),
+            &run_portfolio_on(&engine, cluster, cfg, &Threaded::new(workers)),
+            &format!("portfolio {mix:?} workers={workers}"),
+        );
+    }
+
     /// The fused-epoch execution path (persistent worker lanes, wave-prepared
     /// windowed allocation, fanned net-length refresh) is bitwise identical
     /// to the pre-fusion serial trajectory for a *random* point of the whole
@@ -309,6 +332,107 @@ fn threaded_rerun_determinism_at_1_2_and_4_workers() {
             &reference3,
             &first3,
             &format!("type3 across worker counts, workers={workers}"),
+        );
+    }
+}
+
+/// Portfolio determinism at fixed seeds: the worker count is a pure
+/// wall-clock knob (1/2/4 OS workers reproduce the Modeled bits), and two
+/// migration-interval settings that fire on the same epoch boundaries (here:
+/// none — both beyond the horizon) replay bitwise identically.
+#[test]
+fn portfolio_worker_counts_and_equivalent_migration_intervals_are_wall_clock_knobs() {
+    let netlist = Arc::new(
+        CircuitGenerator::new(GeneratorConfig::sized("beq_portfolio", 561, 11)).generate(),
+    );
+    let iterations = 4;
+    let engine = engine_for(netlist, 11, iterations);
+    let ranks = 4;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+    let base = PortfolioConfig {
+        ranks,
+        iterations,
+        migration_interval: 2,
+        target_mu: None,
+        mix: PortfolioMix::Mixed,
+    };
+
+    let reference = run_portfolio(&engine, cluster, base);
+    for workers in [1, 2, 4] {
+        let threaded = run_portfolio_on(&engine, cluster, base, &Threaded::new(workers));
+        assert_bitwise_equal(
+            &reference,
+            &threaded,
+            &format!("portfolio workers={workers}"),
+        );
+    }
+
+    // Intervals 5 and 97 both fire on no boundary of a 4-epoch run.
+    let a = run_portfolio(
+        &engine,
+        cluster,
+        PortfolioConfig {
+            migration_interval: 5,
+            ..base
+        },
+    );
+    let b = run_portfolio(
+        &engine,
+        cluster,
+        PortfolioConfig {
+            migration_interval: 97,
+            ..base
+        },
+    );
+    assert_bitwise_equal(&a, &b, "portfolio migration intervals 5 vs 97");
+}
+
+/// The acceptance scenario of the portfolio work: a 4-island mixed portfolio
+/// (SimE + GA + SA + TS) on the extended-tier s9234 circuit reaches a
+/// configured target µ, stops early at that epoch boundary, replays bitwise
+/// across Modeled and Threaded(1/2/4), and the raced trajectory is a prefix
+/// of the free run's.
+#[test]
+fn portfolio_reaches_target_mu_on_s9234_identically_across_backends() {
+    use vlsi_netlist::bench_suite::SuiteCircuit;
+    let circuit = SuiteCircuit::from_name("s9234").expect("suite circuit");
+    let netlist = Arc::new(circuit.generate());
+    let iterations = 2;
+    let config =
+        SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iterations);
+    let engine = SimEEngine::new(netlist, config);
+    let ranks = 4;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+    let free_cfg = PortfolioConfig {
+        ranks,
+        iterations,
+        migration_interval: 2,
+        target_mu: None,
+        mix: PortfolioMix::Mixed,
+    };
+
+    let free = run_portfolio(&engine, cluster, free_cfg);
+    assert_eq!(free.iterations, iterations);
+
+    // Target the quality the free run reached after its first epoch: the
+    // raced portfolio must stop right there.
+    let raced_cfg = PortfolioConfig {
+        target_mu: Some(free.mu_history[0]),
+        ..free_cfg
+    };
+    let raced = run_portfolio(&engine, cluster, raced_cfg);
+    assert_eq!(raced.iterations, 1, "target µ must stop the run early");
+    assert!(raced.best_cost.mu >= free.mu_history[0]);
+    for (i, (a, b)) in raced.mu_history.iter().zip(&free.mu_history).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "prefix diverges at epoch {i}");
+    }
+
+    for workers in [1, 2, 4] {
+        let threaded = run_portfolio_on(&engine, cluster, raced_cfg, &Threaded::new(workers));
+        assert_bitwise_equal(
+            &raced,
+            &threaded,
+            &format!("s9234 raced portfolio workers={workers}"),
         );
     }
 }

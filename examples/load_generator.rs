@@ -63,7 +63,14 @@ fn parse_args() -> Args {
     args
 }
 
+/// Nearest-rank percentile over an ascending latency slice. An empty slice
+/// reports 0.0 instead of panicking: a run where no job completed (e.g. the
+/// server rejected everything at admission) must still render its report
+/// rather than die on the summary line.
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
     let idx = ((q / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
@@ -208,4 +215,25 @@ fn main() {
         args.jobs as f64 / wall.max(1e-9),
         args.out
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_of_an_empty_slice_is_zero_not_a_panic() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_picks_the_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 50.0), 3.0);
+        assert_eq!(percentile(&sorted, 100.0), 5.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
 }

@@ -173,6 +173,74 @@ fn pruned_allocation_replays_bitwise_at_stress_worker_counts() {
     }
 }
 
+/// The island portfolio under the stress grid: a mixed 4-island race (SimE +
+/// GA + SA + TS, ring migration every second epoch) replayed across the
+/// pruned worker/chunk grid — including the oversubscribed (8,7) cell — must
+/// reproduce the Modeled trajectory bitwise. (The blessed portfolio golden
+/// additionally rides the `goldens_replay_bitwise_across_the_worker_chunk_
+/// stress_grid` sweep above; this test keeps explicit coverage even if the
+/// golden set changes.)
+#[test]
+fn portfolio_replays_bitwise_across_the_stress_grid() {
+    use cluster_sim::timeline::ClusterConfig;
+    use sime_core::engine::{SimEConfig, SimEEngine};
+    use sime_parallel::exec::Threaded;
+    use sime_parallel::prelude::*;
+    use vlsi_netlist::bench_suite::SuiteCircuit;
+    use vlsi_place::cost::Objectives;
+
+    let circuit = SuiteCircuit::from_name("s1196").expect("suite circuit");
+    let netlist = Arc::new(circuit.generate());
+    let iterations = 4;
+    let config =
+        SimEConfig::paper_defaults(Objectives::WirelengthPower, circuit.num_rows(), iterations);
+    let engine = SimEEngine::new(netlist, config);
+    let ranks = 4;
+    let cluster = ClusterConfig::paper_cluster(ranks);
+    let cfg = PortfolioConfig {
+        ranks,
+        iterations,
+        migration_interval: 2,
+        target_mu: None,
+        mix: PortfolioMix::Mixed,
+    };
+
+    let reference = run_portfolio(&engine, cluster, cfg);
+    assert_eq!(reference.iterations, iterations);
+    for (workers, chunks) in stress_grid() {
+        let outcome = run_portfolio_on(
+            &engine,
+            cluster,
+            cfg,
+            &Threaded::new(workers).with_eval_chunks(chunks),
+        );
+        for (i, (a, b)) in reference
+            .mu_history
+            .iter()
+            .zip(&outcome.mu_history)
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "portfolio trajectory diverged at epoch {i}, threaded({workers},ev{chunks})"
+            );
+        }
+        assert_eq!(
+            reference.best_cost.mu.to_bits(),
+            outcome.best_cost.mu.to_bits(),
+            "threaded({workers},ev{chunks})"
+        );
+        for row in 0..reference.best_placement.num_rows() {
+            assert_eq!(
+                reference.best_placement.row(row),
+                outcome.best_placement.row(row),
+                "best placement differs in row {row}, threaded({workers},ev{chunks})"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Random epoch schedules against the inline oracle.
 // ---------------------------------------------------------------------------
