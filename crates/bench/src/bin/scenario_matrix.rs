@@ -17,10 +17,15 @@
 //! * `--quick` (default) — the 5 paper circuits plus the two smallest
 //!   extended circuits (`s5378`, `s9234`), the 4 matrix strategies plus the
 //!   portfolio sweep, Modeled + Threaded{1,2,4}, wirelength+power everywhere
-//!   plus the three-objective mix on the paper tier. Completes in a couple
-//!   of minutes and is the grid CI archives on every push.
-//! * `--full` — all nine suite circuits, both objective mixes everywhere and
-//!   a longer iteration budget.
+//!   plus the three-objective mix on the paper tier. Two probe cells ride
+//!   along: a mixed-size cell (`mix600`, fixed pads + multi-row macros) and
+//!   a warm-start cell (`s1196` replayed from the builtin round-robin `.pl`
+//!   layout). Completes in a couple of minutes and is the grid CI archives
+//!   on every push.
+//! * `--full` — every suite circuit including the mixed-size tier, both
+//!   objective mixes everywhere and a longer iteration budget. Mixed-size
+//!   circuits skip the portfolio cells (the metaheuristic islands do not
+//!   support fixed cells).
 //! * `--circuits` — comma-separated override of the circuit axis.
 //! * `--iterations` — override of the per-cell iteration budget.
 //! * `--workers` — comma-separated Threaded worker counts (default `1,2,4`).
@@ -43,7 +48,7 @@ use sime_parallel::batch::{
 use sime_parallel::portfolio::PortfolioMix;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use vlsi_netlist::bench_suite::{ExtendedCircuit, PaperCircuit, SuiteCircuit};
+use vlsi_netlist::bench_suite::{ExtendedCircuit, MixedCircuit, PaperCircuit, SuiteCircuit};
 use vlsi_place::cost::Objectives;
 
 /// The worker-count axis parsed from `--workers`. A malformed or zero
@@ -98,6 +103,7 @@ fn circuit_axis(arg: Option<String>, full: bool) -> Vec<SuiteCircuit> {
                 .copied()
                 .map(SuiteCircuit::Extended),
         );
+        axis.extend(MixedCircuit::ALL.iter().copied().map(SuiteCircuit::Mixed));
     } else {
         axis.push(SuiteCircuit::Extended(ExtendedCircuit::S5378));
         axis.push(SuiteCircuit::Extended(ExtendedCircuit::S9234));
@@ -111,18 +117,20 @@ fn build_grid(
     circuits: &[SuiteCircuit],
     iterations: Option<usize>,
     full: bool,
+    probes: bool,
 ) -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     for &circuit in circuits {
-        // Extended circuits get a smaller default budget: one cell of the
-        // matrix is a smoke-scale probe, not a convergence run.
-        let iters = iterations.unwrap_or(match (full, circuit.is_extended()) {
+        // Extended and mixed-size circuits get a smaller default budget: one
+        // cell of the matrix is a smoke-scale probe, not a convergence run.
+        let small_tier = circuit.is_extended() || circuit.is_mixed();
+        let iters = iterations.unwrap_or(match (full, small_tier) {
             (false, false) => 6,
             (false, true) => 4,
             (true, false) => 12,
             (true, true) => 8,
         });
-        let objective_axis: &[Objectives] = if full || !circuit.is_extended() {
+        let objective_axis: &[Objectives] = if full || !small_tier {
             &[
                 Objectives::WirelengthPower,
                 Objectives::WirelengthPowerDelay,
@@ -140,6 +148,7 @@ fn build_grid(
                     objectives,
                     workers: None,
                     eval_chunks: 1,
+                    warm_start: None,
                 });
             }
         }
@@ -147,7 +156,13 @@ fn build_grid(
         // composition cycles through the mix) on the paper tier, plus the
         // baselines-only composition at the standard rank count; extended
         // circuits get one probe per composition. WirelengthPower only —
-        // the race varies the optimizer, not the objective mix.
+        // the race varies the optimizer, not the objective mix. Mixed-size
+        // circuits get no portfolio cells at all: the GA/SA/TS islands
+        // relocate arbitrary cells, and the job runner rejects them on
+        // fixed-cell circuits (`fixed_cells_unsupported`).
+        if circuit.is_mixed() {
+            continue;
+        }
         let portfolio = |mix: PortfolioMix, ranks: usize| ScenarioSpec {
             circuit: circuit.name().to_string(),
             strategy: StrategyKind::Portfolio(mix),
@@ -156,6 +171,7 @@ fn build_grid(
             objectives: Objectives::WirelengthPower,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         };
         if circuit.is_extended() {
             specs.push(portfolio(PortfolioMix::Mixed, 4));
@@ -165,6 +181,38 @@ fn build_grid(
                 specs.push(portfolio(PortfolioMix::Mixed, ranks));
             }
             specs.push(portfolio(PortfolioMix::Baselines, 4));
+        }
+    }
+    if probes {
+        // Two probes that ride every default grid (quick included) beyond
+        // the plain circuit × strategy product: a mixed-size cell that puts
+        // the blocked-span allocator and the fixed-cell frozen mask on the
+        // per-push determinism sweep, and a warm-start cell replayed from
+        // the builtin round-robin `.pl` layout so the Bookshelf interchange
+        // path is exercised on every run. Both literals mirror the pinned
+        // entries in `golden_subset()` (same ids), so `--check tests/golden`
+        // compares them against the registry instead of skipping them.
+        let probe = |circuit: &str, strategy, iterations, warm_start| ScenarioSpec {
+            circuit: circuit.to_string(),
+            strategy,
+            ranks: 3,
+            iterations,
+            objectives: Objectives::WirelengthPower,
+            workers: None,
+            eval_chunks: 1,
+            warm_start,
+        };
+        let mixed = probe(
+            "mix600",
+            StrategyKind::Type2(sime_parallel::RowPattern::Random),
+            4,
+            None,
+        );
+        let warm = probe("s1196", StrategyKind::Type1, 5, Some("rr".to_string()));
+        for cell in [mixed, warm] {
+            if !specs.iter().any(|s| s.id() == cell.id()) {
+                specs.push(cell);
+            }
         }
     }
     specs
@@ -371,14 +419,20 @@ fn main() {
         let specs = if flag("--golden-subset") {
             golden_subset()
         } else {
-            build_grid(&circuit_axis(value("--circuits"), full), iterations, full)
+            let probes = value("--circuits").is_none();
+            build_grid(
+                &circuit_axis(value("--circuits"), full),
+                iterations,
+                full,
+                probes,
+            )
         };
         bless(&PathBuf::from(dir), &mut driver, &specs);
         return;
     }
 
     let circuits = circuit_axis(value("--circuits"), full);
-    let mut grid = build_grid(&circuits, iterations, full);
+    let mut grid = build_grid(&circuits, iterations, full, value("--circuits").is_none());
     if value("--circuits").is_none() {
         // Fold the pinned golden subset into the grid so `--check
         // tests/golden` always has cells to compare against the registry.

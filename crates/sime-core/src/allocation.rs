@@ -691,13 +691,14 @@ fn windowed_candidates(
             // Binary search over the row's insertion boundaries. Boundary i
             // is cell i's exact left edge (`x_of - width/2`, an exact
             // integer equal to the legacy cumulative-width sum), boundary
-            // `len` the row's total width; boundaries are non-decreasing, so
+            // `len` the row's right extent (which accounts for gaps forced
+            // by blocked macro spans); boundaries are non-decreasing, so
             // `partition_point` finds the first boundary ≥ opt_x and the
             // winner is that boundary or its left neighbour — ties and
             // bit-equal plateaus (zero-width cells) resolve to the smallest
             // index, exactly the legacy scan's first-wins rule.
             let left_edge = |c: CellId| placement.x_of(c) - netlist.cell(c).width as f64 / 2.0;
-            let end_edge = placement.row_width(row) as f64;
+            let end_edge = placement.row_extent(row);
             let boundary = |i: usize| {
                 if i < len {
                     left_edge(cells_in_row[i])
@@ -729,19 +730,21 @@ fn windowed_candidates(
             }
             best
         } else {
-            // Legacy: linear scan over the row's cumulative widths.
+            // Legacy: linear scan over the row's insertion boundaries. Each
+            // cell's cached left edge equals the old cumulative-width sum on
+            // gap-free rows bit for bit, and — unlike a running sum — stays
+            // correct when blocked macro spans force packing gaps.
             let mut best_index = len;
             let mut best_dist = f64::INFINITY;
-            let mut x = 0.0;
             for (i, &c) in cells_in_row.iter().enumerate() {
+                let x = placement.x_of(c) - netlist.cell(c).width as f64 / 2.0;
                 let d = (x - opt_x).abs();
                 if d < best_dist {
                     best_dist = d;
                     best_index = i;
                 }
-                x += netlist.cell(c).width as f64;
             }
-            if (x - opt_x).abs() < best_dist {
+            if (placement.row_extent(row) - opt_x).abs() < best_dist {
                 best_index = len;
             }
             best_index
@@ -1373,6 +1376,91 @@ mod tests {
                         "{objectives:?}/{strategy:?}: pruning must be bitwise invisible"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_span_allocation_matches_exhaustive_oracle() {
+        // Mixed-size differential: on a circuit with fixed pads and
+        // multi-row macros (blocked spans in several rows) the bound-pruned
+        // windowed scan must pick the same slots, produce the same nominal
+        // work counts and leave the same placement as the exhaustive
+        // full-scan oracle — and neither may ever move a fixed cell.
+        use vlsi_netlist::generator::MixedSizeSpec;
+        let nl = Arc::new(
+            CircuitGenerator::new(
+                GeneratorConfig::sized("alloc_blocked_test", 220, 23).with_mixed(MixedSizeSpec {
+                    num_macros: 3,
+                    macro_height: 3,
+                    pad_ring: true,
+                }),
+            )
+            .generate(),
+        );
+        assert!(nl.has_fixed_cells());
+        for objectives in [
+            Objectives::WirelengthPower,
+            Objectives::WirelengthPowerDelay,
+        ] {
+            let eval = CostEvaluator::new(Arc::clone(&nl), objectives);
+            let ge = GoodnessEvaluator::new(eval.clone());
+            let placement = Placement::round_robin(&nl, 9);
+            assert!(
+                (0..9).any(|r| !placement.blocked_spans(r).is_empty()),
+                "the macro layout must actually block spans"
+            );
+            let goodness = ge.all_goodness(&placement);
+            for strategy in [
+                AllocationStrategy::WindowedBestFit,
+                AllocationStrategy::SortedBestFit,
+                AllocationStrategy::RandomWindow,
+            ] {
+                let run = |bound_pruning: bool| {
+                    let mut p = placement.clone();
+                    let mut selected: Vec<CellId> = nl
+                        .cell_ids()
+                        .filter(|&c| !nl.cell(c).fixed)
+                        .take(80)
+                        .collect();
+                    let mut rng = ChaCha8Rng::seed_from_u64(23);
+                    let stats = allocate_all(
+                        &eval,
+                        &mut AllocScratch::for_evaluator(&eval),
+                        &mut p,
+                        &mut selected,
+                        &goodness,
+                        &AllocationConfig {
+                            strategy,
+                            bound_pruning,
+                            ..Default::default()
+                        },
+                        &[],
+                        &mut rng,
+                    );
+                    (stats, p)
+                };
+                let (oracle_stats, oracle_placement) = run(false);
+                let (pruned_stats, pruned_placement) = run(true);
+                assert_eq!(
+                    oracle_stats, pruned_stats,
+                    "{objectives:?}/{strategy:?}: nominal work counts must not change"
+                );
+                for row in 0..oracle_placement.num_rows() {
+                    assert_eq!(
+                        oracle_placement.row(row),
+                        pruned_placement.row(row),
+                        "{objectives:?}/{strategy:?}: pruning must be bitwise invisible"
+                    );
+                }
+                for c in nl.cell_ids().filter(|&c| nl.cell(c).fixed) {
+                    assert_eq!(
+                        pruned_placement.x_of(c).to_bits(),
+                        placement.x_of(c).to_bits(),
+                        "{objectives:?}/{strategy:?}: fixed cell moved"
+                    );
+                }
+                pruned_placement.validate(&nl).unwrap();
             }
         }
     }

@@ -75,6 +75,9 @@ pub struct SimEScratch {
     /// Cells recomputed through the incremental goodness path (telemetry for
     /// differential tests; the full rebuilds are not counted).
     goodness_delta_recomputes: u64,
+    /// Reused merge buffer for the caller's `frozen` mask and the engine's
+    /// fixed-cell mask (mixed-size circuits only; stays empty otherwise).
+    frozen_merge: Vec<bool>,
 }
 
 impl SimEScratch {
@@ -93,6 +96,7 @@ impl SimEScratch {
             cell_stamp: Vec::new(),
             cell_stamp_cur: 0,
             goodness_delta_recomputes: 0,
+            frozen_merge: Vec::new(),
         }
     }
 
@@ -250,6 +254,13 @@ pub struct SimEEngine {
     config: SimEConfig,
     /// Total pin count, used as the goodness-evaluation work estimate.
     pins: u64,
+    /// Per-cell fixed mask, `true` for pads and macros that Selection must
+    /// never pick. Empty when the netlist has no fixed cells, so the
+    /// fixed-free path (including its RNG stream) is bitwise unchanged.
+    fixed_frozen: Vec<bool>,
+    /// Warm-start placement: when set, [`SimEEngine::initial_placement`]
+    /// returns a clone of it instead of drawing a random deal.
+    initial: Option<Arc<Placement>>,
 }
 
 impl SimEEngine {
@@ -311,12 +322,30 @@ impl SimEEngine {
     pub fn from_evaluator(evaluator: CostEvaluator, config: SimEConfig) -> Self {
         let pins = evaluator.netlist().stats().pins as u64;
         let goodness = GoodnessEvaluator::new(evaluator.clone());
+        let netlist = evaluator.netlist();
+        let fixed_frozen = if netlist.has_fixed_cells() {
+            netlist.cells().iter().map(|c| c.fixed).collect()
+        } else {
+            Vec::new()
+        };
         SimEEngine {
             evaluator,
             goodness,
             config,
             pins,
+            fixed_frozen,
+            initial: None,
         }
+    }
+
+    /// Installs a warm-start placement: [`SimEEngine::initial_placement`]
+    /// (and through it [`SimEEngine::run`] and every strategy driver) will
+    /// start from a clone of `initial` instead of a random deal, without
+    /// consuming any randomness for the initial placement.
+    #[must_use]
+    pub fn with_initial(mut self, initial: Arc<Placement>) -> Self {
+        self.initial = Some(initial);
+        self
     }
 
     /// The cost evaluator.
@@ -334,9 +363,14 @@ impl SimEEngine {
         &self.config
     }
 
-    /// Generates the random initial placement `Φ_initial`.
+    /// Generates the initial placement `Φ_initial`: a clone of the installed
+    /// warm-start placement when [`SimEEngine::with_initial`] was called
+    /// (consuming no randomness), otherwise a random deal drawn from `rng`.
     pub fn initial_placement<R: Rng + ?Sized>(&self, rng: &mut R) -> Placement {
-        Placement::random(self.evaluator.netlist(), self.config.num_rows, rng)
+        match &self.initial {
+            Some(p) => Placement::clone(p),
+            None => Placement::random(self.evaluator.netlist(), self.config.num_rows, rng),
+        }
     }
 
     /// Creates the per-worker scratch space used by [`SimEEngine::iterate`]
@@ -810,6 +844,20 @@ impl SimEEngine {
         ctx: &EvalContext<'_>,
     ) -> (usize, AllocationStats) {
         let t0 = Instant::now();
+        // Fixed cells (pads, macros) must never enter the selection set. The
+        // mask is empty on fixed-free circuits, so that path — including its
+        // RNG stream — is bitwise identical to the pre-mixed-size engine.
+        let frozen = if self.fixed_frozen.is_empty() {
+            frozen
+        } else if frozen.is_empty() {
+            &self.fixed_frozen
+        } else {
+            scratch.frozen_merge.clear();
+            scratch
+                .frozen_merge
+                .extend(frozen.iter().zip(&self.fixed_frozen).map(|(&a, &b)| a || b));
+            &scratch.frozen_merge
+        };
         let mut selected = select(&scratch.goodness, self.config.selection, rng, frozen);
         profile.add_time(Phase::Selection, t0.elapsed());
 

@@ -142,6 +142,12 @@ pub struct ScenarioSpec {
     /// change nothing but wall-clock, and the golden suite checks exactly
     /// that promise.
     pub eval_chunks: usize,
+    /// Warm-start tag: `None` starts from the usual random deal, `Some(tag)`
+    /// starts from a named `.pl` placement resolved by the job runner (the
+    /// builtin `"rr"` round-robin layout, or a placement registered with
+    /// [`crate::jobs::JobRunner::register_placement`]). Part of the scenario
+    /// identity — a warm-started trajectory is a different trajectory.
+    pub warm_start: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -149,14 +155,18 @@ impl ScenarioSpec {
     /// (worker count *and* intra-rank chunk count). Used as the golden-file
     /// stem and the JSON record key.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}.{}.r{}.i{}.{}",
             self.circuit,
             self.strategy.label(),
             self.ranks,
             self.iterations,
             objectives_tag(self.objectives)
-        )
+        );
+        if let Some(tag) = &self.warm_start {
+            id.push_str(&format!(".warm-{tag}"));
+        }
+        id
     }
 
     /// The backend this spec asks for.
@@ -281,6 +291,9 @@ impl TrajectoryFingerprint {
         out.push_str(&format!("ranks {}\n", spec.ranks));
         out.push_str(&format!("iterations {}\n", spec.iterations));
         out.push_str(&format!("objectives {}\n", objectives_tag(spec.objectives)));
+        if let Some(tag) = &spec.warm_start {
+            out.push_str(&format!("warm_start {tag}\n"));
+        }
         out.push_str(&format!("final_mu_bits {:#018x}\n", self.final_mu_bits));
         out.push_str(&format!(
             "final_wirelength_bits {:#018x}\n",
@@ -364,6 +377,7 @@ impl TrajectoryFingerprint {
         let mut ranks = None;
         let mut iterations = None;
         let mut objectives = None;
+        let mut warm_start = None;
         let mut final_mu_bits = None;
         let mut final_wirelength_bits = None;
         let mut final_power_bits = None;
@@ -412,6 +426,7 @@ impl TrajectoryFingerprint {
                             .ok_or_else(|| ctx(format!("unknown objectives `{rest}`")))?,
                     )
                 }
+                "warm_start" => warm_start = Some(rest.to_string()),
                 "final_mu_bits" => final_mu_bits = Some(parse_u64(rest).map_err(ctx)?),
                 "final_wirelength_bits" => {
                     final_wirelength_bits = Some(parse_u64(rest).map_err(ctx)?)
@@ -446,6 +461,7 @@ impl TrajectoryFingerprint {
             objectives: require("objectives", objectives)?,
             workers: None,
             eval_chunks: 1,
+            warm_start,
         };
         let fingerprint = TrajectoryFingerprint {
             final_mu_bits: require("final_mu_bits", final_mu_bits)?,
@@ -658,9 +674,11 @@ pub fn check_goldens(
 /// into `tests/golden/` and replayed by the `golden_suite` integration test
 /// on every push. Small circuits and short runs — the gate must stay cheap —
 /// but covering all three SimE strategies (Type II in both row patterns),
-/// the island portfolio, both objective mixes and two extended-tier circuits
+/// the island portfolio, both objective mixes, two extended-tier circuits
 /// (the `s9234` entry is additionally replayed with intra-rank parallelism
-/// at 1/2/4 chunks by the golden suite).
+/// at 1/2/4 chunks by the golden suite), one mixed-size circuit with fixed
+/// pads and multi-row macros, and one warm-started run replayed from a
+/// written `.pl` layout.
 pub fn golden_subset() -> Vec<ScenarioSpec> {
     let wp = Objectives::WirelengthPower;
     let wpd = Objectives::WirelengthPowerDelay;
@@ -673,6 +691,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s1196".into(),
@@ -682,6 +701,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s1196".into(),
@@ -691,6 +711,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s1238".into(),
@@ -700,6 +721,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wpd,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s1196".into(),
@@ -709,6 +731,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s5378".into(),
@@ -718,6 +741,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s5378".into(),
@@ -727,6 +751,7 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         },
         ScenarioSpec {
             circuit: "s9234".into(),
@@ -736,6 +761,35 @@ pub fn golden_subset() -> Vec<ScenarioSpec> {
             objectives: wp,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
+        },
+        // Mixed-size golden: fixed pads and multi-row macros, on the Type II
+        // row decomposition so the blocked-span packing and the fixed-cell
+        // frozen mask (merged with the row-ownership mask) are both on the
+        // pinned trajectory.
+        ScenarioSpec {
+            circuit: "mix600".into(),
+            strategy: StrategyKind::Type2(RowPattern::Random),
+            ranks: 3,
+            iterations: 4,
+            objectives: wp,
+            workers: None,
+            eval_chunks: 1,
+            warm_start: None,
+        },
+        // Warm-start golden: replayed from the builtin round-robin layout,
+        // which the runner pushes through the `.pl` writer/parser pipeline —
+        // so the pinned fingerprint also certifies the interchange round
+        // trip.
+        ScenarioSpec {
+            circuit: "s1196".into(),
+            strategy: StrategyKind::Type1,
+            ranks: 3,
+            iterations: 5,
+            objectives: wp,
+            workers: None,
+            eval_chunks: 1,
+            warm_start: Some("rr".into()),
         },
     ]
 }
@@ -767,6 +821,7 @@ mod tests {
             objectives: Objectives::WirelengthPower,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         }
     }
 

@@ -45,9 +45,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use vlsi_netlist::bench_suite::SuiteCircuit;
-use vlsi_netlist::bookshelf::write_bookshelf;
+use vlsi_netlist::bookshelf::{parse_pl, write_bookshelf, write_pl};
 use vlsi_netlist::Netlist;
 use vlsi_place::cost::Objectives;
+use vlsi_place::layout::Placement;
+use vlsi_place::{placement_from_pl, placement_to_pl};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -120,6 +122,21 @@ pub enum JobError {
     /// A Bookshelf registration failed to parse (carries the parser's
     /// message).
     BadBookshelf(String),
+    /// The spec's `warm_start` tag names neither the builtin `rr` layout nor
+    /// a placement registered with [`JobRunner::register_placement`].
+    UnknownWarmStart(String),
+    /// A warm-start `.pl` failed to parse or did not legally place the
+    /// spec's circuit (carries the parser's or converter's message).
+    BadPlacement(String),
+    /// The strategy cannot run on a circuit with fixed cells (the portfolio's
+    /// metaheuristic islands move arbitrary cells and have no notion of a
+    /// pinned pad or macro).
+    FixedCellsUnsupported {
+        /// Strategy label (`"portfolio_mixed"`, ...).
+        strategy: String,
+        /// The mixed-size circuit the spec asked for.
+        circuit: String,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -131,6 +148,13 @@ impl fmt::Display for JobError {
             }
             JobError::NoIterations => write!(f, "iterations must be at least 1"),
             JobError::BadBookshelf(msg) => write!(f, "bookshelf parse failed: {msg}"),
+            JobError::UnknownWarmStart(tag) => write!(f, "unknown warm-start placement `{tag}`"),
+            JobError::BadPlacement(msg) => write!(f, "warm-start placement rejected: {msg}"),
+            JobError::FixedCellsUnsupported { strategy, circuit } => write!(
+                f,
+                "{strategy} cannot run on `{circuit}`: its metaheuristic islands \
+                 do not support fixed cells"
+            ),
         }
     }
 }
@@ -145,6 +169,9 @@ impl JobError {
             JobError::TooFewRanks { .. } => "too_few_ranks",
             JobError::NoIterations => "no_iterations",
             JobError::BadBookshelf(_) => "bad_bookshelf",
+            JobError::UnknownWarmStart(_) => "unknown_warm_start",
+            JobError::BadPlacement(_) => "bad_placement",
+            JobError::FixedCellsUnsupported { .. } => "fixed_cells_unsupported",
         }
     }
 }
@@ -203,15 +230,37 @@ struct Caches {
     digests: HashMap<String, u64>,
     /// digest → parsed netlist (the content-addressed store).
     circuits: HashMap<u64, Arc<Netlist>>,
+    /// warm-start tag → Bookshelf `.pl` text (resolved per job against the
+    /// job's circuit; the text, not a `Placement`, is the stored form so one
+    /// registration can warm any compatible circuit and the digest covers
+    /// exactly what the interchange round-trip preserves).
+    placements: HashMap<String, String>,
 }
+
+/// Engine-cache key: `(circuit digest, objectives, seed, warm-start
+/// digest)`; the warm digest is [`pl_digest`] of the resolved `.pl` text,
+/// `0` for a cold start.
+type EngineKey = (u64, Objectives, u64, u64);
 
 /// Thread-safe job engine: shared, concurrent session state for placement
 /// jobs. See the [module docs](self) for the cache design.
 #[derive(Default)]
 pub struct JobRunner {
     caches: Mutex<Caches>,
-    engines: Mutex<HashMap<(u64, Objectives, u64), Arc<SimEEngine>>>,
+    engines: Mutex<HashMap<EngineKey, Arc<SimEEngine>>>,
     stats: Mutex<RunnerStats>,
+}
+
+/// Content digest of a warm-start placement: FNV-1a over its Bookshelf `.pl`
+/// text, clamped away from `0` — the engine-cache key reserves `0` for "no
+/// warm start".
+pub fn pl_digest(pl_text: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in pl_text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash.max(1)
 }
 
 impl JobRunner {
@@ -240,6 +289,48 @@ impl JobRunner {
         let name = netlist.name().to_string();
         let digest = self.register_netlist(Arc::new(netlist));
         Ok((name, digest))
+    }
+
+    /// Registers a Bookshelf `.pl` placement under a warm-start tag. The
+    /// text is validated lazily, per job, against the job's circuit — one
+    /// registration can warm any circuit whose cell names it covers. Returns
+    /// the [`pl_digest`] of the text. Re-registering a tag re-points it.
+    pub fn register_placement(&self, tag: &str, pl_text: &str) -> u64 {
+        let mut caches = self.caches.lock().unwrap();
+        caches
+            .placements
+            .insert(tag.to_string(), pl_text.to_string());
+        pl_digest(pl_text)
+    }
+
+    /// Resolves a warm-start tag for `netlist` into `(placement, .pl text)`.
+    ///
+    /// The builtin tag `"rr"` synthesizes the deterministic round-robin
+    /// layout and pushes it through the same `.pl` writer/parser pipeline a
+    /// registered placement takes, so every warm start — builtin or client-
+    /// supplied — exercises the interchange round trip. Any other tag must
+    /// have been registered with [`JobRunner::register_placement`].
+    fn warm_placement(
+        &self,
+        tag: &str,
+        netlist: &Arc<Netlist>,
+        num_rows: usize,
+    ) -> Result<(Arc<Placement>, u64), JobError> {
+        let pl_text = if tag == "rr" {
+            let rr = Placement::round_robin(netlist, num_rows);
+            write_pl(&placement_to_pl(netlist, &rr))
+        } else {
+            let caches = self.caches.lock().unwrap();
+            caches
+                .placements
+                .get(tag)
+                .cloned()
+                .ok_or_else(|| JobError::UnknownWarmStart(tag.to_string()))?
+        };
+        let entries = parse_pl(&pl_text).map_err(|e| JobError::BadPlacement(e.to_string()))?;
+        let placement = placement_from_pl(netlist, num_rows, &entries)
+            .map_err(|e| JobError::BadPlacement(e.to_string()))?;
+        Ok((Arc::new(placement), pl_digest(&pl_text)))
     }
 
     /// The netlist for `name`, generating and caching the suite circuit on
@@ -273,12 +364,14 @@ impl JobRunner {
         num_rows: usize,
         objectives: Objectives,
         seed: Option<u64>,
+        warm: Option<(Arc<Placement>, u64)>,
     ) -> Arc<SimEEngine> {
         // The default seed must match the batch path's engine config so
         // default-seed jobs fingerprint identically to BatchDriver cells.
         let base_config = SimEConfig::paper_defaults(objectives, num_rows, 1);
         let seed = seed.unwrap_or(base_config.seed);
-        let key = (digest, objectives, seed);
+        let warm_digest = warm.as_ref().map_or(0, |(_, d)| *d);
+        let key = (digest, objectives, seed, warm_digest);
         let mut engines = self.engines.lock().unwrap();
         if let Some(engine) = engines.get(&key) {
             self.stats.lock().unwrap().engine_hits += 1;
@@ -288,13 +381,14 @@ impl JobRunner {
             seed,
             ..base_config
         };
-        // A cached sibling (same circuit + objectives, any seed) already paid
-        // for calibration; its evaluator is seed-independent by construction.
+        // A cached sibling (same circuit + objectives, any seed or warm
+        // start) already paid for calibration; its evaluator is seed- and
+        // start-independent by construction.
         let sibling = engines
             .iter()
-            .find(|((d, o, _), _)| *d == digest && *o == objectives)
+            .find(|((d, o, _, _), _)| *d == digest && *o == objectives)
             .map(|(_, engine)| Arc::clone(engine));
-        let engine = Arc::new(match sibling {
+        let mut engine = match sibling {
             Some(base) => {
                 self.stats.lock().unwrap().engines_reseeded += 1;
                 SimEEngine::from_evaluator(base.evaluator().clone(), config)
@@ -303,7 +397,11 @@ impl JobRunner {
                 self.stats.lock().unwrap().engines_calibrated += 1;
                 SimEEngine::new(Arc::clone(netlist), config)
             }
-        });
+        };
+        if let Some((placement, _)) = warm {
+            engine = engine.with_initial(placement);
+        }
+        let engine = Arc::new(engine);
         engines.insert(key, Arc::clone(&engine));
         engine
     }
@@ -318,11 +416,28 @@ impl JobRunner {
         objectives: Objectives,
         seed: Option<u64>,
     ) -> Result<Arc<SimEEngine>, JobError> {
+        self.engine_for_warm(circuit, objectives, seed, None)
+    }
+
+    /// [`JobRunner::engine_for`] with a warm-start tag: the returned engine
+    /// starts every run from the resolved `.pl` placement instead of a
+    /// random deal. Cached separately per warm-start content digest.
+    pub fn engine_for_warm(
+        &self,
+        circuit: &str,
+        objectives: Objectives,
+        seed: Option<u64>,
+        warm_start: Option<&str>,
+    ) -> Result<Arc<SimEEngine>, JobError> {
         let (netlist, digest) = self.netlist(circuit)?;
         let num_rows = SuiteCircuit::from_name(circuit)
             .ok_or_else(|| JobError::UnknownCircuit(circuit.to_string()))?
             .num_rows();
-        Ok(self.engine(&netlist, digest, num_rows, objectives, seed))
+        let warm = match warm_start {
+            None => None,
+            Some(tag) => Some(self.warm_placement(tag, &netlist, num_rows)?),
+        };
+        Ok(self.engine(&netlist, digest, num_rows, objectives, seed, warm))
     }
 
     /// Validates a scenario against the strategy invariants the drivers
@@ -354,8 +469,21 @@ impl JobRunner {
     ) -> Result<JobOutcome, JobError> {
         let scenario = &spec.scenario;
         Self::validate(scenario)?;
-        let (_, digest) = self.netlist(&scenario.circuit)?;
-        let engine = self.engine_for(&scenario.circuit, scenario.objectives, spec.seed)?;
+        let (netlist, digest) = self.netlist(&scenario.circuit)?;
+        if netlist.has_fixed_cells() {
+            if let StrategyKind::Portfolio(_) = scenario.strategy {
+                return Err(JobError::FixedCellsUnsupported {
+                    strategy: scenario.strategy.label().to_string(),
+                    circuit: scenario.circuit.clone(),
+                });
+            }
+        }
+        let engine = self.engine_for_warm(
+            &scenario.circuit,
+            scenario.objectives,
+            spec.seed,
+            scenario.warm_start.as_deref(),
+        )?;
         let cluster = ClusterConfig::paper_cluster(scenario.ranks);
         let outcome = match scenario.strategy {
             StrategyKind::Type1 => run_type1_ctl(
@@ -448,6 +576,7 @@ mod tests {
             objectives: Objectives::WirelengthPower,
             workers: None,
             eval_chunks: 1,
+            warm_start: None,
         }
     }
 
@@ -559,6 +688,76 @@ mod tests {
         );
         // The runner survives every rejection.
         assert!(runner.run_scenario(&small_spec()).is_ok());
+    }
+
+    #[test]
+    fn warm_started_jobs_replay_registered_pl_layouts_bitwise() {
+        let runner = JobRunner::new();
+        let cold = small_spec();
+        let mut warm = small_spec();
+        warm.warm_start = Some("rr".into());
+        assert_ne!(warm.id(), cold.id(), "warm starts are their own identity");
+
+        let cold_fp = runner.run_scenario(&cold).unwrap().fingerprint;
+        let builtin_fp = runner.run_scenario(&warm).unwrap().fingerprint;
+        assert_ne!(
+            builtin_fp, cold_fp,
+            "a warm start must change the trajectory"
+        );
+
+        // Registering the identical `.pl` text under another tag replays the
+        // identical trajectory: the warm identity is the placement content.
+        let (netlist, _) = runner.netlist("s1196").unwrap();
+        let num_rows = SuiteCircuit::from_name("s1196").unwrap().num_rows();
+        let rr = Placement::round_robin(&netlist, num_rows);
+        let pl_text = write_pl(&placement_to_pl(&netlist, &rr));
+        runner.register_placement("client_rr", &pl_text);
+        let mut registered = small_spec();
+        registered.warm_start = Some("client_rr".into());
+        let registered_fp = runner.run_scenario(&registered).unwrap().fingerprint;
+        assert_eq!(registered_fp, builtin_fp);
+
+        // And the warm engine is cached: three runs, two distinct engines
+        // (cold + warm share one calibration).
+        let stats = runner.stats();
+        assert_eq!(stats.engines, 2);
+        assert_eq!(stats.engines_calibrated, 1);
+    }
+
+    #[test]
+    fn warm_start_errors_are_typed() {
+        let runner = JobRunner::new();
+        let mut unknown = small_spec();
+        unknown.warm_start = Some("nope".into());
+        let err = runner.run_scenario(&unknown).unwrap_err();
+        assert_eq!(err.code(), "unknown_warm_start");
+        assert!(err.to_string().contains("nope"));
+
+        runner.register_placement("garbage", "not a pl file");
+        let mut bad = small_spec();
+        bad.warm_start = Some("garbage".into());
+        let err = runner.run_scenario(&bad).unwrap_err();
+        assert_eq!(err.code(), "bad_placement");
+    }
+
+    #[test]
+    fn mixed_circuits_run_everywhere_but_the_portfolio() {
+        let runner = JobRunner::new();
+        let mut spec = small_spec();
+        spec.circuit = "mix600".into();
+        spec.iterations = 2;
+        let out = runner.run_scenario(&spec).unwrap();
+        assert!(out.completed());
+
+        let (netlist, _) = runner.netlist("mix600").unwrap();
+        assert!(netlist.has_fixed_cells());
+
+        let mut portfolio = spec.clone();
+        portfolio.strategy = StrategyKind::Portfolio(crate::portfolio::PortfolioMix::Mixed);
+        portfolio.ranks = 4;
+        let err = runner.run_scenario(&portfolio).unwrap_err();
+        assert_eq!(err.code(), "fixed_cells_unsupported");
+        assert!(err.to_string().contains("mix600"));
     }
 
     #[test]

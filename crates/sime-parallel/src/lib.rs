@@ -86,7 +86,7 @@ pub use batch::{
 };
 pub use control::{CancelAfter, CancelToken, FreeRun, ObservedRun, RunControl};
 pub use exec::{backend_from_name, backend_from_spec, ExecBackend, Modeled, SharedPool, Threaded};
-pub use jobs::{JobError, JobOutcome, JobRunner, JobSpec};
+pub use jobs::{pl_digest, JobError, JobOutcome, JobRunner, JobSpec};
 pub use portfolio::{
     run_portfolio, run_portfolio_ctl, run_portfolio_on, IslandKind, PortfolioConfig, PortfolioMix,
 };

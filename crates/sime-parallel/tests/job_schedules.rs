@@ -62,6 +62,7 @@ fn arb_job() -> impl Strategy<Value = ScheduledJob> {
                         objectives: Objectives::WirelengthPower,
                         workers: None,
                         eval_chunks: 1,
+                        warm_start: None,
                     },
                     seed,
                 },

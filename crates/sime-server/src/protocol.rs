@@ -60,6 +60,7 @@ use std::fmt;
 /// | `queue_full` | admission control rejected the job (queue at capacity) |
 /// | `server_shutdown` | the server is draining and accepts no new jobs |
 /// | `unknown_circuit`, `too_few_ranks`, `no_iterations`, `bad_bookshelf` | passed through from [`sime_parallel::JobError::code`] |
+/// | `unknown_warm_start`, `bad_placement`, `fixed_cells_unsupported` | likewise passed through: the submit's `warm_start` tag is unregistered, its `.pl` is invalid for the circuit, or the strategy cannot host fixed cells |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable machine-readable code (see the table above).
@@ -116,6 +117,15 @@ pub enum Request {
     Cancel {
         /// The job to cancel.
         id: String,
+    },
+    /// `{"op":"register_placement","tag":...,"pl":...}` — register a
+    /// Bookshelf `.pl` layout under a warm-start tag, for later submits to
+    /// reference via `warm_start`.
+    RegisterPlacement {
+        /// The tag future submits name in their `warm_start` field.
+        tag: String,
+        /// The `.pl` text (newlines JSON-escaped on the wire).
+        pl: String,
     },
     /// `{"op":"status"}` — ask for a server status snapshot.
     Status,
@@ -205,6 +215,15 @@ impl Request {
                     Some(_) => obj_usize(&map, "eval_chunks")?.max(1),
                 };
                 let seed = obj_opt_u64(&map, "seed")?;
+                let warm_start = match map.get("warm_start") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::String(tag)) => Some(tag.clone()),
+                    Some(_) => {
+                        return Err(ProtocolError::malformed(
+                            "field `warm_start` must be a string tag",
+                        ))
+                    }
+                };
                 Ok(Request::Submit(SubmitRequest {
                     id,
                     spec: JobSpec {
@@ -216,6 +235,7 @@ impl Request {
                             objectives,
                             workers,
                             eval_chunks,
+                            warm_start,
                         },
                         seed,
                     },
@@ -223,6 +243,10 @@ impl Request {
             }
             "cancel" => Ok(Request::Cancel {
                 id: obj_string(&map, "id")?,
+            }),
+            "register_placement" => Ok(Request::RegisterPlacement {
+                tag: obj_string(&map, "tag")?,
+                pl: obj_string(&map, "pl")?,
             }),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
@@ -264,10 +288,18 @@ impl Request {
                 if let Some(seed) = submit.spec.seed {
                     map.insert("seed".into(), Json::Number(seed as f64));
                 }
+                if let Some(tag) = &scenario.warm_start {
+                    map.insert("warm_start".into(), Json::String(tag.clone()));
+                }
             }
             Request::Cancel { id } => {
                 map.insert("op".into(), Json::String("cancel".into()));
                 map.insert("id".into(), Json::String(id.clone()));
+            }
+            Request::RegisterPlacement { tag, pl } => {
+                map.insert("op".into(), Json::String("register_placement".into()));
+                map.insert("tag".into(), Json::String(tag.clone()));
+                map.insert("pl".into(), Json::String(pl.clone()));
             }
             Request::Status => {
                 map.insert("op".into(), Json::String("status".into()));
@@ -339,6 +371,14 @@ pub enum Event {
         /// Human-readable description.
         message: String,
     },
+    /// A warm-start placement was registered.
+    Registered {
+        /// The tag the placement is now available under.
+        tag: String,
+        /// [`sime_parallel::pl_digest`] of the stored `.pl` text (hex on the
+        /// wire — a JSON number would round through `f64` and lose bits).
+        digest: u64,
+    },
     /// A status snapshot.
     Status {
         /// Jobs currently running on the shared pool.
@@ -405,6 +445,11 @@ impl Event {
                 map.insert("code".into(), Json::String(code.clone()));
                 map.insert("message".into(), Json::String(message.clone()));
             }
+            Event::Registered { tag, digest } => {
+                map.insert("event".into(), Json::String("registered".into()));
+                map.insert("tag".into(), Json::String(tag.clone()));
+                map.insert("digest".into(), Json::String(format!("{digest:#018x}")));
+            }
             Event::Status {
                 active,
                 queued,
@@ -463,6 +508,19 @@ impl Event {
                 code: obj_string(&map, "code")?,
                 message: obj_string(&map, "message")?,
             }),
+            "registered" => {
+                let hex = obj_string(&map, "digest")?;
+                let digest = hex
+                    .strip_prefix("0x")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| {
+                        ProtocolError::malformed(format!("bad digest `{hex}`: expected 0x-hex"))
+                    })?;
+                Ok(Event::Registered {
+                    tag: obj_string(&map, "tag")?,
+                    digest,
+                })
+            }
             "status" => Ok(Event::Status {
                 active: obj_usize(&map, "active")?,
                 queued: obj_usize(&map, "queued")?,
@@ -503,6 +561,7 @@ mod tests {
                     objectives: Objectives::WirelengthPower,
                     workers: Some(2),
                     eval_chunks: 2,
+                    warm_start: None,
                 },
                 seed: Some(42),
             },
@@ -511,9 +570,21 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
+        let warm_submit = match sample_submit() {
+            Request::Submit(mut submit) => {
+                submit.spec.scenario.warm_start = Some("rr".into());
+                Request::Submit(submit)
+            }
+            _ => unreachable!(),
+        };
         for req in [
             sample_submit(),
+            warm_submit,
             Request::Cancel { id: "j".into() },
+            Request::RegisterPlacement {
+                tag: "client_rr".into(),
+                pl: "UCLA pl 1.0\nc0 0 4 : N\nc1 9 4 : N /FIXED\n".into(),
+            },
             Request::Status,
             Request::Shutdown,
         ] {
@@ -557,6 +628,10 @@ mod tests {
                 id: Some("a".into()),
                 code: "unknown_circuit".into(),
                 message: "unknown circuit `x`".into(),
+            },
+            Event::Registered {
+                tag: "client_rr".into(),
+                digest: 0xdead_beef_0000_0001,
             },
             Event::Status {
                 active: 2,

@@ -471,6 +471,10 @@ impl Session {
         match request {
             Request::Submit(submit) => self.server.submit(submit, &self.sink),
             Request::Cancel { id } => self.server.cancel(&id, &self.sink),
+            Request::RegisterPlacement { tag, pl } => {
+                let digest = self.server.runner().register_placement(&tag, &pl);
+                self.sink.send(Event::Registered { tag, digest });
+            }
             Request::Status => {
                 let stats = self.server.stats();
                 self.sink.send(Event::Status {

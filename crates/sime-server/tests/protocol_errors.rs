@@ -25,6 +25,7 @@ fn spec(iterations: usize) -> JobSpec {
         objectives: Objectives::WirelengthPower,
         workers: None,
         eval_chunks: 1,
+        warm_start: None,
     })
 }
 
@@ -97,6 +98,73 @@ fn malformed_and_invalid_requests_return_typed_errors_and_leave_the_pool_usable(
         .expect("recovery job finishes");
     assert!(matches!(events.last(), Some(Event::Done { .. })));
     assert_eq!(server.stats().finished, 1, "only the real job ran");
+    assert_drained_clean(&server);
+}
+
+#[test]
+fn warm_start_registration_and_errors_flow_through_the_wire() {
+    let server = Server::new(ServerConfig::default());
+    let session = Session::new(Arc::clone(&server));
+
+    // A warm submit naming an unregistered tag fails with a typed error
+    // (post-admission: the tag resolves against the job's circuit at run
+    // time).
+    let mut warm = spec(2);
+    warm.scenario.warm_start = Some("never_registered".into());
+    submit(&session, "warm-unknown", warm);
+    let events = session
+        .wait_for_terminal("warm-unknown", TIMEOUT)
+        .expect("warm job reaches a terminal event");
+    match events.last() {
+        Some(Event::Error { code, .. }) => assert_eq!(code, "unknown_warm_start"),
+        other => panic!("expected unknown_warm_start, got {other:?}"),
+    }
+
+    // Register the round-robin layout over the wire, then warm-start from
+    // it: the run must match the builtin `rr` tag bitwise (same `.pl`
+    // content → same trajectory).
+    let runner = server.runner();
+    let (netlist, _) = runner.netlist("s1196").unwrap();
+    let num_rows = vlsi_netlist::bench_suite::SuiteCircuit::from_name("s1196")
+        .unwrap()
+        .num_rows();
+    let rr = vlsi_place::Placement::round_robin(&netlist, num_rows);
+    let pl_text = vlsi_netlist::bookshelf::write_pl(&vlsi_place::placement_to_pl(&netlist, &rr));
+    let expected_digest = sime_parallel::pl_digest(&pl_text);
+    session.request(Request::RegisterPlacement {
+        tag: "wire_rr".into(),
+        pl: pl_text,
+    });
+    match session.next_event(TIMEOUT) {
+        Some(Event::Registered { tag, digest }) => {
+            assert_eq!(tag, "wire_rr");
+            assert_eq!(digest, expected_digest);
+        }
+        other => panic!("expected registered event, got {other:?}"),
+    }
+
+    let run_warm = |id: &str, tag: &str| {
+        let mut warm = spec(2);
+        warm.scenario.warm_start = Some(tag.into());
+        submit(&session, id, warm);
+        let events = session
+            .wait_for_terminal(id, TIMEOUT)
+            .expect("warm job finishes");
+        match events.last() {
+            Some(Event::Done { fingerprint, .. }) => fingerprint.clone(),
+            other => panic!("expected done, got {other:?}"),
+        }
+    };
+    let registered_fp = run_warm("warm-wire", "wire_rr");
+    let builtin_fp = run_warm("warm-builtin", "rr");
+    let (_, registered) = sime_parallel::batch::TrajectoryFingerprint::parse_text(&registered_fp)
+        .expect("parsable fingerprint");
+    let (_, builtin) = sime_parallel::batch::TrajectoryFingerprint::parse_text(&builtin_fp)
+        .expect("parsable fingerprint");
+    assert_eq!(
+        registered, builtin,
+        "identical .pl content must replay the identical trajectory"
+    );
     assert_drained_clean(&server);
 }
 

@@ -140,6 +140,7 @@ impl PaperCircuit {
             logic_depth: if self == PaperCircuit::S3330 { 16 } else { 12 },
             avg_fanin: 2.3,
             seed: name_seed(self.name()),
+            mixed: None,
         }
     }
 }
@@ -254,6 +255,7 @@ impl ExtendedCircuit {
             logic_depth,
             avg_fanin: 2.3,
             seed: name_seed(self.name()),
+            mixed: None,
         }
     }
 }
@@ -277,22 +279,116 @@ pub fn extended_suite() -> Vec<(ExtendedCircuit, Netlist)> {
         .collect()
 }
 
-/// Uniform handle over both benchmark tiers: the paper's five circuits and
-/// the extended scaling tier. This is the circuit axis of the scenario
-/// matrix — every suite circuit resolves from its name, generates
-/// deterministically, and carries its own row count.
+/// Identifier of one of the mixed-size tier circuits: synthetic circuits
+/// with a fixed pad ring and multi-row macro blocks on top of the standard
+/// cells (see [`crate::generator::MixedSizeSpec`]). This tier exercises the
+/// blocked-span row packing and the full-layout Bookshelf interchange
+/// (`.pl`/`.scl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixedCircuit {
+    /// ~600 standard cells, 2 macros (3 rows tall), pad ring. 12 rows.
+    Mix600,
+    /// ~2000 standard cells, 4 macros (4 rows tall), pad ring. 20 rows.
+    Mix2000,
+}
+
+impl MixedCircuit {
+    /// Both mixed-tier circuits, smallest first.
+    pub const ALL: [MixedCircuit; 2] = [MixedCircuit::Mix600, MixedCircuit::Mix2000];
+
+    /// Circuit name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixedCircuit::Mix600 => "mix600",
+            MixedCircuit::Mix2000 => "mix2000",
+        }
+    }
+
+    /// Total cell count: standard cells plus the appended macro blocks.
+    pub fn cell_count(self) -> usize {
+        let cfg = self.generator_config();
+        cfg.num_cells + cfg.mixed.map_or(0, |m| m.num_macros)
+    }
+
+    /// Number of placement rows.
+    pub fn num_rows(self) -> usize {
+        match self {
+            MixedCircuit::Mix600 => 12,
+            MixedCircuit::Mix2000 => 20,
+        }
+    }
+
+    /// The mixed-size additions of this circuit.
+    pub fn mixed_spec(self) -> crate::generator::MixedSizeSpec {
+        match self {
+            MixedCircuit::Mix600 => crate::generator::MixedSizeSpec {
+                num_macros: 2,
+                macro_height: 3,
+                pad_ring: true,
+            },
+            MixedCircuit::Mix2000 => crate::generator::MixedSizeSpec {
+                num_macros: 4,
+                macro_height: 4,
+                pad_ring: true,
+            },
+        }
+    }
+
+    /// Parses a mixed circuit from its name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Generator configuration: paper-tier-like proportions, plus the
+    /// mixed-size spec.
+    pub fn generator_config(self) -> GeneratorConfig {
+        let (num_cells, inputs, outputs, ffs, depth) = match self {
+            MixedCircuit::Mix600 => (600, 16, 16, 24, 12),
+            MixedCircuit::Mix2000 => (2000, 24, 28, 80, 16),
+        };
+        GeneratorConfig {
+            name: self.name().to_string(),
+            num_cells,
+            num_inputs: inputs,
+            num_outputs: outputs,
+            num_flip_flops: ffs,
+            logic_depth: depth,
+            avg_fanin: 2.3,
+            seed: name_seed(self.name()),
+            mixed: Some(self.mixed_spec()),
+        }
+    }
+}
+
+impl std::fmt::Display for MixedCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the synthetic stand-in for one mixed-tier circuit.
+pub fn mixed_circuit(circuit: MixedCircuit) -> Netlist {
+    CircuitGenerator::new(circuit.generator_config()).generate()
+}
+
+/// Uniform handle over the three benchmark tiers: the paper's five circuits,
+/// the extended scaling tier and the mixed-size tier. This is the circuit
+/// axis of the scenario matrix — every suite circuit resolves from its name,
+/// generates deterministically, and carries its own row count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SuiteCircuit {
     /// One of the paper's five Table-1 circuits.
     Paper(PaperCircuit),
     /// One of the extended-tier circuits.
     Extended(ExtendedCircuit),
+    /// One of the mixed-size tier circuits (pad ring + macros).
+    Mixed(MixedCircuit),
 }
 
 impl SuiteCircuit {
-    /// All nine suite circuits: the paper tier in Table-1 order, then the
-    /// extended tier smallest first.
-    pub const ALL: [SuiteCircuit; 9] = [
+    /// All eleven suite circuits: the paper tier in Table-1 order, the
+    /// extended tier smallest first, then the mixed-size tier.
+    pub const ALL: [SuiteCircuit; 11] = [
         SuiteCircuit::Paper(PaperCircuit::S1196),
         SuiteCircuit::Paper(PaperCircuit::S1488),
         SuiteCircuit::Paper(PaperCircuit::S1494),
@@ -302,6 +398,8 @@ impl SuiteCircuit {
         SuiteCircuit::Extended(ExtendedCircuit::S9234),
         SuiteCircuit::Extended(ExtendedCircuit::S13207),
         SuiteCircuit::Extended(ExtendedCircuit::S15850),
+        SuiteCircuit::Mixed(MixedCircuit::Mix600),
+        SuiteCircuit::Mixed(MixedCircuit::Mix2000),
     ];
 
     /// Circuit name.
@@ -309,14 +407,16 @@ impl SuiteCircuit {
         match self {
             SuiteCircuit::Paper(c) => c.name(),
             SuiteCircuit::Extended(c) => c.name(),
+            SuiteCircuit::Mixed(c) => c.name(),
         }
     }
 
-    /// Published cell count.
+    /// Published (or, for the synthetic mixed tier, configured) cell count.
     pub fn cell_count(self) -> usize {
         match self {
             SuiteCircuit::Paper(c) => c.cell_count(),
             SuiteCircuit::Extended(c) => c.cell_count(),
+            SuiteCircuit::Mixed(c) => c.cell_count(),
         }
     }
 
@@ -325,6 +425,7 @@ impl SuiteCircuit {
         match self {
             SuiteCircuit::Paper(c) => c.num_rows(),
             SuiteCircuit::Extended(c) => c.num_rows(),
+            SuiteCircuit::Mixed(c) => c.num_rows(),
         }
     }
 
@@ -333,11 +434,17 @@ impl SuiteCircuit {
         matches!(self, SuiteCircuit::Extended(_))
     }
 
-    /// Resolves a suite circuit from its name, searching both tiers.
+    /// `true` for mixed-size tier circuits (fixed pads + macros).
+    pub fn is_mixed(self) -> bool {
+        matches!(self, SuiteCircuit::Mixed(_))
+    }
+
+    /// Resolves a suite circuit from its name, searching all tiers.
     pub fn from_name(name: &str) -> Option<Self> {
         PaperCircuit::from_name(name)
             .map(SuiteCircuit::Paper)
             .or_else(|| ExtendedCircuit::from_name(name).map(SuiteCircuit::Extended))
+            .or_else(|| MixedCircuit::from_name(name).map(SuiteCircuit::Mixed))
     }
 
     /// Generator configuration for the synthetic stand-in.
@@ -345,6 +452,7 @@ impl SuiteCircuit {
         match self {
             SuiteCircuit::Paper(c) => c.generator_config(),
             SuiteCircuit::Extended(c) => c.generator_config(),
+            SuiteCircuit::Mixed(c) => c.generator_config(),
         }
     }
 
@@ -360,9 +468,10 @@ impl std::fmt::Display for SuiteCircuit {
     }
 }
 
-/// Generates the full nine-circuit suite (both tiers), in [`SuiteCircuit::ALL`]
-/// order. The extended circuits take noticeably longer to generate; callers
-/// that only need the paper tier should use [`paper_suite`].
+/// Generates the full eleven-circuit suite (all tiers), in
+/// [`SuiteCircuit::ALL`] order. The extended circuits take noticeably longer
+/// to generate; callers that only need the paper tier should use
+/// [`paper_suite`].
 pub fn full_suite() -> Vec<(SuiteCircuit, Netlist)> {
     SuiteCircuit::ALL
         .iter()
@@ -457,11 +566,15 @@ mod tests {
     }
 
     #[test]
-    fn suite_circuit_resolves_both_tiers_by_name() {
-        assert_eq!(SuiteCircuit::ALL.len(), 9);
+    fn suite_circuit_resolves_all_tiers_by_name() {
+        assert_eq!(SuiteCircuit::ALL.len(), 11);
         for c in SuiteCircuit::ALL {
             assert_eq!(SuiteCircuit::from_name(c.name()), Some(c));
-            assert_eq!(c.generator_config().num_cells, c.cell_count());
+            // cell_count is the *generated* count: standard cells plus any
+            // appended mixed-tier macros.
+            let cfg = c.generator_config();
+            let macros = cfg.mixed.map_or(0, |m| m.num_macros);
+            assert_eq!(cfg.num_cells + macros, c.cell_count());
         }
         assert_eq!(
             SuiteCircuit::from_name("s1196"),

@@ -1,48 +1,66 @@
-//! Bookshelf-style on-disk interchange (`.nodes` / `.nets`).
+//! Bookshelf-style on-disk interchange (`.nodes` / `.nets` / `.pl` / `.scl`).
 //!
 //! The Bookshelf placement format (UCLA, used by the ISPD placement contests
-//! and by benchmark surfaces such as BBOPlace-Bench) splits a circuit across
-//! one file per concern; this module implements the two files the netlist
-//! layer needs so that suite circuits can be dumped, shipped and reloaded
-//! instead of regenerated:
+//! and by benchmark surfaces such as BBOPlace-Bench) splits a layout across
+//! one file per concern; this module implements the four files the workspace
+//! needs so that whole layouts — circuit, placement and row geometry — can be
+//! dumped, shipped and reloaded instead of regenerated:
 //!
 //! * **`.nodes`** — one line per cell: `name width height [terminal]`, with
-//!   `NumNodes` / `NumTerminals` counts up front. I/O pads are `terminal`.
+//!   `NumNodes` / `NumTerminals` counts up front. I/O pads are `terminal`;
+//!   multi-row macros carry their real row-span in the height slot.
 //! * **`.nets`** — one `NetDegree : <d> <name>` group per net followed by
 //!   `d` pin lines `cellname <I|O>`; the driver carries the `O` direction,
 //!   sinks carry `I`.
+//! * **`.pl`** — one line per cell: `name x y : N [/FIXED]`. Coordinates are
+//!   integers (left edge / row bottom in layout units), so the serialisation
+//!   is canonical and `write ∘ parse` is the identity on the text.
+//! * **`.scl`** — one `CoreRow Horizontal … End` record per placement row
+//!   (`Coordinate`, `Height`, `Sitewidth`, `SubrowOrigin`, `NumSites`).
 //!
 //! The workspace's netlists carry attributes the plain UCLA format has no
-//! field for (cell kind, switching delay, net switching probability), so the
-//! writer emits them as `#` *annotations* — a trailing comment on the line
-//! they describe. `#` starts a comment in Bookshelf, so tools that read the
-//! plain format see a standard file and skip the annotations, while
-//! [`parse_bookshelf`] reads them back for a lossless round-trip:
+//! field for (cell kind, switching delay, fixed flag, net switching
+//! probability), so the writer emits them as `#` *annotations* — a trailing
+//! comment on the line they describe. `#` starts a comment in Bookshelf, so
+//! tools that read the plain format see a standard file and skip the
+//! annotations, while [`parse_bookshelf`] reads them back for a lossless
+//! round-trip:
 //!
 //! ```text
 //! UCLA nodes 1.0
-//! # circuit s1196
-//! NumNodes : 561
-//! NumTerminals : 28
-//!     pi0 1 1 terminal # in 0
+//! # circuit mix600
+//! NumNodes : 634
+//! NumTerminals : 32
+//!     pi0 1 1 terminal # in 0 fixed
 //!     g14 5 1 # logic 0.0782
+//!     mb0 40 3 # macro 0.2 fixed
 //! ```
 //!
-//! Parse errors carry the offending **file** ([`BookshelfFile::Nodes`] or
-//! [`BookshelfFile::Nets`]) and the 1-based line number within it, mirroring
-//! the error contract of [`crate::format`].
+//! Every writer has a streaming `*_to` variant over [`std::io::Write`] and
+//! every parser a `*_from` variant over [`std::io::BufRead`], so 100k+-cell
+//! synthetic layouts stream to and from disk without materialising the file
+//! in memory; the `String`-based functions are thin wrappers.
+//!
+//! Parse errors carry the offending **file** ([`BookshelfFile`]) and the
+//! 1-based line number within it, mirroring the error contract of
+//! [`crate::format`].
 
 use crate::{Cell, CellKind, Net, Netlist, NetlistBuilder, NetlistError};
 use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
 
-/// Which of the two interchange files an error refers to.
+/// Which of the interchange files an error refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BookshelfFile {
     /// The `.nodes` file.
     Nodes,
     /// The `.nets` file.
     Nets,
+    /// The `.pl` placement file.
+    Pl,
+    /// The `.scl` row-geometry file.
+    Scl,
 }
 
 impl std::fmt::Display for BookshelfFile {
@@ -50,11 +68,13 @@ impl std::fmt::Display for BookshelfFile {
         f.write_str(match self {
             BookshelfFile::Nodes => ".nodes",
             BookshelfFile::Nets => ".nets",
+            BookshelfFile::Pl => ".pl",
+            BookshelfFile::Scl => ".scl",
         })
     }
 }
 
-/// Errors produced by [`parse_bookshelf`] and [`load_bookshelf`].
+/// Errors produced by the Bookshelf parsers and file helpers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BookshelfError {
     /// A line could not be parsed; carries the file, its 1-based line number
@@ -101,7 +121,7 @@ impl From<NetlistError> for BookshelfError {
     }
 }
 
-/// The two interchange files of one circuit, as in-memory strings.
+/// The two netlist interchange files of one circuit, as in-memory strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BookshelfPair {
     /// Contents of the `.nodes` file.
@@ -110,70 +130,204 @@ pub struct BookshelfPair {
     pub nets: String,
 }
 
-/// Serialises the `.nodes` file. Cells keep their netlist order, so ids are
-/// stable across a dump/reload cycle.
-pub fn write_nodes(netlist: &Netlist) -> String {
+/// One `.pl` line: a cell's placed position.
+///
+/// Coordinates are integers in layout units — the cell's **left edge** (`x`)
+/// and the **bottom** of its row (`y`). Integer serialisation makes the `.pl`
+/// writer canonical: `write_pl(parse_pl(text)?) == text` for every file this
+/// module writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlEntry {
+    /// Cell instance name (matches the `.nodes` file).
+    pub name: String,
+    /// Left edge of the cell, in layout units.
+    pub x: i64,
+    /// Bottom of the cell's (lowest) row, in layout units.
+    pub y: i64,
+    /// `true` when the line carries the `/FIXED` attribute (pads, macros).
+    pub fixed: bool,
+}
+
+/// One `.scl` `CoreRow` record: the geometry of a single placement row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRow {
+    /// Bottom y coordinate of the row, in layout units.
+    pub coordinate: i64,
+    /// Row height in layout units.
+    pub height: i64,
+    /// Width of one placement site (1 layout unit per site here).
+    pub sitewidth: i64,
+    /// Left x coordinate where the row begins.
+    pub subrow_origin: i64,
+    /// Number of sites in the row (row capacity in layout units).
+    pub num_sites: i64,
+}
+
+/// Serialises the `.nodes` file to a stream. Cells keep their netlist order,
+/// so ids are stable across a dump/reload cycle. Multi-row macros write their
+/// real height; fixed cells append `fixed` to the kind/delay annotation.
+pub fn write_nodes_to(netlist: &Netlist, out: &mut dyn Write) -> io::Result<()> {
     let stats = netlist.stats();
-    let mut out = String::new();
-    out.push_str("UCLA nodes 1.0\n");
-    out.push_str(&format!("# circuit {}\n", netlist.name()));
-    out.push_str("# annotation per node: '# <kind> <switching_delay>'\n");
-    out.push('\n');
-    out.push_str(&format!("NumNodes : {}\n", netlist.num_cells()));
-    out.push_str(&format!(
-        "NumTerminals : {}\n",
-        stats.inputs + stats.outputs
-    ));
+    writeln!(out, "UCLA nodes 1.0")?;
+    writeln!(out, "# circuit {}", netlist.name())?;
+    writeln!(
+        out,
+        "# annotation per node: '# <kind> <switching_delay> [fixed]'"
+    )?;
+    writeln!(out)?;
+    writeln!(out, "NumNodes : {}", netlist.num_cells())?;
+    writeln!(out, "NumTerminals : {}", stats.inputs + stats.outputs)?;
     for cell in netlist.cells() {
         let terminal = match cell.kind {
             CellKind::Input | CellKind::Output => " terminal",
-            CellKind::Logic | CellKind::FlipFlop => "",
+            CellKind::Logic | CellKind::FlipFlop | CellKind::Macro => "",
         };
-        out.push_str(&format!(
-            "    {} {} 1{} # {} {}\n",
+        let fixed = if cell.fixed { " fixed" } else { "" };
+        writeln!(
+            out,
+            "    {} {} {}{} # {} {}{}",
             cell.name,
             cell.width,
+            cell.height,
             terminal,
             cell.kind.mnemonic(),
-            cell.switching_delay
-        ));
+            cell.switching_delay,
+            fixed
+        )?;
     }
-    out
+    Ok(())
 }
 
-/// Serialises the `.nets` file. Nets keep their netlist order; within each
-/// net the driver pin (`O`) comes first, then the sinks (`I`) in netlist
-/// order.
-pub fn write_nets(netlist: &Netlist) -> String {
+/// Serialises the `.nodes` file ([`write_nodes_to`] into a `String`).
+pub fn write_nodes(netlist: &Netlist) -> String {
+    into_string(|out| write_nodes_to(netlist, out))
+}
+
+/// Serialises the `.nets` file to a stream. Nets keep their netlist order;
+/// within each net the driver pin (`O`) comes first, then the sinks (`I`) in
+/// netlist order.
+pub fn write_nets_to(netlist: &Netlist, out: &mut dyn Write) -> io::Result<()> {
     let stats = netlist.stats();
-    let mut out = String::new();
-    out.push_str("UCLA nets 1.0\n");
-    out.push_str(&format!("# circuit {}\n", netlist.name()));
-    out.push_str("# annotation per net: '# <switching_prob>'\n");
-    out.push('\n');
-    out.push_str(&format!("NumNets : {}\n", netlist.num_nets()));
-    out.push_str(&format!("NumPins : {}\n", stats.pins));
+    writeln!(out, "UCLA nets 1.0")?;
+    writeln!(out, "# circuit {}", netlist.name())?;
+    writeln!(out, "# annotation per net: '# <switching_prob>'")?;
+    writeln!(out)?;
+    writeln!(out, "NumNets : {}", netlist.num_nets())?;
+    writeln!(out, "NumPins : {}", stats.pins)?;
     for net in netlist.nets() {
-        out.push_str(&format!(
-            "NetDegree : {} {} # {}\n",
+        writeln!(
+            out,
+            "NetDegree : {} {} # {}",
             net.pin_count(),
             net.name,
             net.switching_prob
-        ));
-        out.push_str(&format!("    {} O\n", netlist.cell(net.driver).name));
+        )?;
+        writeln!(out, "    {} O", netlist.cell(net.driver).name)?;
         for &s in &net.sinks {
-            out.push_str(&format!("    {} I\n", netlist.cell(s).name));
+            writeln!(out, "    {} I", netlist.cell(s).name)?;
         }
     }
-    out
+    Ok(())
 }
 
-/// Serialises both interchange files.
+/// Serialises the `.nets` file ([`write_nets_to`] into a `String`).
+pub fn write_nets(netlist: &Netlist) -> String {
+    into_string(|out| write_nets_to(netlist, out))
+}
+
+/// Serialises both netlist interchange files.
 pub fn write_bookshelf(netlist: &Netlist) -> BookshelfPair {
     BookshelfPair {
         nodes: write_nodes(netlist),
         nets: write_nets(netlist),
     }
+}
+
+/// Serialises a `.pl` placement file to a stream.
+pub fn write_pl_to(entries: &[PlEntry], out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "UCLA pl 1.0")?;
+    writeln!(out, "# one line per cell: '<name> <x> <y> : N [/FIXED]'")?;
+    writeln!(out)?;
+    for e in entries {
+        let fixed = if e.fixed { " /FIXED" } else { "" };
+        writeln!(out, "{} {} {} : N{}", e.name, e.x, e.y, fixed)?;
+    }
+    Ok(())
+}
+
+/// Serialises a `.pl` placement file.
+///
+/// Round-trips exactly — and, because coordinates are integers, the *text*
+/// round-trips byte-identically too:
+///
+/// ```
+/// use vlsi_netlist::bookshelf::{parse_pl, write_pl, PlEntry};
+///
+/// let cells = vec![
+///     PlEntry { name: "g0".into(), x: 0, y: 8, fixed: false },
+///     PlEntry { name: "mb0".into(), x: 64, y: 16, fixed: true },
+/// ];
+/// let text = write_pl(&cells);
+/// assert!(text.contains("mb0 64 16 : N /FIXED\n"));
+///
+/// let parsed = parse_pl(&text).unwrap();
+/// assert_eq!(parsed, cells);
+/// assert_eq!(write_pl(&parsed), text); // byte-identical round-trip
+/// ```
+pub fn write_pl(entries: &[PlEntry]) -> String {
+    into_string(|out| write_pl_to(entries, out))
+}
+
+/// Serialises a `.scl` row-geometry file to a stream.
+pub fn write_scl_to(rows: &[CoreRow], out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "UCLA scl 1.0")?;
+    writeln!(out)?;
+    writeln!(out, "NumRows : {}", rows.len())?;
+    writeln!(out)?;
+    for r in rows {
+        writeln!(out, "CoreRow Horizontal")?;
+        writeln!(out, "    Coordinate : {}", r.coordinate)?;
+        writeln!(out, "    Height : {}", r.height)?;
+        writeln!(out, "    Sitewidth : {}", r.sitewidth)?;
+        writeln!(
+            out,
+            "    SubrowOrigin : {}  NumSites : {}",
+            r.subrow_origin, r.num_sites
+        )?;
+        writeln!(out, "End")?;
+    }
+    Ok(())
+}
+
+/// Serialises a `.scl` row-geometry file.
+///
+/// ```
+/// use vlsi_netlist::bookshelf::{parse_scl, write_scl, CoreRow};
+///
+/// let rows: Vec<CoreRow> = (0..4)
+///     .map(|r| CoreRow {
+///         coordinate: r * 8,
+///         height: 8,
+///         sitewidth: 1,
+///         subrow_origin: 0,
+///         num_sites: 640,
+///     })
+///     .collect();
+/// let text = write_scl(&rows);
+///
+/// let parsed = parse_scl(&text).unwrap();
+/// assert_eq!(parsed, rows);
+/// assert_eq!(write_scl(&parsed), text); // byte-identical round-trip
+/// ```
+pub fn write_scl(rows: &[CoreRow]) -> String {
+    into_string(|out| write_scl_to(rows, out))
+}
+
+/// Runs an infallible-in-practice stream writer into a `String`.
+fn into_string(f: impl FnOnce(&mut dyn Write) -> io::Result<()>) -> String {
+    let mut buf = Vec::new();
+    f(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("writers emit UTF-8")
 }
 
 /// Splits a raw line into its code part and its `#` annotation (both
@@ -196,12 +350,40 @@ fn parse_count(code: &str, key: &str) -> Option<Result<usize, String>> {
     )
 }
 
+/// Adapts a `&str` to the line-iterator shape shared with the streaming
+/// parsers.
+fn str_lines(text: &str) -> impl Iterator<Item = Result<String, BookshelfError>> + '_ {
+    text.lines().map(|l| Ok(l.to_string()))
+}
+
+/// Adapts a [`BufRead`] to the shared line-iterator shape.
+fn io_lines<R: BufRead>(reader: R) -> impl Iterator<Item = Result<String, BookshelfError>> {
+    reader
+        .lines()
+        .map(|r| r.map_err(|e| BookshelfError::Io(e.to_string())))
+}
+
 /// Parses a circuit from the two interchange files. The inverse of
 /// [`write_bookshelf`]: a write/parse round-trip reproduces the cells and
-/// nets (names, kinds, widths, delays, drivers, sinks, switching
-/// probabilities) exactly.
+/// nets (names, kinds, widths, heights, delays, fixed flags, drivers, sinks,
+/// switching probabilities) exactly.
 pub fn parse_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, BookshelfError> {
-    let (name, cells) = parse_nodes(nodes)?;
+    assemble(parse_nodes(nodes)?, str_lines(nets))
+}
+
+/// Streaming variant of [`parse_bookshelf`] over buffered readers.
+pub fn parse_bookshelf_from(
+    nodes: impl BufRead,
+    nets: impl BufRead,
+) -> Result<Netlist, BookshelfError> {
+    assemble(parse_nodes_lines(io_lines(nodes))?, io_lines(nets))
+}
+
+/// Builds the netlist from parsed nodes plus the `.nets` line stream.
+fn assemble(
+    (name, cells): (String, Vec<Cell>),
+    net_lines: impl Iterator<Item = Result<String, BookshelfError>>,
+) -> Result<Netlist, BookshelfError> {
     let mut builder = NetlistBuilder::new(name);
     let mut cell_ids: HashMap<String, crate::CellId> = HashMap::with_capacity(cells.len());
     for cell in cells {
@@ -209,12 +391,18 @@ pub fn parse_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, BookshelfErro
         let id = builder.add_cell(cell);
         cell_ids.insert(cell_name, id);
     }
-    parse_nets_into(nets, &mut builder, &cell_ids)?;
+    parse_nets_lines(net_lines, &mut builder, &cell_ids)?;
     Ok(builder.build()?)
 }
 
 /// Parses the `.nodes` file into the circuit name and the cell list.
 fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
+    parse_nodes_lines(str_lines(text))
+}
+
+fn parse_nodes_lines(
+    lines: impl Iterator<Item = Result<String, BookshelfError>>,
+) -> Result<(String, Vec<Cell>), BookshelfError> {
     let syntax = |line: usize, reason: String| BookshelfError::Syntax {
         file: BookshelfFile::Nodes,
         line,
@@ -232,9 +420,10 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
     let mut cells: Vec<Cell> = Vec::new();
     let mut terminals = 0usize;
 
-    for (idx, raw) in text.lines().enumerate() {
+    for (idx, raw) in lines.enumerate() {
+        let raw = raw?;
         let lineno = idx + 1;
-        let (code, note) = split_annotation(raw);
+        let (code, note) = split_annotation(&raw);
         if circuit.is_none() {
             if let Some(rest) = note.strip_prefix("circuit ") {
                 circuit = Some(rest.trim().to_string());
@@ -260,8 +449,8 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
         }
 
         // Node line: `<name> <width> <height> [terminal]`, annotated with
-        // `<kind> <delay>`. Un-annotated lines (files written by other
-        // tools) fall back to terminal→input / movable→logic with the
+        // `<kind> <delay> [fixed]`. Un-annotated lines (files written by
+        // other tools) fall back to terminal→input / movable→logic with the
         // default logic delay.
         let mut tokens = code.split_whitespace();
         let node_name = tokens
@@ -271,9 +460,10 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| syntax(lineno, "missing or invalid node width".into()))?;
-        let _height: u32 = tokens
+        let height: u32 = tokens
             .next()
             .and_then(|t| t.parse().ok())
+            .filter(|&h| h >= 1)
             .ok_or_else(|| syntax(lineno, "missing or invalid node height".into()))?;
         let is_terminal = match tokens.next() {
             None => false,
@@ -284,7 +474,7 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
         };
 
         let mut note_tokens = note.split_whitespace();
-        let (kind, delay) = match note_tokens.next() {
+        let (kind, delay, fixed) = match note_tokens.next() {
             Some(mnemonic) => {
                 let kind = CellKind::from_mnemonic(mnemonic).ok_or_else(|| {
                     syntax(lineno, format!("unknown cell kind annotation `{mnemonic}`"))
@@ -293,10 +483,20 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| syntax(lineno, "missing or invalid delay annotation".into()))?;
-                (kind, delay)
+                let fixed = match note_tokens.next() {
+                    None => false,
+                    Some("fixed") => true,
+                    Some(other) => {
+                        return Err(syntax(
+                            lineno,
+                            format!("unexpected annotation token `{other}`"),
+                        ));
+                    }
+                };
+                (kind, delay, fixed)
             }
-            None if is_terminal => (CellKind::Input, 0.0),
-            None => (CellKind::Logic, 0.1),
+            None if is_terminal => (CellKind::Input, 0.0, false),
+            None => (CellKind::Logic, 0.1, false),
         };
         let kind_is_terminal = matches!(kind, CellKind::Input | CellKind::Output);
         if kind_is_terminal != is_terminal {
@@ -311,7 +511,10 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
         if is_terminal {
             terminals += 1;
         }
-        cells.push(Cell::new(node_name, kind, width, delay));
+        let mut cell = Cell::new(node_name, kind, width, delay);
+        cell.height = height;
+        cell.fixed = fixed;
+        cells.push(cell);
     }
 
     if !saw_header {
@@ -337,8 +540,8 @@ fn parse_nodes(text: &str) -> Result<(String, Vec<Cell>), BookshelfError> {
 }
 
 /// Parses the `.nets` file, adding every net to `builder`.
-fn parse_nets_into(
-    text: &str,
+fn parse_nets_lines(
+    lines: impl Iterator<Item = Result<String, BookshelfError>>,
     builder: &mut NetlistBuilder,
     cell_ids: &HashMap<String, crate::CellId>,
 ) -> Result<(), BookshelfError> {
@@ -393,9 +596,10 @@ fn parse_nets_into(
             Ok(())
         };
 
-    for (idx, raw) in text.lines().enumerate() {
+    for (idx, raw) in lines.enumerate() {
+        let raw = raw?;
         let lineno = idx + 1;
-        let (code, note) = split_annotation(raw);
+        let (code, note) = split_annotation(&raw);
         if code.is_empty() {
             continue;
         }
@@ -509,36 +713,318 @@ fn parse_nets_into(
     Ok(())
 }
 
-/// Paths of the two interchange files for a given stem: `<stem>.nodes` and
-/// `<stem>.nets`.
+/// Parses a `.pl` placement file. The inverse of [`write_pl`]; see there for
+/// a round-trip example. Orientation tokens other than `N` are accepted and
+/// discarded (the workspace's layouts are unrotated).
+pub fn parse_pl(text: &str) -> Result<Vec<PlEntry>, BookshelfError> {
+    parse_pl_lines(str_lines(text))
+}
+
+/// Streaming variant of [`parse_pl`] over a buffered reader.
+pub fn parse_pl_from(reader: impl BufRead) -> Result<Vec<PlEntry>, BookshelfError> {
+    parse_pl_lines(io_lines(reader))
+}
+
+fn parse_pl_lines(
+    lines: impl Iterator<Item = Result<String, BookshelfError>>,
+) -> Result<Vec<PlEntry>, BookshelfError> {
+    let syntax = |line: usize, reason: String| BookshelfError::Syntax {
+        file: BookshelfFile::Pl,
+        line,
+        reason,
+    };
+
+    let mut saw_header = false;
+    let mut entries = Vec::new();
+    for (idx, raw) in lines.enumerate() {
+        let raw = raw?;
+        let lineno = idx + 1;
+        let (code, _note) = split_annotation(&raw);
+        if code.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if code.starts_with("UCLA pl") {
+                saw_header = true;
+                continue;
+            }
+            return Err(syntax(lineno, "expected `UCLA pl` header".into()));
+        }
+        let mut tokens = code.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| syntax(lineno, "missing cell name".into()))?;
+        let x: i64 = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| syntax(lineno, "missing or invalid x coordinate".into()))?;
+        let y: i64 = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| syntax(lineno, "missing or invalid y coordinate".into()))?;
+        match tokens.next() {
+            Some(":") => {}
+            other => {
+                return Err(syntax(
+                    lineno,
+                    format!(
+                        "expected `:` before the orientation, got `{}`",
+                        other.unwrap_or("")
+                    ),
+                ));
+            }
+        }
+        tokens
+            .next()
+            .ok_or_else(|| syntax(lineno, "missing orientation".into()))?;
+        let fixed = match tokens.next() {
+            None => false,
+            Some("/FIXED") => true,
+            Some(other) => {
+                return Err(syntax(lineno, format!("unexpected token `{other}`")));
+            }
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(syntax(lineno, format!("unexpected token `{extra}`")));
+        }
+        entries.push(PlEntry {
+            name: name.to_string(),
+            x,
+            y,
+            fixed,
+        });
+    }
+
+    if !saw_header {
+        return Err(BookshelfError::Structure {
+            file: BookshelfFile::Pl,
+            reason: "missing `UCLA pl` header".into(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Parses a `.scl` row-geometry file. The inverse of [`write_scl`]; see
+/// there for a round-trip example. `Sitewidth` and `SubrowOrigin` default to
+/// 1 and 0 when a record omits them.
+pub fn parse_scl(text: &str) -> Result<Vec<CoreRow>, BookshelfError> {
+    parse_scl_lines(str_lines(text))
+}
+
+/// Streaming variant of [`parse_scl`] over a buffered reader.
+pub fn parse_scl_from(reader: impl BufRead) -> Result<Vec<CoreRow>, BookshelfError> {
+    parse_scl_lines(io_lines(reader))
+}
+
+fn parse_scl_lines(
+    lines: impl Iterator<Item = Result<String, BookshelfError>>,
+) -> Result<Vec<CoreRow>, BookshelfError> {
+    let syntax = |line: usize, reason: String| BookshelfError::Syntax {
+        file: BookshelfFile::Scl,
+        line,
+        reason,
+    };
+    let structure = |reason: String| BookshelfError::Structure {
+        file: BookshelfFile::Scl,
+        reason,
+    };
+
+    // In-flight `CoreRow … End` record.
+    #[derive(Default)]
+    struct Partial {
+        header_line: usize,
+        coordinate: Option<i64>,
+        height: Option<i64>,
+        sitewidth: Option<i64>,
+        subrow_origin: Option<i64>,
+        num_sites: Option<i64>,
+    }
+
+    let mut saw_header = false;
+    let mut declared_rows: Option<usize> = None;
+    let mut rows: Vec<CoreRow> = Vec::new();
+    let mut cur: Option<Partial> = None;
+
+    for (idx, raw) in lines.enumerate() {
+        let raw = raw?;
+        let lineno = idx + 1;
+        let (code, _note) = split_annotation(&raw);
+        if code.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if code.starts_with("UCLA scl") {
+                saw_header = true;
+                continue;
+            }
+            return Err(syntax(lineno, "expected `UCLA scl` header".into()));
+        }
+        if cur.is_none() {
+            if let Some(count) = parse_count(code, "NumRows") {
+                declared_rows = Some(count.map_err(|r| syntax(lineno, r))?);
+                continue;
+            }
+            if code.split_whitespace().next() == Some("CoreRow") {
+                cur = Some(Partial {
+                    header_line: lineno,
+                    ..Partial::default()
+                });
+                continue;
+            }
+            return Err(syntax(
+                lineno,
+                format!("expected `CoreRow` record, got `{code}`"),
+            ));
+        }
+        if code == "End" {
+            let p = cur.take().expect("checked above");
+            let missing = |field: &str| BookshelfError::Syntax {
+                file: BookshelfFile::Scl,
+                line: p.header_line,
+                reason: format!("CoreRow record is missing `{field}`"),
+            };
+            rows.push(CoreRow {
+                coordinate: p.coordinate.ok_or_else(|| missing("Coordinate"))?,
+                height: p.height.ok_or_else(|| missing("Height"))?,
+                sitewidth: p.sitewidth.unwrap_or(1),
+                subrow_origin: p.subrow_origin.unwrap_or(0),
+                num_sites: p.num_sites.ok_or_else(|| missing("NumSites"))?,
+            });
+            continue;
+        }
+        // One or more `Key : value` pairs on the line (the canonical writer
+        // puts `SubrowOrigin` and `NumSites` on a shared line).
+        let p = cur.as_mut().expect("checked above");
+        let mut tokens = code.split_whitespace();
+        while let Some(key) = tokens.next() {
+            if tokens.next() != Some(":") {
+                return Err(syntax(lineno, format!("expected `:` after `{key}`")));
+            }
+            let value: i64 = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| syntax(lineno, format!("missing or invalid value for `{key}`")))?;
+            let slot = match key {
+                "Coordinate" => &mut p.coordinate,
+                "Height" => &mut p.height,
+                "Sitewidth" => &mut p.sitewidth,
+                "SubrowOrigin" => &mut p.subrow_origin,
+                "NumSites" => &mut p.num_sites,
+                other => {
+                    return Err(syntax(lineno, format!("unknown CoreRow field `{other}`")));
+                }
+            };
+            if slot.replace(value).is_some() {
+                return Err(syntax(lineno, format!("duplicate CoreRow field `{key}`")));
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(structure("missing `UCLA scl` header".into()));
+    }
+    if cur.is_some() {
+        return Err(structure(
+            "unterminated CoreRow record (missing `End`)".into(),
+        ));
+    }
+    if let Some(n) = declared_rows {
+        if n != rows.len() {
+            return Err(structure(format!(
+                "NumRows declares {n} rows but {} were listed",
+                rows.len()
+            )));
+        }
+    }
+    Ok(rows)
+}
+
+/// Paths of the two netlist interchange files for a given stem:
+/// `<stem>.nodes` and `<stem>.nets`.
 pub fn bookshelf_paths(stem: &Path) -> (PathBuf, PathBuf) {
     (stem.with_extension("nodes"), stem.with_extension("nets"))
 }
 
-/// Dumps a circuit to `<stem>.nodes` / `<stem>.nets` on disk.
-pub fn save_bookshelf(netlist: &Netlist, stem: &Path) -> Result<(), BookshelfError> {
-    let (nodes_path, nets_path) = bookshelf_paths(stem);
-    let pair = write_bookshelf(netlist);
-    std::fs::write(&nodes_path, pair.nodes)
-        .map_err(|e| BookshelfError::Io(format!("{}: {e}", nodes_path.display())))?;
-    std::fs::write(&nets_path, pair.nets)
-        .map_err(|e| BookshelfError::Io(format!("{}: {e}", nets_path.display())))?;
-    Ok(())
+/// Paths of the four layout files for a given stem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutPaths {
+    /// `<stem>.nodes`
+    pub nodes: PathBuf,
+    /// `<stem>.nets`
+    pub nets: PathBuf,
+    /// `<stem>.pl`
+    pub pl: PathBuf,
+    /// `<stem>.scl`
+    pub scl: PathBuf,
 }
 
-/// Reloads a circuit previously dumped with [`save_bookshelf`].
+/// Paths of the full layout bundle for a given stem: `<stem>.nodes`,
+/// `<stem>.nets`, `<stem>.pl` and `<stem>.scl`.
+pub fn layout_paths(stem: &Path) -> LayoutPaths {
+    LayoutPaths {
+        nodes: stem.with_extension("nodes"),
+        nets: stem.with_extension("nets"),
+        pl: stem.with_extension("pl"),
+        scl: stem.with_extension("scl"),
+    }
+}
+
+/// Creates `path` and streams `f` into it through a [`io::BufWriter`].
+fn write_file(
+    path: &Path,
+    f: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> Result<(), BookshelfError> {
+    let io_err = |e: io::Error| BookshelfError::Io(format!("{}: {e}", path.display()));
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = io::BufWriter::new(file);
+    f(&mut w).and_then(|()| w.flush()).map_err(io_err)
+}
+
+/// Opens `path` as a buffered reader.
+fn open_reader(path: &Path) -> Result<io::BufReader<std::fs::File>, BookshelfError> {
+    std::fs::File::open(path)
+        .map(io::BufReader::new)
+        .map_err(|e| BookshelfError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Dumps a circuit to `<stem>.nodes` / `<stem>.nets` on disk (streamed, so
+/// 100k+-cell circuits never materialise the file text in memory).
+pub fn save_bookshelf(netlist: &Netlist, stem: &Path) -> Result<(), BookshelfError> {
+    let (nodes_path, nets_path) = bookshelf_paths(stem);
+    write_file(&nodes_path, |w| write_nodes_to(netlist, w))?;
+    write_file(&nets_path, |w| write_nets_to(netlist, w))
+}
+
+/// Reloads a circuit previously dumped with [`save_bookshelf`] (streamed).
 pub fn load_bookshelf(stem: &Path) -> Result<Netlist, BookshelfError> {
     let (nodes_path, nets_path) = bookshelf_paths(stem);
-    let nodes = std::fs::read_to_string(&nodes_path)
-        .map_err(|e| BookshelfError::Io(format!("{}: {e}", nodes_path.display())))?;
-    let nets = std::fs::read_to_string(&nets_path)
-        .map_err(|e| BookshelfError::Io(format!("{}: {e}", nets_path.display())))?;
-    parse_bookshelf(&nodes, &nets)
+    parse_bookshelf_from(open_reader(&nodes_path)?, open_reader(&nets_path)?)
+}
+
+/// Writes a `.pl` file to disk (streamed).
+pub fn save_pl(entries: &[PlEntry], path: &Path) -> Result<(), BookshelfError> {
+    write_file(path, |w| write_pl_to(entries, w))
+}
+
+/// Reads a `.pl` file from disk (streamed).
+pub fn load_pl(path: &Path) -> Result<Vec<PlEntry>, BookshelfError> {
+    parse_pl_from(open_reader(path)?)
+}
+
+/// Writes an `.scl` file to disk (streamed).
+pub fn save_scl(rows: &[CoreRow], path: &Path) -> Result<(), BookshelfError> {
+    write_file(path, |w| write_scl_to(rows, w))
+}
+
+/// Reads an `.scl` file from disk (streamed).
+pub fn load_scl(path: &Path) -> Result<Vec<CoreRow>, BookshelfError> {
+    parse_scl_from(open_reader(path)?)
 }
 
 /// `true` when two netlists are identical circuits: same name and bitwise
-/// equal cell and net tables. The derived CSR adjacency is a pure function of
-/// the nets, so it is covered by the comparison.
+/// equal cell and net tables (including the mixed-size `height`/`fixed`
+/// attributes). The derived CSR adjacency is a pure function of the nets, so
+/// it is covered by the comparison.
 pub fn netlists_identical(a: &Netlist, b: &Netlist) -> bool {
     a.name() == b.name() && a.cells() == b.cells() && a.nets() == b.nets()
 }
@@ -546,11 +1032,20 @@ pub fn netlists_identical(a: &Netlist, b: &Netlist) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bench_suite::{paper_circuit, PaperCircuit};
-    use crate::generator::{CircuitGenerator, GeneratorConfig};
+    use crate::bench_suite::{mixed_circuit, paper_circuit, MixedCircuit, PaperCircuit};
+    use crate::generator::{CircuitGenerator, GeneratorConfig, MixedSizeSpec};
 
     fn sample() -> Netlist {
         CircuitGenerator::new(GeneratorConfig::sized("bookshelf_test", 140, 9)).generate()
+    }
+
+    fn mixed_sample() -> Netlist {
+        let cfg = GeneratorConfig::sized("bookshelf_mixed", 180, 9).with_mixed(MixedSizeSpec {
+            num_macros: 3,
+            macro_height: 3,
+            pad_ring: true,
+        });
+        CircuitGenerator::new(cfg).generate()
     }
 
     #[test]
@@ -564,6 +1059,31 @@ mod tests {
     #[test]
     fn roundtrip_is_identity_on_a_paper_circuit() {
         let original = paper_circuit(PaperCircuit::S1238);
+        let pair = write_bookshelf(&original);
+        let parsed = parse_bookshelf(&pair.nodes, &pair.nets).unwrap();
+        assert!(netlists_identical(&original, &parsed));
+    }
+
+    #[test]
+    fn roundtrip_preserves_heights_and_fixed_flags() {
+        let original = mixed_sample();
+        assert!(original.has_fixed_cells());
+        let pair = write_bookshelf(&original);
+        // Macro lines carry the real height and the fixed annotation.
+        assert!(
+            pair.nodes.contains(" 3 # macro 0.2 fixed\n"),
+            "{}",
+            pair.nodes
+        );
+        let parsed = parse_bookshelf(&pair.nodes, &pair.nets).unwrap();
+        assert!(netlists_identical(&original, &parsed));
+        // And the text itself is a fixpoint of write ∘ parse.
+        assert_eq!(write_bookshelf(&parsed), pair);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_a_mixed_suite_circuit() {
+        let original = mixed_circuit(MixedCircuit::Mix600);
         let pair = write_bookshelf(&original);
         let parsed = parse_bookshelf(&pair.nodes, &pair.nets).unwrap();
         assert!(netlists_identical(&original, &parsed));
@@ -599,13 +1119,160 @@ mod tests {
         let dir = std::env::temp_dir().join("sime_bookshelf_test");
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("sample");
-        let original = sample();
+        let original = mixed_sample();
         save_bookshelf(&original, &stem).unwrap();
         let reloaded = load_bookshelf(&stem).unwrap();
         assert!(netlists_identical(&original, &reloaded));
         let (nodes_path, nets_path) = bookshelf_paths(&stem);
         std::fs::remove_file(nodes_path).unwrap();
         std::fs::remove_file(nets_path).unwrap();
+    }
+
+    #[test]
+    fn pl_roundtrips_in_memory_and_on_disk() {
+        let entries = vec![
+            PlEntry {
+                name: "g0".into(),
+                x: 0,
+                y: 8,
+                fixed: false,
+            },
+            PlEntry {
+                name: "pi0".into(),
+                x: -12,
+                y: 0,
+                fixed: true,
+            },
+            PlEntry {
+                name: "mb0".into(),
+                x: 64,
+                y: 16,
+                fixed: true,
+            },
+        ];
+        let text = write_pl(&entries);
+        assert_eq!(parse_pl(&text).unwrap(), entries);
+        assert_eq!(write_pl(&parse_pl(&text).unwrap()), text);
+
+        let dir = std::env::temp_dir().join("sime_bookshelf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pl");
+        save_pl(&entries, &path).unwrap();
+        assert_eq!(load_pl(&path).unwrap(), entries);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn pl_parse_errors_carry_file_and_line() {
+        let missing_colon = "UCLA pl 1.0\ng0 0 8 N\n";
+        let err = parse_pl(missing_colon).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BookshelfError::Syntax {
+                    file: BookshelfFile::Pl,
+                    line: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let trailing = "UCLA pl 1.0\ng0 0 8 : N /FIXED junk\n";
+        assert!(parse_pl(trailing).is_err());
+        let headerless = "g0 0 8 : N\n";
+        assert!(parse_pl(headerless).is_err());
+        // Comments and blank lines are skipped; other orientations accepted.
+        let tolerant = "UCLA pl 1.0\n# comment\n\nmb0 4 0 : FS /FIXED\n";
+        assert_eq!(
+            parse_pl(tolerant).unwrap(),
+            vec![PlEntry {
+                name: "mb0".into(),
+                x: 4,
+                y: 0,
+                fixed: true
+            }]
+        );
+    }
+
+    #[test]
+    fn scl_roundtrips_in_memory_and_on_disk() {
+        let rows: Vec<CoreRow> = (0..5)
+            .map(|r| CoreRow {
+                coordinate: r * 8,
+                height: 8,
+                sitewidth: 1,
+                subrow_origin: 0,
+                num_sites: 480,
+            })
+            .collect();
+        let text = write_scl(&rows);
+        assert_eq!(parse_scl(&text).unwrap(), rows);
+        assert_eq!(write_scl(&parse_scl(&text).unwrap()), text);
+
+        let dir = std::env::temp_dir().join("sime_bookshelf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.scl");
+        save_scl(&rows, &path).unwrap();
+        assert_eq!(load_scl(&path).unwrap(), rows);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn scl_parser_enforces_structure() {
+        // Row count mismatch.
+        let bad_count = "UCLA scl 1.0\nNumRows : 2\nCoreRow Horizontal\n\
+                         Coordinate : 0\nHeight : 8\nNumSites : 10\nEnd\n";
+        assert!(matches!(
+            parse_scl(bad_count).unwrap_err(),
+            BookshelfError::Structure {
+                file: BookshelfFile::Scl,
+                ..
+            }
+        ));
+        // Unterminated record.
+        let unterminated = "UCLA scl 1.0\nCoreRow Horizontal\nCoordinate : 0\n";
+        assert!(matches!(
+            parse_scl(unterminated).unwrap_err(),
+            BookshelfError::Structure {
+                file: BookshelfFile::Scl,
+                ..
+            }
+        ));
+        // Missing mandatory field points at the record header line.
+        let missing = "UCLA scl 1.0\nCoreRow Horizontal\nCoordinate : 0\nHeight : 8\nEnd\n";
+        assert!(matches!(
+            parse_scl(missing).unwrap_err(),
+            BookshelfError::Syntax {
+                file: BookshelfFile::Scl,
+                line: 2,
+                ..
+            }
+        ));
+        // Duplicate field.
+        let dup = "UCLA scl 1.0\nCoreRow Horizontal\nCoordinate : 0\nCoordinate : 8\n";
+        assert!(parse_scl(dup).is_err());
+        // Defaults apply for Sitewidth / SubrowOrigin.
+        let minimal = "UCLA scl 1.0\nCoreRow Horizontal\n\
+                       Coordinate : 16\nHeight : 8\nNumSites : 64\nEnd\n";
+        assert_eq!(
+            parse_scl(minimal).unwrap(),
+            vec![CoreRow {
+                coordinate: 16,
+                height: 8,
+                sitewidth: 1,
+                subrow_origin: 0,
+                num_sites: 64
+            }]
+        );
+    }
+
+    #[test]
+    fn layout_paths_cover_all_four_files() {
+        let p = layout_paths(Path::new("/tmp/mix600"));
+        assert_eq!(p.nodes, Path::new("/tmp/mix600.nodes"));
+        assert_eq!(p.nets, Path::new("/tmp/mix600.nets"));
+        assert_eq!(p.pl, Path::new("/tmp/mix600.pl"));
+        assert_eq!(p.scl, Path::new("/tmp/mix600.scl"));
     }
 
     #[test]
@@ -638,6 +1305,15 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn bad_heights_and_annotations_are_rejected() {
+        let zero_height = "UCLA nodes 1.0\n    m 4 0 # macro 0.2 fixed\n";
+        assert!(parse_nodes(zero_height).is_err());
+        let bad_extra = "UCLA nodes 1.0\n    m 4 3 # macro 0.2 movable\n";
+        let err = parse_nodes(bad_extra).unwrap_err();
+        assert!(err.to_string().contains("unexpected annotation"), "{err}");
     }
 
     #[test]

@@ -40,8 +40,9 @@ impl std::fmt::Display for CellId {
 ///
 /// The placement engine only needs to distinguish movable logic from the
 /// sequential boundary (flip-flops terminate combinational paths) and from the
-/// I/O pads (path sources / sinks). All kinds are movable; the paper treats
-/// every standard cell as a movable element.
+/// I/O pads (path sources / sinks). The paper treats every standard cell as a
+/// movable element; the mixed-size extension adds [`CellKind::Macro`] blocks
+/// and a per-cell [`Cell::fixed`] flag for pre-placed pads and macros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CellKind {
     /// Primary input pad (drives a net, no fan-in).
@@ -52,6 +53,11 @@ pub enum CellKind {
     Logic,
     /// Sequential element; terminates and restarts combinational paths.
     FlipFlop,
+    /// A hard macro block (RAM, analog block, …). Macros span
+    /// [`Cell::height`] rows and are pre-placed: the generator always marks
+    /// them [`Cell::fixed`], and the placement layer treats their footprint
+    /// as a blocked span that row packing flows around.
+    Macro,
 }
 
 impl CellKind {
@@ -76,6 +82,7 @@ impl CellKind {
             CellKind::Output => "out",
             CellKind::Logic => "logic",
             CellKind::FlipFlop => "ff",
+            CellKind::Macro => "macro",
         }
     }
 
@@ -86,12 +93,15 @@ impl CellKind {
             "out" => Some(CellKind::Output),
             "logic" => Some(CellKind::Logic),
             "ff" => Some(CellKind::FlipFlop),
+            "macro" => Some(CellKind::Macro),
             _ => None,
         }
     }
 }
 
-/// A standard cell (movable element of the placement problem).
+/// A cell of the placement problem: a movable standard cell by default, or —
+/// with `height > 1` and/or `fixed` — a macro block or pre-placed pad of the
+/// mixed-size extension.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cell {
     /// Human-readable instance name (unique within a netlist).
@@ -104,28 +114,62 @@ pub struct Cell {
     /// Intrinsic switching delay `CD_i` of the cell (nanoseconds). Technology
     /// dependent and independent of placement; used by the delay cost.
     pub switching_delay: f64,
+    /// Footprint height in rows. Standard cells are 1 row tall; macros span
+    /// several. Heights above 1 are only meaningful together with `fixed`
+    /// (the allocation operator never moves multi-row footprints).
+    pub height: u32,
+    /// `true` for pre-placed cells (pad rings, macro blocks). Fixed cells
+    /// never enter the selection set and their footprint is excluded from the
+    /// row packing of movable cells.
+    pub fixed: bool,
 }
 
 impl Cell {
     /// Creates a logic cell with the given name and width and a default
     /// switching delay of 0.1 ns.
     pub fn logic(name: impl Into<String>, width: u32) -> Self {
-        Cell {
-            name: name.into(),
-            kind: CellKind::Logic,
-            width,
-            switching_delay: 0.1,
-        }
+        Cell::new(name, CellKind::Logic, width, 0.1)
     }
 
-    /// Creates a cell of an arbitrary kind.
+    /// Creates a movable single-row cell of an arbitrary kind.
     pub fn new(name: impl Into<String>, kind: CellKind, width: u32, switching_delay: f64) -> Self {
         Cell {
             name: name.into(),
             kind,
             width,
             switching_delay,
+            height: 1,
+            fixed: false,
         }
+    }
+
+    /// Creates a fixed macro block spanning `height` rows.
+    pub fn macro_block(
+        name: impl Into<String>,
+        width: u32,
+        height: u32,
+        switching_delay: f64,
+    ) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Macro,
+            width,
+            switching_delay,
+            height: height.max(1),
+            fixed: true,
+        }
+    }
+
+    /// Returns the cell with its `fixed` flag set — used for pad rings.
+    pub fn pinned(mut self) -> Self {
+        self.fixed = true;
+        self
+    }
+
+    /// `true` when the cell participates in row packing (not fixed).
+    #[inline]
+    pub fn is_movable(&self) -> bool {
+        !self.fixed
     }
 }
 
@@ -148,6 +192,7 @@ mod tests {
             CellKind::Output,
             CellKind::Logic,
             CellKind::FlipFlop,
+            CellKind::Macro,
         ] {
             assert_eq!(CellKind::from_mnemonic(kind.mnemonic()), Some(kind));
         }
@@ -170,5 +215,23 @@ mod tests {
         assert_eq!(c.kind, CellKind::Logic);
         assert_eq!(c.width, 4);
         assert!(c.switching_delay > 0.0);
+        assert_eq!(c.height, 1);
+        assert!(!c.fixed);
+        assert!(c.is_movable());
+    }
+
+    #[test]
+    fn macro_and_pinned_constructors() {
+        let m = Cell::macro_block("ram0", 40, 3, 0.2);
+        assert_eq!(m.kind, CellKind::Macro);
+        assert_eq!(m.height, 3);
+        assert!(m.fixed);
+        assert!(!m.is_movable());
+        // Heights are clamped to at least one row.
+        assert_eq!(Cell::macro_block("m", 4, 0, 0.1).height, 1);
+
+        let pad = Cell::new("pi0", CellKind::Input, 1, 0.0).pinned();
+        assert_eq!(pad.height, 1);
+        assert!(pad.fixed);
     }
 }

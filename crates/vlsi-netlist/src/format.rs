@@ -6,7 +6,7 @@
 //! ```text
 //! # anything after '#' is a comment
 //! circuit <name>
-//! cell <name> <kind> <width> <switching_delay>
+//! cell <name> <kind> <width> <switching_delay> [h<height>] [fixed]
 //! ...
 //! net <name> <driver_cell> <switching_prob> <sink_cell_1> [<sink_cell_2> ...]
 //! ...
@@ -14,7 +14,11 @@
 //! ```
 //!
 //! Cells must be declared before the nets that reference them. `kind` is one
-//! of `in`, `out`, `logic`, `ff` (see [`CellKind::mnemonic`]).
+//! of `in`, `out`, `logic`, `ff`, `macro` (see [`CellKind::mnemonic`]). The
+//! optional trailing tokens carry the mixed-size attributes: `h<height>` for
+//! a multi-row footprint and `fixed` for pre-placed cells. Both are omitted
+//! for movable single-row cells, so pure standard-cell circuits serialise
+//! byte-identically to the original format.
 
 use crate::{Cell, CellKind, Net, Netlist, NetlistBuilder, NetlistError};
 use std::collections::HashMap;
@@ -60,12 +64,19 @@ pub fn write_netlist(netlist: &Netlist) -> String {
     out.push_str(&format!("circuit {}\n", netlist.name()));
     for cell in netlist.cells() {
         out.push_str(&format!(
-            "cell {} {} {} {}\n",
+            "cell {} {} {} {}",
             cell.name,
             cell.kind.mnemonic(),
             cell.width,
             cell.switching_delay
         ));
+        if cell.height != 1 {
+            out.push_str(&format!(" h{}", cell.height));
+        }
+        if cell.fixed {
+            out.push_str(" fixed");
+        }
+        out.push('\n');
     }
     for net in netlist.nets() {
         out.push_str(&format!(
@@ -133,7 +144,20 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| syntax("missing or invalid switching delay"))?;
-                let id = b.add_cell(Cell::new(cname, kind, width, delay));
+                let mut cell = Cell::new(cname, kind, width, delay);
+                for extra in tokens.by_ref() {
+                    if extra == "fixed" {
+                        cell.fixed = true;
+                    } else if let Some(h) = extra.strip_prefix('h') {
+                        cell.height =
+                            h.parse().ok().filter(|&h| h >= 1).ok_or_else(|| {
+                                syntax(&format!("invalid height token `{extra}`"))
+                            })?;
+                    } else {
+                        return Err(syntax(&format!("unexpected cell token `{extra}`")));
+                    }
+                }
+                let id = b.add_cell(cell);
                 cell_ids.insert(cname.to_string(), id);
             }
             "net" => {
@@ -224,6 +248,44 @@ end
             assert_eq!(a.driver, b.driver);
             assert_eq!(a.sinks, b.sinks);
         }
+    }
+
+    #[test]
+    fn mixed_size_attributes_roundtrip() {
+        let text = "circuit m\n\
+                    cell pad in 1 0 fixed\n\
+                    cell ram macro 20 0.2 h3 fixed\n\
+                    cell g logic 2 0.1\n\
+                    net n pad 0.5 ram g\n\
+                    end\n";
+        let nl = parse_netlist(text).unwrap();
+        let pad = nl.cell(nl.cell_by_name("pad").unwrap());
+        assert!(pad.fixed);
+        assert_eq!(pad.height, 1);
+        let ram = nl.cell(nl.cell_by_name("ram").unwrap());
+        assert_eq!(ram.kind, CellKind::Macro);
+        assert_eq!(ram.height, 3);
+        assert!(ram.fixed);
+        assert!(nl.cell(nl.cell_by_name("g").unwrap()).is_movable());
+        // The writer reproduces the attributes and the result re-parses to
+        // the same circuit (write ∘ parse fixpoint).
+        let written = write_netlist(&nl);
+        assert!(
+            written.contains("cell ram macro 20 0.2 h3 fixed\n"),
+            "{written}"
+        );
+        assert_eq!(written, write_netlist(&parse_netlist(&written).unwrap()));
+
+        let bad_height = "circuit m\ncell ram macro 20 0.2 h0\nend\n";
+        assert!(matches!(
+            parse_netlist(bad_height).unwrap_err(),
+            ParseError::Syntax { line: 2, .. }
+        ));
+        let bad_token = "circuit m\ncell g logic 2 0.1 movable\nend\n";
+        assert!(matches!(
+            parse_netlist(bad_token).unwrap_err(),
+            ParseError::Syntax { line: 2, .. }
+        ));
     }
 
     #[test]

@@ -11,6 +11,30 @@
 //! Generation is fully deterministic for a given [`GeneratorConfig`] (seeded
 //! ChaCha8 stream), so every experiment in the workspace operates on exactly
 //! the same circuits.
+//!
+//! Beyond the pure standard-cell circuits, [`MixedSizeSpec`] layers
+//! *mixed-size* features on top: multi-row macro blocks and a fixed pad
+//! ring. Mixed circuits flow through the same interchange files as everyone
+//! else — the generated netlist round-trips through the Bookshelf pair and
+//! its fixed cells carry into `.pl` placements:
+//!
+//! ```
+//! use vlsi_netlist::bookshelf::{parse_bookshelf, write_bookshelf, netlists_identical};
+//! use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig, MixedSizeSpec};
+//!
+//! let cfg = GeneratorConfig::sized("doc_mix", 150, 42).with_mixed(MixedSizeSpec {
+//!     num_macros: 2,
+//!     macro_height: 3,
+//!     pad_ring: true,
+//! });
+//! let netlist = CircuitGenerator::new(cfg).generate();
+//! assert!(netlist.has_fixed_cells());
+//! assert_eq!(netlist.stats().macros, 2);
+//!
+//! let pair = write_bookshelf(&netlist);
+//! let reloaded = parse_bookshelf(&pair.nodes, &pair.nets).unwrap();
+//! assert!(netlists_identical(&netlist, &reloaded));
+//! ```
 
 use crate::{Cell, CellId, CellKind, Net, Netlist, NetlistBuilder};
 use rand::{Rng, SeedableRng};
@@ -37,6 +61,29 @@ pub struct GeneratorConfig {
     pub avg_fanin: f64,
     /// RNG seed; the same seed always produces the same circuit.
     pub seed: u64,
+    /// Mixed-size extension: `Some` adds macro blocks (and optionally pins
+    /// the I/O pads into a pad ring) *on top of* the standard-cell circuit.
+    /// `None` reproduces the original pure standard-cell generator
+    /// bit-for-bit.
+    pub mixed: Option<MixedSizeSpec>,
+}
+
+/// Mixed-size additions layered over the standard-cell generator.
+///
+/// Macros are generated *after* the standard connectivity pass, from the
+/// same seeded RNG stream — so for a given seed, the standard-cell prefix of
+/// a mixed circuit (names, kinds, widths, delays and the standard-to-standard
+/// edges) is identical to the pure circuit generated with `mixed: None`; only
+/// the pad-ring `fixed` flags, the appended macros and the per-net switching
+/// probabilities (drawn after the macro wiring) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixedSizeSpec {
+    /// Number of macro blocks appended after the standard cells.
+    pub num_macros: usize,
+    /// Footprint height of each macro, in rows.
+    pub macro_height: u32,
+    /// Mark every primary input/output pad as fixed (a pad ring).
+    pub pad_ring: bool,
 }
 
 impl GeneratorConfig {
@@ -55,7 +102,34 @@ impl GeneratorConfig {
             logic_depth: 12,
             avg_fanin: 2.2,
             seed,
+            mixed: None,
         }
+    }
+
+    /// Returns the configuration with mixed-size additions enabled.
+    ///
+    /// The standard-cell prefix of the resulting circuit is identical to the
+    /// `mixed: None` circuit of the same seed (up to pad-ring `fixed`
+    /// flags); see [`MixedSizeSpec`].
+    ///
+    /// ```
+    /// use vlsi_netlist::generator::{CircuitGenerator, GeneratorConfig, MixedSizeSpec};
+    ///
+    /// let base = GeneratorConfig::sized("doc_wm", 120, 7);
+    /// let mixed = CircuitGenerator::new(base.clone().with_mixed(MixedSizeSpec {
+    ///     num_macros: 1,
+    ///     macro_height: 2,
+    ///     pad_ring: false,
+    /// }))
+    /// .generate();
+    /// let pure = CircuitGenerator::new(base).generate();
+    /// // Same standard cells, one extra macro appended at the end.
+    /// assert_eq!(mixed.num_cells(), pure.num_cells() + 1);
+    /// assert_eq!(mixed.cells()[..pure.num_cells()], pure.cells()[..]);
+    /// ```
+    pub fn with_mixed(mut self, mixed: MixedSizeSpec) -> Self {
+        self.mixed = Some(mixed);
+        self
     }
 
     /// Number of plain logic cells implied by the configuration.
@@ -99,6 +173,9 @@ impl CircuitGenerator {
 
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut builder = NetlistBuilder::new(cfg.name.clone());
+        // Pad-ring circuits pin every I/O pad; everything else about the
+        // standard-cell flow is untouched.
+        let pad_fixed = cfg.mixed.is_some_and(|m| m.pad_ring);
 
         // ----- cells ---------------------------------------------------
         // Level 0: inputs. Levels 1..=logic_depth: logic and flip-flops.
@@ -108,7 +185,9 @@ impl CircuitGenerator {
         let mut ids_by_level: Vec<Vec<CellId>> = vec![Vec::new(); cfg.logic_depth + 2];
 
         for i in 0..cfg.num_inputs {
-            let id = builder.add_cell(Cell::new(format!("pi{i}"), CellKind::Input, 1, 0.0));
+            let mut pad = Cell::new(format!("pi{i}"), CellKind::Input, 1, 0.0);
+            pad.fixed = pad_fixed;
+            let id = builder.add_cell(pad);
             level_of.push(0);
             ids_by_level[0].push(id);
         }
@@ -139,7 +218,9 @@ impl CircuitGenerator {
 
         let out_level = cfg.logic_depth + 1;
         for i in 0..cfg.num_outputs {
-            let id = builder.add_cell(Cell::new(format!("po{i}"), CellKind::Output, 1, 0.0));
+            let mut pad = Cell::new(format!("po{i}"), CellKind::Output, 1, 0.0);
+            pad.fixed = pad_fixed;
+            let id = builder.add_cell(pad);
             level_of.push(out_level);
             ids_by_level[out_level].push(id);
         }
@@ -229,6 +310,42 @@ impl CircuitGenerator {
             }
         }
 
+        // ----- mixed-size additions ------------------------------------
+        // Macro blocks are appended after the complete standard flow, so the
+        // RNG stream (and thus the standard-cell prefix) is untouched. Each
+        // macro is fed by a few internal drivers and drives a small net of
+        // its own; both ends avoid the I/O boundary (inputs cannot sink,
+        // outputs cannot drive).
+        if let Some(mixed) = cfg.mixed {
+            let internal_lo = pool_start_of_level[1];
+            let internal_hi = pool_start_of_level[out_level];
+            sinks_of.resize(total_cells + mixed.num_macros, Vec::new());
+            for m in 0..mixed.num_macros {
+                let width = rng.gen_range(16..=48u32);
+                let id = builder.add_cell(Cell::macro_block(
+                    format!("mb{m}"),
+                    width,
+                    mixed.macro_height,
+                    0.20,
+                ));
+                if internal_lo >= internal_hi {
+                    continue;
+                }
+                let fanin = rng.gen_range(2..=4usize);
+                for _ in 0..fanin {
+                    let driver = pool[rng.gen_range(internal_lo..internal_hi)];
+                    if !sinks_of[driver.index()].contains(&id) {
+                        sinks_of[driver.index()].push(id);
+                    }
+                }
+                let fanout = rng.gen_range(2..=4usize);
+                for _ in 0..fanout {
+                    let sink = pool[rng.gen_range(internal_lo..pool.len())];
+                    sinks_of[id.index()].push(sink);
+                }
+            }
+        }
+
         // Build the nets: one net per driving cell.
         for (cell_idx, sink_slot) in sinks_of.iter_mut().enumerate() {
             if sink_slot.is_empty() {
@@ -284,6 +401,7 @@ mod tests {
             logic_depth: 8,
             avg_fanin: 2.2,
             seed,
+            mixed: None,
         }
     }
 
@@ -353,6 +471,54 @@ mod tests {
             assert!(!net.sinks.is_empty());
             assert!((0.0..=1.0).contains(&net.switching_prob));
         }
+    }
+
+    #[test]
+    fn mixed_spec_appends_macros_and_pins_pads() {
+        let mixed = MixedSizeSpec {
+            num_macros: 3,
+            macro_height: 4,
+            pad_ring: true,
+        };
+        let nl = CircuitGenerator::new(small_cfg(6).with_mixed(mixed)).generate();
+        let stats = nl.stats();
+        assert_eq!(nl.num_cells(), 200 + 3);
+        assert_eq!(stats.macros, 3);
+        // Pad ring + macros are the only fixed cells.
+        assert_eq!(stats.fixed_cells, stats.inputs + stats.outputs + 3);
+        assert!(nl.has_fixed_cells());
+        for m in 0..3 {
+            let id = nl.cell_by_name(&format!("mb{m}")).unwrap();
+            let cell = nl.cell(id);
+            assert_eq!(cell.kind, CellKind::Macro);
+            assert_eq!(cell.height, 4);
+            assert!(cell.fixed);
+            // Every macro is wired: it drives a net and is driven by one.
+            assert!(!nl.nets_driven_by(id).is_empty());
+            assert!(!nl.nets_feeding(id).is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_standard_cell_prefix_matches_the_pure_circuit() {
+        // Same seed: the standard-cell prefix of the mixed circuit must be
+        // identical to the pure circuit up to the pad-ring `fixed` flags.
+        let pure = CircuitGenerator::new(small_cfg(9)).generate();
+        let mixed = CircuitGenerator::new(small_cfg(9).with_mixed(MixedSizeSpec {
+            num_macros: 2,
+            macro_height: 3,
+            pad_ring: true,
+        }))
+        .generate();
+        for (a, b) in pure.cells().iter().zip(mixed.cells().iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.width, b.width);
+            assert_eq!(a.switching_delay, b.switching_delay);
+        }
+        // Nets of the pure circuit are a prefix-preserving subset: every
+        // standard net survives, possibly with macro sinks appended.
+        assert!(mixed.num_nets() >= pure.num_nets());
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct NetlistStats {
     pub outputs: usize,
     /// Sum of all cell widths (layout units).
     pub total_cell_width: u64,
+    /// Number of macro blocks ([`CellKind::Macro`]).
+    pub macros: usize,
+    /// Number of fixed (pre-placed) cells of any kind.
+    pub fixed_cells: usize,
+    /// Sum of the widths of movable cells only — the area row packing
+    /// actually distributes.
+    pub movable_cell_width: u64,
 }
 
 /// An immutable gate-level circuit: cells, nets and derived connectivity.
@@ -260,7 +267,26 @@ impl Netlist {
                 .filter(|c| c.kind == CellKind::Output)
                 .count(),
             total_cell_width: self.cells.iter().map(|c| c.width as u64).sum(),
+            macros: self
+                .cells
+                .iter()
+                .filter(|c| c.kind == CellKind::Macro)
+                .count(),
+            fixed_cells: self.cells.iter().filter(|c| c.fixed).count(),
+            movable_cell_width: self
+                .cells
+                .iter()
+                .filter(|c| c.is_movable())
+                .map(|c| c.width as u64)
+                .sum(),
         }
+    }
+
+    /// `true` when the circuit carries at least one fixed (pre-placed) cell —
+    /// the mixed-size tier. Pure standard-cell circuits return `false` and
+    /// follow the exact code paths they always did.
+    pub fn has_fixed_cells(&self) -> bool {
+        self.cells.iter().any(|c| c.fixed)
     }
 }
 

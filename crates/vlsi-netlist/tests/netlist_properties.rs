@@ -27,6 +27,7 @@ fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
                 logic_depth: depth,
                 avg_fanin: 2.2,
                 seed,
+                mixed: None,
             }
         })
 }

@@ -7,12 +7,25 @@
 //! row height. This is the layout model used by the SimE allocation operator
 //! ("sorted individual best fit" inserts a cell at the best slot) and by the
 //! Type II row-wise domain decomposition.
+//!
+//! # Mixed-size layouts
+//!
+//! Fixed cells (pad rings, multi-row macro blocks) never enter the packed
+//! rows. Their positions are a *deterministic function of the netlist*: pads
+//! line up at negative x outside the packing region, macros become **blocked
+//! spans** — per-row intervals that row packing flows around, exactly as if
+//! an invisible cell occupied them. Every constructor derives this fixed
+//! layout from the netlist, so two placements of the same circuit always
+//! agree on where the fixed cells sit (which is what lets a `.pl` round-trip
+//! validate fixed positions instead of trusting the file). Circuits without
+//! fixed cells have no blocked spans and pack bitwise identically to the
+//! original gap-free model.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use vlsi_netlist::{CellId, Netlist};
+use vlsi_netlist::{CellId, CellKind, Netlist};
 
 /// Source of unique placement identities (see [`Placement::uid`]). Identity
 /// only gates cache reuse — it never influences the search — so a process-wide
@@ -45,6 +58,8 @@ pub enum PlacementError {
     DuplicateCell(CellId),
     /// The recorded row of a cell disagrees with the row lists.
     InconsistentRow(CellId),
+    /// A fixed cell (pad, macro) appears inside a packed row.
+    FixedCellInRow(CellId),
     /// The placement has a different number of cells than the netlist.
     CellCountMismatch {
         /// Cells in the placement.
@@ -61,6 +76,9 @@ impl std::fmt::Display for PlacementError {
             PlacementError::DuplicateCell(c) => write!(f, "cell {c} is placed more than once"),
             PlacementError::InconsistentRow(c) => {
                 write!(f, "cell {c} row bookkeeping is inconsistent")
+            }
+            PlacementError::FixedCellInRow(c) => {
+                write!(f, "fixed cell {c} appears inside a packed row")
             }
             PlacementError::CellCountMismatch { placed, expected } => {
                 write!(f, "placement has {placed} cells, netlist has {expected}")
@@ -94,8 +112,18 @@ pub struct Placement {
     cell_x: Vec<f64>,
     /// Cached width of each cell (copied from the netlist to avoid lookups).
     cell_width: Vec<u32>,
-    /// Total width of each row.
+    /// Total movable width of each row (fixed cells are not row members).
     row_width: Vec<u64>,
+    /// `true` for cells that are pre-placed and excluded from the rows.
+    fixed: Vec<bool>,
+    /// Per-row blocked intervals `[lo, hi)` (macro footprints), sorted by
+    /// start and pairwise disjoint. Row packing flows around them.
+    blocked: Vec<Vec<(f64, f64)>>,
+    /// Packing cursor after the last movable cell of each row — the row's
+    /// right extent, including any gaps forced by blocked spans.
+    row_extent: Vec<f64>,
+    /// Total width of all movable cells (denominator of `avg_row_width`).
+    movable_total_width: u64,
     /// Unique identity of this placement object; refreshed on clone so
     /// incremental caches keyed on a placement never confuse two objects that
     /// share a mutation history (e.g. per-rank clones in Type II).
@@ -116,6 +144,10 @@ impl Clone for Placement {
             cell_x: self.cell_x.clone(),
             cell_width: self.cell_width.clone(),
             row_width: self.row_width.clone(),
+            fixed: self.fixed.clone(),
+            blocked: self.blocked.clone(),
+            row_extent: self.row_extent.clone(),
+            movable_total_width: self.movable_total_width,
             uid: next_placement_uid(),
             epoch: self.epoch,
             row_epoch: self.row_epoch.clone(),
@@ -142,22 +174,16 @@ impl Placement {
     }
 
     /// Builds a placement by dealing `order` into rows, always appending to
-    /// the currently narrowest row (greedy width balancing).
+    /// the currently narrowest row (greedy width balancing). Fixed cells in
+    /// `order` are skipped — their positions come from the deterministic
+    /// fixed layout, never from the deal.
     pub fn from_order(netlist: &Netlist, num_rows: usize, order: &[CellId]) -> Self {
         assert!(num_rows > 0, "a placement needs at least one row");
-        let n = netlist.num_cells();
-        let mut p = Placement {
-            rows: vec![Vec::with_capacity(n / num_rows + 1); num_rows],
-            cell_row: vec![0; n],
-            cell_index: vec![0; n],
-            cell_x: vec![0.0; n],
-            cell_width: netlist.cells().iter().map(|c| c.width).collect(),
-            row_width: vec![0; num_rows],
-            uid: next_placement_uid(),
-            epoch: 0,
-            row_epoch: vec![0; num_rows],
-        };
+        let mut p = Placement::empty(netlist, num_rows);
         for &cell in order {
+            if p.fixed[cell.index()] {
+                continue;
+            }
             let row = (0..num_rows)
                 .min_by_key(|&r| p.row_width[r])
                 .expect("num_rows > 0");
@@ -167,6 +193,40 @@ impl Placement {
         }
         for r in 0..num_rows {
             p.rebuild_row_x(r);
+        }
+        p
+    }
+
+    /// Shared constructor core: an all-rows-empty placement with the fixed
+    /// layout (pad positions, macro blocked spans) already derived from the
+    /// netlist.
+    fn empty(netlist: &Netlist, num_rows: usize) -> Self {
+        let n = netlist.num_cells();
+        let (positions, blocked) = default_fixed_layout(netlist, num_rows);
+        let movable_total_width = netlist
+            .cells()
+            .iter()
+            .filter(|c| !c.fixed)
+            .map(|c| c.width as u64)
+            .sum();
+        let mut p = Placement {
+            rows: vec![Vec::with_capacity(n / num_rows + 1); num_rows],
+            cell_row: vec![0; n],
+            cell_index: vec![0; n],
+            cell_x: vec![0.0; n],
+            cell_width: netlist.cells().iter().map(|c| c.width).collect(),
+            row_width: vec![0; num_rows],
+            fixed: netlist.cells().iter().map(|c| c.fixed).collect(),
+            blocked,
+            row_extent: vec![0.0; num_rows],
+            movable_total_width,
+            uid: next_placement_uid(),
+            epoch: 0,
+            row_epoch: vec![0; num_rows],
+        };
+        for (cell, cx, row) in positions {
+            p.cell_x[cell.index()] = cx;
+            p.cell_row[cell.index()] = row;
         }
         p
     }
@@ -181,18 +241,8 @@ impl Placement {
     /// check that every cell appears exactly once.
     pub fn from_rows(netlist: &Netlist, rows: Vec<Vec<CellId>>) -> Self {
         assert!(!rows.is_empty(), "a placement needs at least one row");
-        let n = netlist.num_cells();
-        let mut p = Placement {
-            cell_row: vec![0; n],
-            cell_index: vec![0; n],
-            cell_x: vec![0.0; n],
-            cell_width: netlist.cells().iter().map(|c| c.width).collect(),
-            row_width: vec![0; rows.len()],
-            uid: next_placement_uid(),
-            epoch: 0,
-            row_epoch: vec![0; rows.len()],
-            rows,
-        };
+        let mut p = Placement::empty(netlist, rows.len());
+        p.rows = rows;
         for r in 0..p.rows.len() {
             let cells = std::mem::take(&mut p.rows[r]);
             let mut width = 0u64;
@@ -273,10 +323,32 @@ impl Placement {
         )
     }
 
-    /// Total width of `row`.
+    /// Total movable width of `row` (blocked spans and fixed cells excluded).
     #[inline]
     pub fn row_width(&self, row: usize) -> u64 {
         self.row_width[row]
+    }
+
+    /// Right extent of `row`: the packing cursor after its last movable
+    /// cell, including any gaps forced by blocked spans. Equals
+    /// [`Placement::row_width`] exactly when the row has no blocked spans.
+    #[inline]
+    pub fn row_extent(&self, row: usize) -> f64 {
+        self.row_extent[row]
+    }
+
+    /// `true` when `cell` is pre-placed (pad, macro) and excluded from the
+    /// packed rows.
+    #[inline]
+    pub fn is_fixed(&self, cell: CellId) -> bool {
+        self.fixed[cell.index()]
+    }
+
+    /// The blocked intervals `[lo, hi)` of `row`, sorted by start and
+    /// pairwise disjoint (macro footprints the packing flows around).
+    #[inline]
+    pub fn blocked_spans(&self, row: usize) -> &[(f64, f64)] {
+        &self.blocked[row]
     }
 
     /// Maximum row width — the layout `Width` used by the width constraint.
@@ -284,11 +356,11 @@ impl Placement {
         self.row_width.iter().copied().max().unwrap_or(0)
     }
 
-    /// Average row width `w_avg = Σ cell widths / num_rows`, the minimum
-    /// possible layout width.
+    /// Average row width `w_avg = Σ movable cell widths / num_rows`, the
+    /// minimum possible layout width. Fixed cells sit outside the packed
+    /// rows, so they do not count against the width constraint.
     pub fn avg_row_width(&self) -> f64 {
-        let total: u64 = self.cell_width.iter().map(|&w| w as u64).sum();
-        total as f64 / self.num_rows() as f64
+        self.movable_total_width as f64 / self.num_rows() as f64
     }
 
     /// `true` if the layout width satisfies `Width − w_avg ≤ α · w_avg`.
@@ -297,7 +369,15 @@ impl Placement {
     }
 
     /// Removes `cell` from its row and returns the slot it occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is fixed — fixed cells are never row members.
     pub fn remove_cell(&mut self, cell: CellId) -> Slot {
+        assert!(
+            !self.fixed[cell.index()],
+            "fixed cell {cell} cannot be moved"
+        );
         let slot = self.slot_of(cell);
         self.rows[slot.row].remove(slot.index);
         self.row_width[slot.row] -= self.cell_width[cell.index()] as u64;
@@ -308,7 +388,15 @@ impl Placement {
 
     /// Inserts a previously removed `cell` at `slot`. The insertion index is
     /// clamped to the current row length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is fixed — fixed cells are never row members.
     pub fn insert_cell(&mut self, cell: CellId, slot: Slot) {
+        assert!(
+            !self.fixed[cell.index()],
+            "fixed cell {cell} cannot be moved"
+        );
         let index = slot.index.min(self.rows[slot.row].len());
         self.rows[slot.row].insert(index, cell);
         self.cell_row[cell.index()] = slot.row as u32;
@@ -324,7 +412,15 @@ impl Placement {
     }
 
     /// Swaps the slots of two cells (a classical SA/TS/GA move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cell is fixed — fixed cells are never row members.
     pub fn swap_cells(&mut self, a: CellId, b: CellId) {
+        assert!(
+            !self.fixed[a.index()] && !self.fixed[b.index()],
+            "fixed cells cannot be swapped"
+        );
         if a == b {
             return;
         }
@@ -357,9 +453,10 @@ impl Placement {
         let row = &self.rows[slot.row];
         let index = slot.index.min(row.len());
         // O(1) via the cached centre coordinate of the left neighbour: its
-        // right edge is the insertion point. Cell widths are integers, so
-        // every centre/edge is an exact half-integer double and this matches
-        // the former prefix-sum loop bit for bit.
+        // right edge is the insertion point (advanced past any blocked span
+        // the cell would overlap). Cell widths are integers, so every
+        // centre/edge is an exact half-integer double and this matches a
+        // from-scratch prefix-sum repack bit for bit.
         let x = if index == 0 {
             0.0
         } else {
@@ -367,6 +464,7 @@ impl Placement {
             self.cell_x[prev] + self.cell_width[prev] as f64 / 2.0
         };
         let w = self.cell_width[cell.index()] as f64;
+        let x = next_free(&self.blocked[slot.row], x, w);
         (x + w / 2.0, (slot.row as f64 + 0.5) * ROW_HEIGHT)
     }
 
@@ -389,6 +487,9 @@ impl Placement {
         for (r, row) in self.rows.iter().enumerate() {
             let mut width = 0u64;
             for (i, &cell) in row.iter().enumerate() {
+                if self.fixed[cell.index()] {
+                    return Err(PlacementError::FixedCellInRow(cell));
+                }
                 if seen[cell.index()] {
                     return Err(PlacementError::DuplicateCell(cell));
                 }
@@ -412,7 +513,7 @@ impl Placement {
             }
         }
         for (i, &s) in seen.iter().enumerate() {
-            if !s {
+            if !s && !self.fixed[i] {
                 return Err(PlacementError::MissingCell(CellId::from(i)));
             }
         }
@@ -461,14 +562,95 @@ impl Placement {
         };
         for (i, &cell) in cells.iter().enumerate().skip(start) {
             let w = self.cell_width[cell.index()] as f64;
-            self.cell_x[cell.index()] = x + w / 2.0;
+            let left = next_free(&self.blocked[row], x, w);
+            self.cell_x[cell.index()] = left + w / 2.0;
             self.cell_index[cell.index()] = i as u32;
-            x += w;
+            x = left + w;
         }
         self.rows[row] = cells;
+        self.row_extent[row] = x;
         self.epoch += 1;
         self.row_epoch[row] = self.epoch;
     }
+}
+
+/// Advances `x` to the smallest left edge `>= x` where a cell of `width`
+/// avoids every blocked interval. `blocked` is sorted by start and pairwise
+/// disjoint; with no intervals the cursor is returned unchanged, which keeps
+/// fixed-free circuits bitwise identical to the gap-free packing.
+#[inline]
+fn next_free(blocked: &[(f64, f64)], mut x: f64, width: f64) -> f64 {
+    for &(lo, hi) in blocked {
+        if x + width <= lo {
+            break;
+        }
+        if x < hi {
+            x = hi;
+        }
+    }
+    x
+}
+
+/// Clearance between the pad ring and the packing region (x = 0).
+const PAD_CLEARANCE: f64 = 8.0;
+
+/// Spacing between successive macro blocks sharing a row, so their footprints
+/// stay distinct intervals (narrow movable cells may pack into the gap).
+const MACRO_GAP: u64 = 4;
+
+/// Per fixed cell its `(cell, centre x, pin row)`, plus the per-row blocked
+/// intervals macro footprints carve out of the packing region.
+type FixedLayout = (Vec<(CellId, f64, u32)>, Vec<Vec<(f64, f64)>>);
+
+/// Derives the deterministic fixed layout of a circuit: per fixed cell its
+/// `(cell, centre x, pin row)`, plus the per-row blocked intervals macro
+/// footprints carve out of the packing region.
+///
+/// Pads (fixed single-row non-macro cells) line up at negative x, dealt
+/// round-robin across rows in cell-id order. Macros stagger down the rows —
+/// the `j`-th macro of height `h` occupies rows `(j·h) mod (num_rows−h+1)`
+/// onward — flush against the previous macro in those rows (plus a small
+/// gap); their net pin sits on the middle row of the band. The layout is a
+/// pure function of `(netlist, num_rows)`, so every placement of a circuit
+/// agrees on it.
+fn default_fixed_layout(netlist: &Netlist, num_rows: usize) -> FixedLayout {
+    let mut positions = Vec::new();
+    let mut blocked: Vec<Vec<(f64, f64)>> = vec![Vec::new(); num_rows];
+    let mut pad_cursor: Vec<u64> = vec![0; num_rows];
+    let mut macro_cursor: Vec<u64> = vec![0; num_rows];
+    let mut pads = 0usize;
+    let mut macros = 0usize;
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if !cell.fixed {
+            continue;
+        }
+        let id = CellId::from(i);
+        let w = cell.width as u64;
+        if cell.height <= 1 && cell.kind != CellKind::Macro {
+            // Pad ring: parked left of the packing region.
+            let row = pads % num_rows;
+            let cx = -(PAD_CLEARANCE + pad_cursor[row] as f64 + cell.width as f64 / 2.0);
+            pad_cursor[row] += w;
+            positions.push((id, cx, row as u32));
+            pads += 1;
+        } else {
+            // Macro block: a blocked span across `h` consecutive rows.
+            let h = (cell.height as usize).min(num_rows);
+            let band = (macros * h) % (num_rows - h + 1);
+            let left = (band..band + h)
+                .map(|r| macro_cursor[r])
+                .max()
+                .expect("h >= 1");
+            for r in band..band + h {
+                blocked[r].push((left as f64, (left + w) as f64));
+                macro_cursor[r] = left + w + MACRO_GAP;
+            }
+            let pin_row = (band + h / 2).min(num_rows - 1) as u32;
+            positions.push((id, left as f64 + cell.width as f64 / 2.0, pin_row));
+            macros += 1;
+        }
+    }
+    (positions, blocked)
 }
 
 #[cfg(test)]
@@ -480,6 +662,16 @@ mod tests {
 
     fn netlist() -> Netlist {
         CircuitGenerator::new(GeneratorConfig::sized("layout_test", 120, 3)).generate()
+    }
+
+    fn mixed_netlist() -> Netlist {
+        use vlsi_netlist::generator::MixedSizeSpec;
+        let cfg = GeneratorConfig::sized("layout_mixed", 160, 7).with_mixed(MixedSizeSpec {
+            num_macros: 3,
+            macro_height: 3,
+            pad_ring: true,
+        });
+        CircuitGenerator::new(cfg).generate()
     }
 
     #[test]
@@ -610,6 +802,132 @@ mod tests {
             assert_eq!(p.position(c), q.position(c));
         }
         assert_eq!(p.width(), q.width());
+    }
+
+    #[test]
+    fn fixed_cells_stay_out_of_rows_and_packing_avoids_blocked_spans() {
+        let nl = mixed_netlist();
+        let p = Placement::round_robin(&nl, 6);
+        p.validate(&nl).unwrap();
+        // Only movable cells are dealt into rows.
+        let placed: usize = (0..6).map(|r| p.row(r).len()).sum();
+        let movable = nl.cells().iter().filter(|c| !c.fixed).count();
+        assert!(movable < nl.num_cells(), "circuit has fixed cells");
+        assert_eq!(placed, movable);
+        // Movable cells never overlap a blocked span, and the row extent
+        // accounts for the packing gaps the spans force.
+        let mut spans_seen = 0;
+        for r in 0..p.num_rows() {
+            spans_seen += p.blocked_spans(r).len();
+            for &cell in p.row(r) {
+                let w = nl.cell(cell).width as f64;
+                let left = p.x_of(cell) - w / 2.0;
+                for &(lo, hi) in p.blocked_spans(r) {
+                    assert!(
+                        left + w <= lo || left >= hi,
+                        "cell {cell} [{left}, {}) overlaps blocked [{lo}, {hi}) in row {r}",
+                        left + w
+                    );
+                }
+            }
+            assert!(p.row_extent(r) >= p.row_width(r) as f64);
+        }
+        assert!(spans_seen > 0, "macros produce blocked spans");
+        // Pads park left of the packing region; macros sit inside it.
+        for (i, c) in nl.cells().iter().enumerate() {
+            let id = CellId::from(i);
+            assert_eq!(p.is_fixed(id), c.fixed);
+            if c.fixed && c.kind != vlsi_netlist::CellKind::Macro {
+                assert!(p.x_of(id) < 0.0, "pad {id} must sit at negative x");
+            }
+            if c.kind == vlsi_netlist::CellKind::Macro {
+                assert!(p.x_of(id) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_layout_is_identical_across_constructors() {
+        let nl = mixed_netlist();
+        let a = Placement::round_robin(&nl, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let b = Placement::random(&nl, 6, &mut rng);
+        for (i, c) in nl.cells().iter().enumerate() {
+            if c.fixed {
+                let id = CellId::from(i);
+                assert_eq!(a.position(id), b.position(id));
+            }
+        }
+        for r in 0..6 {
+            assert_eq!(a.blocked_spans(r), b.blocked_spans(r));
+        }
+    }
+
+    #[test]
+    fn trial_position_matches_insertion_around_blocked_spans() {
+        let nl = mixed_netlist();
+        let mut p = Placement::round_robin(&nl, 6);
+        let row = (0..6)
+            .find(|&r| !p.blocked_spans(r).is_empty())
+            .expect("some row is blocked");
+        for index in 0..p.slots_in_row(row).min(12) {
+            let cell = p.row((row + 1) % 6)[0];
+            p.remove_cell(cell);
+            let predicted = p.trial_position(cell, Slot { row, index });
+            p.insert_cell(cell, Slot { row, index });
+            let actual = p.position(cell);
+            assert_eq!(predicted.0.to_bits(), actual.0.to_bits());
+            assert_eq!(predicted.1.to_bits(), actual.1.to_bits());
+            p.move_cell(
+                cell,
+                Slot {
+                    row: (row + 1) % 6,
+                    index: 0,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_rebuild_matches_full_rebuild_with_blocked_spans() {
+        let nl = mixed_netlist();
+        let mut p = Placement::round_robin(&nl, 6);
+        let row = (0..6)
+            .find(|&r| !p.blocked_spans(r).is_empty())
+            .expect("some row is blocked");
+        let cell = p.row(row)[p.row(row).len() / 2];
+        p.move_cell(cell, Slot { row, index: 0 });
+        let rows: Vec<Vec<CellId>> = (0..6).map(|r| p.row(r).to_vec()).collect();
+        let q = Placement::from_rows(&nl, rows);
+        for c in nl.cell_ids() {
+            assert_eq!(p.position(c).0.to_bits(), q.position(c).0.to_bits());
+            assert_eq!(p.position(c).1.to_bits(), q.position(c).1.to_bits());
+        }
+        for r in 0..6 {
+            assert_eq!(p.row_extent(r).to_bits(), q.row_extent(r).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be moved")]
+    fn moving_a_fixed_cell_panics() {
+        let nl = mixed_netlist();
+        let fixed = nl
+            .cell_ids()
+            .find(|&c| nl.cell(c).fixed)
+            .expect("circuit has fixed cells");
+        let mut p = Placement::round_robin(&nl, 6);
+        p.remove_cell(fixed);
+    }
+
+    #[test]
+    fn pure_circuits_have_no_blocked_spans_and_full_extent() {
+        let nl = netlist();
+        let p = Placement::round_robin(&nl, 5);
+        for r in 0..5 {
+            assert!(p.blocked_spans(r).is_empty());
+            assert_eq!(p.row_extent(r).to_bits(), (p.row_width(r) as f64).to_bits());
+        }
     }
 
     #[test]

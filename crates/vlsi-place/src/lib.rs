@@ -32,6 +32,7 @@ pub mod bounds;
 pub mod cost;
 pub mod fuzzy;
 pub mod goodness;
+pub mod interchange;
 pub mod kernel;
 pub mod layout;
 pub mod wirelength;
@@ -39,6 +40,7 @@ pub mod wirelength;
 pub use cost::{CostBreakdown, CostEvaluator, Objectives, TimingModel};
 pub use fuzzy::{FuzzyConfig, FuzzyLevel};
 pub use goodness::{GoodnessEvaluator, GoodnessVector};
+pub use interchange::{placement_from_pl, placement_to_pl, rows_to_scl, PlConvertError};
 pub use kernel::{NetLengthCache, PreparedCell, TrialScorer};
 pub use layout::{Placement, PlacementError, Slot};
 pub use wirelength::{hpwl, single_trunk_steiner, WirelengthModel};

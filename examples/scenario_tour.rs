@@ -64,6 +64,7 @@ fn main() {
         objectives: Objectives::WirelengthPower,
         workers: None,
         eval_chunks: 1,
+        warm_start: None,
     };
     // Register the *reloaded* netlist so the scenario really runs on the
     // circuit that went through the dump/reload cycle (and the driver does
